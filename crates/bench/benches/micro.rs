@@ -1,0 +1,153 @@
+//! Criterion micro-benchmarks over every substrate: real wall-clock cost
+//! of the building blocks (the virtual-time figures are produced by the
+//! `fig4`/`fig5` binaries; these benches characterize the implementation
+//! itself).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use tape_crypto::{keccak256, AesGcm, SecretKey, SecureRng};
+use tape_evm::{Env, Evm, Transaction};
+use tape_hevm::{Hevm, HevmConfig};
+use tape_mpt::MerkleTrie;
+use tape_oram::{OramClient, OramConfig, OramServer};
+use tape_primitives::{Address, U256};
+use tape_sim::{Clock, CostModel};
+use tape_state::{Account, InMemoryState};
+use tape_workload::contracts;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let data_1k = vec![0xABu8; 1024];
+
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("keccak256/1KiB", |b| {
+        b.iter(|| keccak256(black_box(&data_1k)));
+    });
+
+    let gcm = AesGcm::new(&[7u8; 16]);
+    group.bench_function("aes_gcm_seal/1KiB", |b| {
+        b.iter(|| gcm.seal(black_box(&[0u8; 12]), b"", black_box(&data_1k)));
+    });
+
+    group.throughput(Throughput::Elements(1));
+    let sk = SecretKey::from_seed(b"bench");
+    let digest = keccak256(b"message");
+    group.bench_function("ecdsa_sign", |b| {
+        b.iter(|| sk.sign(black_box(&digest)));
+    });
+    let pk = sk.public_key();
+    let sig = sk.sign(&digest);
+    group.bench_function("ecdsa_verify", |b| {
+        b.iter(|| pk.verify(black_box(&digest), black_box(&sig)));
+    });
+    group.finish();
+}
+
+fn bench_u256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("u256");
+    let a = U256::from_limbs([0x1234, 0x5678, 0x9abc, 0xdef0]);
+    let b_ = U256::from_limbs([0x1111, 0x2222, 0x3333, 0x4444]);
+    group.bench_function("mul", |b| b.iter(|| black_box(a).wrapping_mul(black_box(b_))));
+    group.bench_function("div", |b| {
+        b.iter(|| black_box(a).checked_div_rem(black_box(b_)))
+    });
+    group.bench_function("mulmod", |b| {
+        b.iter(|| black_box(a).mul_mod(black_box(b_), black_box(U256::MAX)))
+    });
+    group.finish();
+}
+
+fn bench_mpt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpt");
+    group.bench_function("insert_1000_and_root", |b| {
+        b.iter_batched(
+            MerkleTrie::new,
+            |mut trie| {
+                for i in 0u32..1000 {
+                    trie.insert(&i.to_be_bytes(), b"value");
+                }
+                trie.root_hash()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let mut trie = MerkleTrie::new();
+    for i in 0u32..1000 {
+        trie.insert(&i.to_be_bytes(), b"value");
+    }
+    group.bench_function("prove", |b| {
+        b.iter(|| trie.prove(black_box(&500u32.to_be_bytes())));
+    });
+    group.finish();
+}
+
+fn bench_oram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oram");
+    group.sample_size(20);
+    let config = OramConfig { block_size: 1024, bucket_capacity: 4, height: 12 };
+    let mut server = OramServer::new(config.clone());
+    let mut client = OramClient::new(config, &[1u8; 16], SecureRng::from_seed(b"bench"));
+    let clock = Clock::new();
+    let cost = CostModel::default();
+    for i in 0u64..256 {
+        client
+            .write(&mut server, &clock, &cost, &keccak256(i.to_be_bytes()), vec![0; 1024])
+            .unwrap();
+    }
+    let mut i = 0u64;
+    group.bench_function("access/height12_1KiB", |b| {
+        b.iter(|| {
+            i = (i + 1) % 256;
+            client
+                .read(&mut server, &clock, &cost, &keccak256(i.to_be_bytes()))
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn erc20_fixture() -> (InMemoryState, Transaction) {
+    let sender = Address::from_low_u64(1);
+    let token = Address::from_low_u64(0x70CE);
+    let mut state = InMemoryState::new();
+    state.put_account(sender, Account::with_balance(U256::from(u64::MAX)));
+    let mut t = Account::with_code(contracts::erc20_runtime());
+    t.storage
+        .insert(contracts::balance_slot(&sender), U256::from(u64::MAX));
+    state.put_account(token, t);
+    // Zero gas price: criterion runs millions of iterations and a real
+    // gas price would drain the sender's balance mid-benchmark.
+    let tx = Transaction {
+        gas_limit: 300_000,
+        gas_price: tape_primitives::U256::ZERO,
+        ..Transaction::call(
+            sender,
+            token,
+            contracts::encode_call(
+                contracts::sel::transfer(),
+                &[Address::from_low_u64(2).into_word(), U256::ONE],
+            ),
+        )
+    };
+    (state, tx)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    let (state, tx) = erc20_fixture();
+
+    group.bench_function("reference_evm/erc20_transfer", |b| {
+        let mut evm = Evm::new(Env::default(), &state);
+        b.iter(|| evm.transact(black_box(&tx)).unwrap());
+    });
+
+    group.bench_function("hevm/erc20_transfer", |b| {
+        let mut hevm = Hevm::new(HevmConfig::default(), Env::default(), &state, Clock::new());
+        b.iter(|| hevm.transact(black_box(&tx)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_u256, bench_mpt, bench_oram, bench_engines);
+criterion_main!(benches);

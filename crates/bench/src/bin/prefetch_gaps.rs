@@ -1,0 +1,111 @@
+//! Pagewise code prefetching ablation (paper §IV-D problem (3)): without
+//! it, code fetches arrive in bursts that fingerprint execution frames;
+//! with it, the inter-query gaps observed by the adversary become
+//! approximately uniform.
+//!
+//! We simulate a transaction's query schedule — sporadic K-V queries
+//! with a contract call needing 8 code pages in the middle — and compare
+//! the adversary-visible gap distribution with and without the
+//! prefetcher.
+
+use tape_crypto::SecureRng;
+use tape_oram::{CodePrefetcher, PageKey};
+use tape_primitives::Address;
+
+/// K-V query times of a synthetic transaction (ns): sporadic accesses
+/// roughly every ~600 µs, like the paper's full-load HEVM.
+fn kv_schedule() -> Vec<u64> {
+    let mut t = 0u64;
+    let mut rng = SecureRng::from_seed(b"kv schedule");
+    (0..24)
+        .map(|_| {
+            t += 300_000 + rng.next_below(600_000);
+            t
+        })
+        .collect()
+}
+
+fn stats(mut times: Vec<u64>) -> (usize, f64, f64, f64) {
+    times.sort_unstable();
+    let gaps: Vec<f64> = times.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+    let burstiness = gaps.iter().filter(|&&g| g < mean / 10.0).count() as f64 / gaps.len() as f64;
+    (times.len(), mean, var.sqrt(), burstiness)
+}
+
+fn main() {
+    let kv = kv_schedule();
+    let contract = Address::from_low_u64(0xC0DE);
+    let code_pages = 8u32;
+
+    // --- without prefetching: the code arrives as one burst -------------
+    let mut naive = kv.clone();
+    let call_at = kv[8]; // the CALL happens mid-transaction
+    for i in 0..code_pages as u64 {
+        naive.push(call_at + 1 + i); // back-to-back page fetches
+    }
+    let (n1, mean1, sd1, burst1) = stats(naive);
+
+    // --- with the prefetcher: pages ride the randomized interval timer --
+    let mut prefetcher = CodePrefetcher::new(SecureRng::from_seed(b"prefetch"), 600_000);
+    prefetcher.schedule(contract, code_pages);
+    let mut smoothed = Vec::new();
+    let mut pending_fetches = 0u32;
+    let mut clockwatch = 0u64;
+    for &t in &kv {
+        // Poll the timer densely between real queries (the Hypervisor's
+        // idle loop).
+        while clockwatch < t {
+            clockwatch += 50_000;
+            if let Some(PageKey::CodePage(..)) = prefetcher.poll(clockwatch) {
+                smoothed.push(clockwatch);
+                pending_fetches += 1;
+            }
+        }
+        smoothed.push(t);
+        prefetcher.on_query(t);
+    }
+    // Drain any stragglers after the last K-V query.
+    while pending_fetches < code_pages {
+        clockwatch += 50_000;
+        if let Some(PageKey::CodePage(..)) = prefetcher.poll(clockwatch) {
+            smoothed.push(clockwatch);
+            pending_fetches += 1;
+        }
+    }
+    let (n2, mean2, sd2, burst2) = stats(smoothed);
+
+    println!("=== Inter-query gaps as seen by the adversary ===\n");
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>18}",
+        "strategy", "queries", "mean gap", "stddev", "burst fraction"
+    );
+    println!(
+        "{:<22} {:>8} {:>9.0} us {:>9.0} us {:>17.1} %",
+        "burst (no prefetch)",
+        n1,
+        mean1 / 1e3,
+        sd1 / 1e3,
+        burst1 * 100.0
+    );
+    println!(
+        "{:<22} {:>8} {:>9.0} us {:>9.0} us {:>17.1} %",
+        "pagewise prefetch",
+        n2,
+        mean2 / 1e3,
+        sd2 / 1e3,
+        burst2 * 100.0
+    );
+
+    println!(
+        "\nWithout prefetching, {:.0}% of gaps are a near-zero burst that\n\
+         pinpoints the CALL and the contract's page count. The prefetcher\n\
+         spreads the same {code_pages} fetches across the timeline: bursts \
+         {}.",
+        burst1 * 100.0,
+        if burst2 < burst1 / 4.0 { "eliminated" } else { "reduced" }
+    );
+    assert!(burst2 < burst1 / 2.0, "prefetcher failed to smooth the bursts");
+    println!("\nShape: REPRODUCED (prefetching makes query intervals approximately consistent)");
+}

@@ -1,0 +1,63 @@
+//! Regenerates the **§VI-D scalability estimate**: chip throughput vs
+//! Ethereum's ~17 tx/s, and the number of full-load HEVMs one ORAM
+//! server supports, from quantities measured on the `-full`
+//! configuration.
+
+use hardtape::{estimate, Bundle, HarDTape, SecurityConfig, ServiceConfig, ETHEREUM_TPS};
+use tape_sim::CostModel;
+use tape_workload::EvalSet;
+
+fn main() {
+    let mut config = tape_bench::eval_config();
+    config.blocks = config.blocks.min(4); // scalability needs a sample, not the full set
+    let set = EvalSet::generate(&config);
+
+    let service_config = ServiceConfig { oram_height: 14, ..ServiceConfig::at_level(SecurityConfig::Full) };
+    let hevm_count = service_config.hevm_count;
+    let mut device = HarDTape::new(service_config, set.env.clone(), &set.genesis);
+    let mut user = device.connect_user(b"scalability").expect("attestation");
+
+    let sync_queries = device.oram_stats().expect("full config has an ORAM").total();
+    let started = device.clock().now();
+    let mut total_ns = 0u64;
+    let mut executed = 0u64;
+    for tx in set.all_transactions() {
+        let report = device
+            .pre_execute(&mut user, &Bundle::single(tx.clone()))
+            .expect("bundle accepted");
+        total_ns += report.total_ns;
+        executed += 1;
+    }
+    let elapsed = device.clock().now() - started;
+    let queries = device.oram_stats().expect("oram").total() - sync_queries;
+    let per_tx_ns = total_ns / executed;
+    // Average gap between ORAM queries from one full-load HEVM.
+    let query_gap_ns = if queries == 0 { u64::MAX } else { elapsed / queries };
+
+    let cost = CostModel::default();
+    let report = estimate(per_tx_ns, hevm_count, cost.oram_server_op_ns, query_gap_ns);
+
+    println!("§VI-D scalability ({executed} txs measured)\n");
+    println!("  per-tx end-to-end:      {:>10.2} ms", report.per_tx_ns as f64 / 1e6);
+    println!("  HEVMs per chip:         {:>10}", report.hevm_count);
+    println!("  chip throughput:        {:>10.2} tx/s", report.chip_tps);
+    println!("  Ethereum Mainnet:       {:>10.2} tx/s", ETHEREUM_TPS);
+    println!(
+        "  keeps up with Mainnet:  {:>10}",
+        if report.keeps_up_with_ethereum { "yes" } else { "no" }
+    );
+    println!("  ORAM queries issued:    {:>10}", queries);
+    println!("  avg query gap:          {:>10.1} us  (paper: 630 us)", report.query_gap_ns as f64 / 1e3);
+    println!("  server time per query:  {:>10.1} us  (paper: 25 us)", report.server_op_ns as f64 / 1e3);
+    println!("  max HEVMs per server:   {:>10}  (paper: 25)", report.max_hevms_per_server);
+    println!("  max chips per server:   {:>10}", report.max_chips_per_server);
+
+    println!(
+        "\nShape: {}",
+        if report.keeps_up_with_ethereum && report.max_hevms_per_server >= hevm_count as u64 {
+            "REPRODUCED (one chip covers Mainnet; one ORAM server feeds multiple chips)"
+        } else {
+            "DRIFTED"
+        }
+    );
+}

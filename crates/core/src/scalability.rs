@@ -1,0 +1,79 @@
+//! The §VI-D scalability estimator: chip throughput vs Ethereum's rate,
+//! and how many full-load HEVMs one ORAM server sustains.
+
+use tape_sim::Nanos;
+
+/// Ethereum Mainnet's approximate throughput (paper: ~200 txs / 12 s).
+pub const ETHEREUM_TPS: f64 = 17.0;
+
+/// The scalability estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalabilityReport {
+    /// Average end-to-end time per transaction.
+    pub per_tx_ns: Nanos,
+    /// HEVM cores per chip.
+    pub hevm_count: usize,
+    /// Transactions per second one chip sustains
+    /// (`hevm_count / per_tx_seconds`).
+    pub chip_tps: f64,
+    /// `true` when one chip keeps up with Mainnet (needs ≥ 17 tx/s).
+    pub keeps_up_with_ethereum: bool,
+    /// ORAM server processing time per query.
+    pub server_op_ns: Nanos,
+    /// Average gap between queries from one full-load HEVM.
+    pub query_gap_ns: Nanos,
+    /// Full-load HEVMs one ORAM server supports
+    /// (`⌊query_gap / server_op⌋`).
+    pub max_hevms_per_server: u64,
+    /// Chips one server supports (`max_hevms / hevm_count`).
+    pub max_chips_per_server: u64,
+}
+
+/// Computes the report from measured quantities.
+pub fn estimate(
+    per_tx_ns: Nanos,
+    hevm_count: usize,
+    server_op_ns: Nanos,
+    query_gap_ns: Nanos,
+) -> ScalabilityReport {
+    let chip_tps = hevm_count as f64 / (per_tx_ns as f64 / 1e9);
+    let max_hevms_per_server = if server_op_ns == 0 { u64::MAX } else { query_gap_ns / server_op_ns };
+    ScalabilityReport {
+        per_tx_ns,
+        hevm_count,
+        chip_tps,
+        keeps_up_with_ethereum: chip_tps >= ETHEREUM_TPS,
+        server_op_ns,
+        query_gap_ns,
+        max_hevms_per_server,
+        max_chips_per_server: max_hevms_per_server / hevm_count.max(1) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_reproduce() {
+        // Paper §VI-D: 164.4 ms per tx, 3 HEVMs -> ~18 tx/s >= 17;
+        // 25 µs server op, 630 µs gap -> 25 HEVMs per server.
+        let report = estimate(164_400_000, 3, 25_000, 630_000);
+        assert!((report.chip_tps - 18.25).abs() < 0.1);
+        assert!(report.keeps_up_with_ethereum);
+        assert_eq!(report.max_hevms_per_server, 25);
+        assert_eq!(report.max_chips_per_server, 8);
+    }
+
+    #[test]
+    fn slow_chip_fails_to_keep_up() {
+        let report = estimate(600_000_000, 3, 25_000, 630_000);
+        assert!(!report.keeps_up_with_ethereum);
+    }
+
+    #[test]
+    fn zero_server_op_is_unbounded() {
+        let report = estimate(1, 1, 0, 100);
+        assert_eq!(report.max_hevms_per_server, u64::MAX);
+    }
+}

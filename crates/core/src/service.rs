@@ -1,0 +1,519 @@
+//! The pre-execution service: the full lifecycle of paper Fig. 3 —
+//! boot, attestation, secure channel, bundle execution on a dedicated
+//! HEVM, trace signing, release, and block synchronization.
+
+use crate::config::SecurityConfig;
+use crate::reader::HybridState;
+use tape_crypto::{PublicKey, SecretKey, SecureRng, Signature};
+use tape_evm::{Env, Transaction, TxResult};
+use tape_hevm::{Hevm, HevmAbort, HevmConfig, HevmStats};
+use tape_node::{BlockHeader, StateDelta};
+use tape_oram::{ObliviousState, OramClient, OramConfig, OramServer};
+use tape_primitives::{rlp, B256};
+use tape_sim::{Clock, CostModel, Nanos};
+use tape_state::{InMemoryState, StateChanges};
+use tape_tee::attestation::{session_key, Attester, Manufacturer, Verifier};
+use tape_tee::channel::{sign_bundle, verify_bundle, Channel};
+use tape_tee::hypervisor::Hypervisor;
+
+/// Service deployment parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The security-feature ladder position.
+    pub security: SecurityConfig,
+    /// HEVM memory/timing configuration.
+    pub hevm: HevmConfig,
+    /// ORAM tree height (ignored for non-ORAM configurations).
+    pub oram_height: u32,
+    /// HEVM cores per chip (the XCZU15EV fits 3).
+    pub hevm_count: usize,
+    /// Deterministic seed for all device randomness.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            security: SecurityConfig::Full,
+            hevm: HevmConfig::default(),
+            oram_height: 14,
+            hevm_count: 3,
+            seed: 0x7A9E,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A configuration at a given security level with defaults otherwise.
+    pub fn at_level(security: SecurityConfig) -> Self {
+        ServiceConfig { security, ..Default::default() }
+    }
+}
+
+/// A transaction bundle submitted by a user.
+#[derive(Debug, Clone, Default)]
+pub struct Bundle {
+    /// The transactions to simulate, in order.
+    pub transactions: Vec<Transaction>,
+}
+
+impl Bundle {
+    /// A bundle of one transaction (the paper's Fig. 4 methodology).
+    pub fn single(tx: Transaction) -> Self {
+        Bundle { transactions: vec![tx] }
+    }
+
+    /// Canonical byte encoding: the full transaction bodies — this is
+    /// what travels over the secure channel and what the user signs.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut items = Vec::new();
+        for tx in &self.transactions {
+            items.push(rlp::encode_address(&tx.from));
+            items.push(match &tx.to {
+                Some(to) => rlp::encode_address(to),
+                None => rlp::encode_bytes(&[]),
+            });
+            items.push(rlp::encode_u256(&tx.value));
+            items.push(rlp::encode_bytes(&tx.data));
+            items.push(rlp::encode_u64(tx.gas_limit));
+            items.push(rlp::encode_u256(&tx.gas_price));
+        }
+        rlp::encode_list(&items)
+    }
+}
+
+/// The per-bundle report returned to the user: per-transaction results
+/// (ReturnData, gas, logs), the accumulated state modifications, timing,
+/// and the device signature.
+#[derive(Debug, Clone)]
+pub struct BundleReport {
+    /// Per-transaction outcomes.
+    pub results: Vec<TxResult>,
+    /// Accumulated world-state modifications of the whole bundle.
+    pub changes: StateChanges,
+    /// Virtual time consumed per transaction.
+    pub per_tx_ns: Vec<Nanos>,
+    /// End-to-end virtual time for the bundle (SP receive → trace sent).
+    pub total_ns: Nanos,
+    /// Device signature over the trace (`-ES` and above).
+    pub signature: Option<Signature>,
+    /// HEVM execution statistics.
+    pub hevm_stats: HevmStats,
+}
+
+impl BundleReport {
+    /// Canonical encoding of the trace (the signed payload). The device
+    /// signature must commit to *every* reported field — outputs, logs
+    /// (topics included), and all state changes — or the SP could tamper
+    /// with the unsigned remainder.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut items = Vec::new();
+        for r in &self.results {
+            items.push(rlp::encode_u64(r.success as u64));
+            items.push(rlp::encode_u64(r.gas_used));
+            items.push(rlp::encode_bytes(&r.output));
+            for log in &r.logs {
+                items.push(rlp::encode_address(&log.address));
+                for topic in &log.topics {
+                    items.push(rlp::encode_b256(topic));
+                }
+                items.push(rlp::encode_bytes(&log.data));
+            }
+        }
+        for (addr, key, value) in &self.changes.storage {
+            items.push(rlp::encode_address(addr));
+            items.push(rlp::encode_u256(key));
+            items.push(rlp::encode_u256(value));
+        }
+        for (addr, before, after) in &self.changes.balances {
+            items.push(rlp::encode_address(addr));
+            items.push(rlp::encode_u256(before));
+            items.push(rlp::encode_u256(after));
+        }
+        for (addr, before, after) in &self.changes.nonces {
+            items.push(rlp::encode_address(addr));
+            items.push(rlp::encode_u64(*before));
+            items.push(rlp::encode_u64(*after));
+        }
+        for addr in &self.changes.new_contracts {
+            items.push(rlp::encode_address(addr));
+        }
+        for addr in &self.changes.selfdestructs {
+            items.push(rlp::encode_address(addr));
+        }
+        rlp::encode_list(&items)
+    }
+}
+
+/// Service-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Attestation failed on the user side.
+    Attestation(tape_tee::AttestError),
+    /// Secure-channel failure.
+    Channel(tape_tee::ChannelError),
+    /// No idle HEVM.
+    Busy,
+    /// The HEVM aborted the bundle.
+    Hevm(HevmAbort),
+    /// A block-sync delta failed verification (attack A6).
+    BadDelta(tape_node::DeltaError),
+    /// Delta/header mismatch.
+    HeaderMismatch,
+}
+
+impl core::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServiceError::Attestation(e) => write!(f, "attestation: {e}"),
+            ServiceError::Channel(e) => write!(f, "channel: {e}"),
+            ServiceError::Busy => write!(f, "all HEVMs busy"),
+            ServiceError::Hevm(e) => write!(f, "hevm: {e}"),
+            ServiceError::BadDelta(e) => write!(f, "block sync: {e}"),
+            ServiceError::HeaderMismatch => write!(f, "delta does not match block header"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<HevmAbort> for ServiceError {
+    fn from(e: HevmAbort) -> Self {
+        ServiceError::Hevm(e)
+    }
+}
+
+/// A connected user: the user-side keys and channel state.
+pub struct UserHandle {
+    /// Hypervisor session id.
+    pub session: u64,
+    user_key: SecretKey,
+    to_device: Channel,
+    from_device: Channel,
+    /// Device session secret and channels (held by the Hypervisor;
+    /// co-located here because the simulation runs both endpoints
+    /// in-process).
+    device_key: SecretKey,
+    device_rx: Channel,
+    device_tx: Channel,
+}
+
+impl core::fmt::Debug for UserHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("UserHandle").field("session", &self.session).finish()
+    }
+}
+
+impl UserHandle {
+    /// The user's verification key (the device checks bundle signatures
+    /// against it).
+    pub fn public_key(&self) -> PublicKey {
+        self.user_key.public_key()
+    }
+
+    /// The device's attested session key (from the verified quote); the
+    /// user checks trace signatures against it.
+    pub fn device_key(&self) -> PublicKey {
+        self.device_key.public_key()
+    }
+}
+
+/// One HarDTAPE device running the pre-execution service.
+pub struct HarDTape {
+    config: ServiceConfig,
+    env: Env,
+    clock: Clock,
+    cost: CostModel,
+    hypervisor: Hypervisor,
+    verifier: Verifier,
+    rng: SecureRng,
+    /// "Prefetched to untrusted memory": the local mirror used by
+    /// ORAM-disabled configurations (and for code under `-ESO`).
+    local: InMemoryState,
+    oram: Option<ObliviousState>,
+    expected_head: Option<B256>,
+}
+
+impl core::fmt::Debug for HarDTape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("HarDTape")
+            .field("security", &self.config.security)
+            .field("accounts", &self.local.len())
+            .finish()
+    }
+}
+
+impl HarDTape {
+    /// Boots a device, provisions it with a fresh Manufacturer, and
+    /// synchronizes the genesis world state (into the ORAM when the
+    /// configuration calls for one).
+    pub fn new(config: ServiceConfig, env: Env, genesis: &InMemoryState) -> Self {
+        let manufacturer = Manufacturer::new(&config.seed.to_be_bytes());
+        let mut rng = SecureRng::from_seed(&(config.seed ^ 0xDE51u64).to_be_bytes());
+        let firmware = b"hardtape hypervisor firmware v1.0";
+        let (puf, cert) = manufacturer.provision(config.seed, &mut rng);
+        let attester = Attester::new(puf, cert, firmware);
+        let verifier =
+            Verifier::new(manufacturer.public_key(), tape_crypto::keccak256(firmware));
+        let hypervisor = Hypervisor::boot(attester, config.hevm_count, rng.clone());
+
+        let clock = Clock::new();
+        let cost = config.hevm.cost.clone();
+        let oram = if config.security.oram_storage() {
+            let oram_config = OramConfig {
+                block_size: config.hevm.mem.page_size,
+                bucket_capacity: 4,
+                height: config.oram_height,
+            };
+            let server = OramServer::new(oram_config.clone());
+            let client = OramClient::new(
+                oram_config,
+                &hypervisor.oram_key(),
+                SecureRng::from_seed(&(config.seed ^ 0x04A8u64).to_be_bytes()),
+            );
+            let state = ObliviousState::new(client, server, clock.clone(), cost.clone());
+            // Initial synchronization (step 11): the world state enters
+            // the ORAM. Accounts are sorted so the layout (and therefore
+            // every observable leaf sequence) is reproducible — HashMap
+            // iteration order must not leak into results.
+            let mut accounts: Vec<_> =
+                genesis.iter().map(|(a, acc)| (*a, acc.clone())).collect();
+            accounts.sort_by_key(|(a, _)| *a);
+            state
+                .sync_full_state(accounts.into_iter())
+                .expect("fresh ORAM sync cannot fail");
+            Some(state)
+        } else {
+            None
+        };
+
+        HarDTape {
+            config,
+            env,
+            clock,
+            cost,
+            hypervisor,
+            verifier,
+            rng,
+            local: genesis.clone(),
+            oram,
+            expected_head: None,
+        }
+    }
+
+    /// The security configuration.
+    pub fn security(&self) -> SecurityConfig {
+        self.config.security
+    }
+
+    /// The service-wide virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The ORAM query statistics (None without an ORAM).
+    pub fn oram_stats(&self) -> Option<tape_oram::QueryStats> {
+        self.oram.as_ref().map(|o| o.stats())
+    }
+
+    /// The adversary's complete view of the ORAM wire: every
+    /// `(time, leaf)` the untrusted server observed. Used by the
+    /// obliviousness analyses and the front-running example.
+    pub fn observed_oram_accesses(&self) -> Vec<tape_oram::ObservedAccess> {
+        self.oram
+            .as_ref()
+            .map(|o| o.observed_accesses())
+            .unwrap_or_default()
+    }
+
+    /// Runs the remote-attestation handshake for a new user and
+    /// establishes the secure channel.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Attestation`] if the user rejects the quote.
+    pub fn connect_user(&mut self, user_seed: &[u8]) -> Result<UserHandle, ServiceError> {
+        let mut user_rng = SecureRng::from_seed(user_seed);
+        let user_key = user_rng.next_secret_key();
+        let nonce = user_rng.next_b256();
+
+        let (quote, session, device_secret) = self.hypervisor.attest(nonce);
+        self.verifier
+            .verify(&quote, &nonce)
+            .map_err(ServiceError::Attestation)?;
+
+        // DHKE both ways.
+        let user_session = user_rng.next_secret_key();
+        let k_user = session_key(&user_session, &quote.session_key)
+            .map_err(ServiceError::Attestation)?;
+        let k_device = session_key(&device_secret, &user_session.public_key())
+            .map_err(ServiceError::Attestation)?;
+        debug_assert_eq!(k_user, k_device);
+
+        Ok(UserHandle {
+            session,
+            user_key,
+            to_device: Channel::new(&k_user, 0),
+            from_device: Channel::new(&k_user, 1),
+            device_key: device_secret,
+            device_rx: Channel::new(&k_device, 0),
+            device_tx: Channel::new(&k_device, 1),
+        })
+    }
+
+    /// Pre-executes a bundle on a dedicated HEVM (paper Fig. 3 steps
+    /// 3–10). World-state modifications are discarded at the end.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] on channel failures, busy devices, or HEVM
+    /// aborts (memory overflow, layer-3 tampering).
+    pub fn pre_execute(
+        &mut self,
+        user: &mut UserHandle,
+        bundle: &Bundle,
+    ) -> Result<BundleReport, ServiceError> {
+        let started = self.clock.now();
+        let security = self.config.security;
+        let payload = bundle.encode();
+
+        // User → device: sign and seal the bundle.
+        let signature = security.signature().then(|| sign_bundle(&user.user_key, &payload));
+        if security.encryption() {
+            let sealed = user.to_device.seal(&payload);
+            self.clock.advance(self.cost.protected_message_ns(sealed.sealed.len()));
+            let opened = user.device_rx.open(&sealed).map_err(ServiceError::Channel)?;
+            debug_assert_eq!(opened, payload);
+        }
+        if let Some(sig) = &signature {
+            // Device verifies the user's bundle signature on the A53.
+            self.clock.advance(self.cost.ecdsa_verify_ns);
+            verify_bundle(&user.public_key(), &payload, sig).map_err(ServiceError::Channel)?;
+        }
+
+        // Exclusive HEVM assignment.
+        let slot = self
+            .hypervisor
+            .assign(user.session)
+            .map_err(|_| ServiceError::Busy)?;
+
+        let outcome = self.run_bundle(bundle);
+
+        // Always release the slot, then propagate any abort.
+        self.hypervisor
+            .release(slot, user.session)
+            .expect("slot was assigned above");
+        if let Some(oram) = &self.oram {
+            oram.clear_cache(); // bundle-end: on-chip caches cleared
+        }
+        let (results, changes, per_tx_ns, hevm_stats) = outcome?;
+
+        let mut report = BundleReport {
+            results,
+            changes,
+            per_tx_ns,
+            total_ns: 0,
+            signature: None,
+            hevm_stats,
+        };
+
+        // Device → user: sign and seal the trace.
+        let trace = report.encode();
+        if security.signature() {
+            self.clock.advance(self.cost.ecdsa_sign_ns);
+            // The device signs the trace with its attested session key;
+            // the user verifies against the quote's session public key.
+            report.signature = Some(sign_bundle(&user.device_key, &trace));
+        }
+        if security.encryption() {
+            let sealed = user.device_tx.seal(&trace);
+            self.clock.advance(self.cost.protected_message_ns(sealed.sealed.len()));
+            let opened = user.from_device.open(&sealed).map_err(ServiceError::Channel)?;
+            debug_assert_eq!(opened, trace);
+        }
+
+        report.total_ns = self.clock.now() - started;
+        Ok(report)
+    }
+
+    /// Executes the transactions of a bundle against a fresh overlay.
+    #[allow(clippy::type_complexity)]
+    fn run_bundle(
+        &mut self,
+        bundle: &Bundle,
+    ) -> Result<(Vec<TxResult>, StateChanges, Vec<Nanos>, HevmStats), ServiceError> {
+        let reader = HybridState::new(self.config.security, &self.local, self.oram.as_ref());
+        let mut hevm_config = self.config.hevm.clone();
+        // Whatever the ORAM serves charges the clock itself; whatever
+        // stays local is charged by the HEVM at local-fetch cost. Under
+        // -ESO that split differs per query class: K-V via ORAM, code
+        // local.
+        hevm_config.charge_local_fetch = !self.config.security.oram_storage();
+        hevm_config.charge_local_code = !self.config.security.oram_code();
+        // Fresh session-local layer-3 sealing key and noise seed from the
+        // device RNG (paper §IV-C: session keys differ per session).
+        let mut layer3_key = [0u8; 16];
+        self.rng.fill_bytes(&mut layer3_key);
+        hevm_config.layer3_key = layer3_key;
+        hevm_config.layer3_noise_seed = self.rng.next_u64();
+        let mut hevm = Hevm::new(hevm_config, self.env.clone(), reader, self.clock.clone());
+
+        let mut results = Vec::with_capacity(bundle.transactions.len());
+        let mut per_tx = Vec::with_capacity(bundle.transactions.len());
+        for tx in &bundle.transactions {
+            let before = self.clock.now();
+            let result = hevm.transact(tx)?;
+            per_tx.push(self.clock.now() - before);
+            results.push(result);
+        }
+        let changes = hevm.state().changes();
+        Ok((results, changes, per_tx, hevm.stats()))
+    }
+
+    /// Synchronizes a new block's state delta (paper step 11): verifies
+    /// the Merkle proofs against the block header, then updates the local
+    /// mirror and the ORAM.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] if the header or any proof fails verification —
+    /// nothing is applied in that case (A6).
+    pub fn sync_block(
+        &mut self,
+        header: &BlockHeader,
+        delta: &StateDelta,
+    ) -> Result<(), ServiceError> {
+        if delta.block_hash != header.hash() || delta.state_root != header.state_root {
+            return Err(ServiceError::HeaderMismatch);
+        }
+        delta.verify().map_err(ServiceError::BadDelta)?;
+
+        for entry in &delta.accounts {
+            self.local.put_account(entry.address, entry.account.clone());
+            if let Some(oram) = &self.oram {
+                oram.sync_account(&entry.address, &entry.account)
+                    .expect("ORAM sync of verified delta");
+            }
+        }
+        for entry in &delta.deleted {
+            self.local.remove_account(&entry.address);
+            if let Some(oram) = &self.oram {
+                oram.remove_account(&entry.address)
+                    .expect("ORAM removal of verified deletion");
+            }
+        }
+        self.local.put_block_hash(header.number, header.hash());
+        self.expected_head = Some(header.hash());
+        Ok(())
+    }
+
+    /// The most recently synchronized block hash.
+    pub fn head(&self) -> Option<B256> {
+        self.expected_head
+    }
+
+    /// Fresh randomness from the device RNG (used by examples).
+    pub fn nonce(&mut self) -> B256 {
+        self.rng.next_b256()
+    }
+}

@@ -1,0 +1,241 @@
+//! Keccak-256 — Ethereum's hash function.
+//!
+//! This is the *original* Keccak with `0x01` domain padding (as used by
+//! Ethereum), not the NIST SHA-3 variant with `0x06` padding.
+
+use tape_primitives::B256;
+
+const ROUNDS: usize = 24;
+const RATE_BYTES: usize = 136; // 1600 - 2*256 bits
+
+const RC: [u64; ROUNDS] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+const RHO: [u32; 24] = [
+    1, 3, 6, 10, 15, 21, 28, 36, 45, 55, 2, 14, 27, 41, 56, 8, 25, 43, 62, 18, 39, 61, 20, 44,
+];
+
+const PI: [usize; 24] = [
+    10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4, 15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1,
+];
+
+fn keccak_f(state: &mut [u64; 25]) {
+    for &rc in RC.iter() {
+        // Theta
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[x + 5 * y] ^= d;
+            }
+        }
+        // Rho and Pi
+        let mut last = state[1];
+        for i in 0..24 {
+            let j = PI[i];
+            let tmp = state[j];
+            state[j] = last.rotate_left(RHO[i]);
+            last = tmp;
+        }
+        // Chi
+        for y in 0..5 {
+            let row = [
+                state[5 * y],
+                state[5 * y + 1],
+                state[5 * y + 2],
+                state[5 * y + 3],
+                state[5 * y + 4],
+            ];
+            for x in 0..5 {
+                state[5 * y + x] = row[x] ^ (!row[(x + 1) % 5] & row[(x + 2) % 5]);
+            }
+        }
+        // Iota
+        state[0] ^= rc;
+    }
+}
+
+/// Incremental Keccak-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use tape_crypto::Keccak256;
+///
+/// let mut hasher = Keccak256::new();
+/// hasher.update(b"hello");
+/// hasher.update(b" world");
+/// assert_eq!(hasher.finalize(), tape_crypto::keccak256(b"hello world"));
+/// ```
+#[derive(Clone)]
+pub struct Keccak256 {
+    state: [u64; 25],
+    buf: [u8; RATE_BYTES],
+    buf_len: usize,
+}
+
+impl Default for Keccak256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for Keccak256 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Keccak256").field("buffered", &self.buf_len).finish()
+    }
+}
+
+impl Keccak256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Keccak256 { state: [0; 25], buf: [0; RATE_BYTES], buf_len: 0 }
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            let take = (RATE_BYTES - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == RATE_BYTES {
+                self.absorb_block();
+            }
+        }
+    }
+
+    fn absorb_block(&mut self) {
+        for i in 0..RATE_BYTES / 8 {
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&self.buf[i * 8..i * 8 + 8]);
+            self.state[i] ^= u64::from_le_bytes(chunk);
+        }
+        keccak_f(&mut self.state);
+        self.buf_len = 0;
+    }
+
+    /// Finishes the hash and returns the 32-byte digest.
+    pub fn finalize(mut self) -> B256 {
+        // Pad: 0x01 ... 0x80 (original Keccak domain).
+        self.buf[self.buf_len..].fill(0);
+        self.buf[self.buf_len] = 0x01;
+        self.buf[RATE_BYTES - 1] |= 0x80;
+        self.buf_len = RATE_BYTES;
+        self.absorb_block();
+
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.state[i].to_le_bytes());
+        }
+        B256::new(out)
+    }
+}
+
+/// One-shot Keccak-256.
+///
+/// # Examples
+///
+/// ```
+/// let digest = tape_crypto::keccak256(b"");
+/// assert_eq!(
+///     digest.to_string(),
+///     "0xc5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+/// );
+/// ```
+pub fn keccak256(data: impl AsRef<[u8]>) -> B256 {
+    let mut hasher = Keccak256::new();
+    hasher.update(data.as_ref());
+    hasher.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tape_primitives::hex;
+
+    fn hex_digest(data: &[u8]) -> String {
+        hex::encode(keccak256(data).as_bytes())
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(
+            hex_digest(b""),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn known_vectors() {
+        // Well-known Ethereum test vectors.
+        assert_eq!(
+            hex_digest(b"abc"),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+        assert_eq!(
+            hex_digest(b"hello world"),
+            "47173285a8d7341e5e972fc677286384f802f8ef42a5ec5f03bbfa254cb01fad"
+        );
+        // transfer(address,uint256) selector source.
+        assert_eq!(
+            &hex_digest(b"transfer(address,uint256)")[..8],
+            "a9059cbb"
+        );
+    }
+
+    #[test]
+    fn long_input_multi_block() {
+        // > 1 rate block, exercising the absorb loop.
+        let data = vec![0x61u8; 300];
+        assert_eq!(
+            hex_digest(&data),
+            hex::encode(keccak256(&data).as_bytes())
+        );
+        // Deterministic: matches incremental absorption byte-by-byte.
+        let mut h = Keccak256::new();
+        for b in &data {
+            h.update(&[*b]);
+        }
+        assert_eq!(h.finalize(), keccak256(&data));
+    }
+
+    #[test]
+    fn rate_boundary_inputs() {
+        // Inputs of exactly rate-1, rate, rate+1 bytes hit all padding paths.
+        for len in [135usize, 136, 137, 271, 272, 273] {
+            let data = vec![7u8; len];
+            let mut h = Keccak256::new();
+            h.update(&data[..len / 2]);
+            h.update(&data[len / 2..]);
+            assert_eq!(h.finalize(), keccak256(&data), "len={len}");
+        }
+    }
+}

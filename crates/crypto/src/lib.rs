@@ -1,0 +1,52 @@
+//! # tape-crypto
+//!
+//! From-scratch cryptography for the HarDTAPE reproduction:
+//!
+//! * [`keccak256`] / [`Keccak256`] — Ethereum's hash (original Keccak
+//!   padding), used for addresses, tries, selectors, and key derivation.
+//! * [`sha256`] — the EVM precompile at address `0x2`.
+//! * [`Aes128`] / [`AesGcm`] — authenticated encryption for the secure
+//!   channel, layer-3 page swaps, and ORAM *block* re-encryption
+//!   (paper §IV-C).
+//! * [`secp`] — secp256k1 ECDSA / ECDH for attestation, session
+//!   signatures, DHKE, and the `ecrecover` precompile (paper §IV-A).
+//! * [`SecureRng`] / [`Puf`] — the Manufacturer-provisioned secure
+//!   randomness and PUF root of trust (simulated; see DESIGN.md).
+//!
+//! # Examples
+//!
+//! Establishing a session key the way the paper's user and Hypervisor do:
+//!
+//! ```
+//! use tape_crypto::{secp, AesGcm, SecureRng};
+//!
+//! let mut rng = SecureRng::from_seed(b"doc-example");
+//! let user = rng.next_secret_key();
+//! let hypervisor = rng.next_secret_key();
+//!
+//! // Diffie-Hellman: both sides derive the same AES session key.
+//! let k1 = secp::ecdh(&user, &hypervisor.public_key())?;
+//! let k2 = secp::ecdh(&hypervisor, &user.public_key())?;
+//! assert_eq!(k1, k2);
+//!
+//! let session = AesGcm::new(&k1.as_bytes()[..16].try_into().unwrap());
+//! let sealed = session.seal(&rng.next_nonce(), b"", b"bundle bytes");
+//! assert_ne!(sealed, b"bundle bytes");
+//! # Ok::<(), tape_crypto::secp::EcdsaError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod aes;
+mod keccak;
+mod rng;
+pub mod secp;
+mod sha256;
+
+pub use aes::{Aes128, AesGcm, AuthError};
+pub use keccak::{keccak256, Keccak256};
+pub use rng::{Puf, SecureRng};
+pub use sha256::sha256;
+
+// Re-export the most commonly used secp types at the crate root.
+pub use secp::{PublicKey, SecretKey, Signature};

@@ -1,0 +1,210 @@
+//! Deterministic secure randomness and the simulated PUF root of trust.
+//!
+//! The paper's Manufacturer provisions each chip with a physically
+//! unclonable function (PUF) and a secure RNG. In this reproduction the
+//! PUF is a keyed derivation from a per-device secret (so two "chips"
+//! with different secrets produce unlinkable keys), and the secure RNG is
+//! a keccak-based counter DRBG — deterministic under a seed, which keeps
+//! every experiment reproducible.
+
+use crate::keccak::{keccak256, Keccak256};
+use crate::secp::SecretKey;
+use tape_primitives::B256;
+
+/// A keccak-sponge counter DRBG.
+///
+/// # Examples
+///
+/// ```
+/// use tape_crypto::SecureRng;
+///
+/// let mut rng = SecureRng::from_seed(b"experiment-1");
+/// let a = rng.next_u64();
+/// let mut rng2 = SecureRng::from_seed(b"experiment-1");
+/// assert_eq!(a, rng2.next_u64()); // fully deterministic under the seed
+/// ```
+#[derive(Debug, Clone)]
+pub struct SecureRng {
+    state: B256,
+    counter: u64,
+    buffer: [u8; 32],
+    buffered: usize,
+}
+
+impl SecureRng {
+    /// Creates a DRBG from arbitrary seed material.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        SecureRng { state: keccak256(seed), counter: 0, buffer: [0; 32], buffered: 0 }
+    }
+
+    fn refill(&mut self) {
+        let mut h = Keccak256::new();
+        h.update(self.state.as_bytes());
+        h.update(&self.counter.to_be_bytes());
+        self.counter += 1;
+        self.buffer = h.finalize().into_bytes();
+        self.buffered = 32;
+    }
+
+    /// Fills `dest` with pseudorandom bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for b in dest.iter_mut() {
+            if self.buffered == 0 {
+                self.refill();
+            }
+            *b = self.buffer[32 - self.buffered];
+            self.buffered -= 1;
+        }
+    }
+
+    /// Returns the next pseudorandom `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut buf = [0u8; 8];
+        self.fill_bytes(&mut buf);
+        u64::from_be_bytes(buf)
+    }
+
+    /// Returns a uniform value in `[0, bound)` using rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Returns a pseudorandom 96-bit nonce for AES-GCM.
+    pub fn next_nonce(&mut self) -> [u8; 12] {
+        let mut nonce = [0u8; 12];
+        self.fill_bytes(&mut nonce);
+        nonce
+    }
+
+    /// Returns 32 pseudorandom bytes.
+    pub fn next_b256(&mut self) -> B256 {
+        let mut out = [0u8; 32];
+        self.fill_bytes(&mut out);
+        B256::new(out)
+    }
+
+    /// Derives a fresh secp256k1 secret key.
+    pub fn next_secret_key(&mut self) -> SecretKey {
+        SecretKey::from_seed(self.next_b256().as_bytes())
+    }
+}
+
+/// A simulated physically unclonable function.
+///
+/// A real PUF derives a device-unique secret from silicon variation; here
+/// it is a keyed hash of a per-device secret installed by the (trusted)
+/// Manufacturer. Challenges map deterministically to responses, and
+/// devices with different secrets are unlinkable.
+#[derive(Clone)]
+pub struct Puf {
+    device_secret: B256,
+}
+
+impl core::fmt::Debug for Puf {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Puf").field("device_secret", &"<on-chip>").finish()
+    }
+}
+
+impl Puf {
+    /// Provisions a PUF for a device (done by the Manufacturer).
+    pub fn provision(device_secret: B256) -> Self {
+        Puf { device_secret }
+    }
+
+    /// Evaluates the PUF on a challenge.
+    pub fn respond(&self, challenge: &[u8]) -> B256 {
+        let mut h = Keccak256::new();
+        h.update(self.device_secret.as_bytes());
+        h.update(challenge);
+        h.finalize()
+    }
+
+    /// Derives the device identity key pair (the root of the attestation
+    /// chain) from the PUF.
+    pub fn device_key(&self) -> SecretKey {
+        SecretKey::from_seed(self.respond(b"hardtape-device-identity-v1").as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_deterministic_and_seed_sensitive() {
+        let mut a = SecureRng::from_seed(b"seed");
+        let mut b = SecureRng::from_seed(b"seed");
+        let mut c = SecureRng::from_seed(b"other");
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn fill_bytes_any_length() {
+        let mut rng = SecureRng::from_seed(b"len");
+        for len in [0usize, 1, 31, 32, 33, 100] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            // Output should not be all zeros for non-trivial lengths.
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range() {
+        let mut rng = SecureRng::from_seed(b"bound");
+        for bound in [1u64, 2, 7, 100, 1 << 40] {
+            for _ in 0..50 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SecureRng::from_seed(b"x").next_below(0);
+    }
+
+    #[test]
+    fn next_below_reasonably_uniform() {
+        let mut rng = SecureRng::from_seed(b"uniformity");
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[rng.next_below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+
+    #[test]
+    fn puf_determinism_and_uniqueness() {
+        let p1 = Puf::provision(B256::new([1; 32]));
+        let p2 = Puf::provision(B256::new([2; 32]));
+        assert_eq!(p1.respond(b"c"), p1.respond(b"c"));
+        assert_ne!(p1.respond(b"c"), p2.respond(b"c"));
+        assert_ne!(p1.respond(b"c1"), p1.respond(b"c2"));
+        let k1 = p1.device_key().public_key();
+        let k2 = p2.device_key().public_key();
+        assert_ne!(k1, k2);
+        assert_eq!(k1, p1.device_key().public_key());
+    }
+}

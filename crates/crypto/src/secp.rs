@@ -1,0 +1,658 @@
+//! secp256k1 elliptic-curve arithmetic, ECDSA, and ECDH.
+//!
+//! Used for the attestation chain of trust, session-key signatures, and
+//! the Diffie-Hellman key exchange that establishes the AES session key
+//! (paper §IV-A), as well as the `ecrecover` EVM precompile.
+//!
+//! Nonces are derived deterministically (hash of secret key, message, and
+//! a retry counter) in the spirit of RFC 6979: no signing randomness is
+//! required, which matches the paper's "secure source of randomness is
+//! only used for ORAM/pager noise" budget.
+
+use crate::keccak::keccak256;
+use core::fmt;
+use tape_primitives::{B256, U256};
+
+/// The field prime `p = 2^256 - 2^32 - 977`.
+pub const P: U256 = U256::from_limbs([
+    0xffff_fffe_ffff_fc2f,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+]);
+
+/// The group order `n`.
+pub const N: U256 = U256::from_limbs([
+    0xbfd2_5e8c_d036_4141,
+    0xbaae_dce6_af48_a03b,
+    0xffff_ffff_ffff_fffe,
+    0xffff_ffff_ffff_ffff,
+]);
+
+const GX: U256 = U256::from_limbs([
+    0x59f2_815b_16f8_1798,
+    0x029b_fcdb_2dce_28d9,
+    0x55a0_6295_ce87_0b07,
+    0x79be_667e_f9dc_bbac,
+]);
+
+const GY: U256 = U256::from_limbs([
+    0x9c47_d08f_fb10_d4b8,
+    0xfd17_b448_a685_5419,
+    0x5da4_fbfc_0e11_08a8,
+    0x483a_da77_26a3_c465,
+]);
+
+#[inline]
+fn fadd(a: U256, b: U256, m: U256) -> U256 {
+    a.add_mod(b, m)
+}
+
+#[inline]
+fn fsub(a: U256, b: U256, m: U256) -> U256 {
+    if a >= b {
+        a.wrapping_sub(b)
+    } else {
+        m.wrapping_sub(b).wrapping_add(a)
+    }
+}
+
+#[inline]
+fn fmul(a: U256, b: U256, m: U256) -> U256 {
+    a.mul_mod(b, m)
+}
+
+/// Modular exponentiation by squaring.
+fn fpow(mut base: U256, exp: U256, m: U256) -> U256 {
+    let mut result = U256::ONE;
+    let nbits = exp.bits();
+    for i in 0..nbits {
+        if exp.bit(i as usize) {
+            result = fmul(result, base, m);
+        }
+        base = fmul(base, base, m);
+    }
+    result
+}
+
+/// Modular inverse via Fermat's little theorem (the modulus is prime).
+fn finv(a: U256, m: U256) -> U256 {
+    fpow(a, m.wrapping_sub(U256::from(2u64)), m)
+}
+
+/// Square root mod p, valid because `p ≡ 3 (mod 4)`. Returns `None` if the
+/// input is not a quadratic residue.
+fn fsqrt(a: U256) -> Option<U256> {
+    let exp = P.wrapping_add(U256::ONE).shr_word(2);
+    let r = fpow(a, exp, P);
+    if fmul(r, r, P) == a {
+        Some(r)
+    } else {
+        None
+    }
+}
+
+/// A point on secp256k1 in affine coordinates, or the point at infinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Point {
+    /// The identity element.
+    Infinity,
+    /// An affine point `(x, y)` with `y² = x³ + 7 (mod p)`.
+    Affine {
+        /// x coordinate
+        x: U256,
+        /// y coordinate
+        y: U256,
+    },
+}
+
+/// Jacobian coordinates for internal arithmetic (z == 0 encodes infinity).
+#[derive(Clone, Copy)]
+struct Jacobian {
+    x: U256,
+    y: U256,
+    z: U256,
+}
+
+impl Jacobian {
+    const INFINITY: Jacobian = Jacobian { x: U256::ONE, y: U256::ONE, z: U256::ZERO };
+
+    fn from_affine(p: Point) -> Jacobian {
+        match p {
+            Point::Infinity => Jacobian::INFINITY,
+            Point::Affine { x, y } => Jacobian { x, y, z: U256::ONE },
+        }
+    }
+
+    fn to_affine(self) -> Point {
+        if self.z.is_zero() {
+            return Point::Infinity;
+        }
+        let zi = finv(self.z, P);
+        let zi2 = fmul(zi, zi, P);
+        let zi3 = fmul(zi2, zi, P);
+        Point::Affine { x: fmul(self.x, zi2, P), y: fmul(self.y, zi3, P) }
+    }
+
+    fn double(self) -> Jacobian {
+        if self.z.is_zero() || self.y.is_zero() {
+            return Jacobian::INFINITY;
+        }
+        // Standard a=0 doubling formulas.
+        let y2 = fmul(self.y, self.y, P);
+        let s = fmul(U256::from(4u64), fmul(self.x, y2, P), P);
+        let m = fmul(U256::from(3u64), fmul(self.x, self.x, P), P);
+        let x3 = fsub(fmul(m, m, P), fmul(U256::from(2u64), s, P), P);
+        let y4 = fmul(y2, y2, P);
+        let y3 = fsub(fmul(m, fsub(s, x3, P), P), fmul(U256::from(8u64), y4, P), P);
+        let z3 = fmul(U256::from(2u64), fmul(self.y, self.z, P), P);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    fn add(self, other: Jacobian) -> Jacobian {
+        if self.z.is_zero() {
+            return other;
+        }
+        if other.z.is_zero() {
+            return self;
+        }
+        let z1z1 = fmul(self.z, self.z, P);
+        let z2z2 = fmul(other.z, other.z, P);
+        let u1 = fmul(self.x, z2z2, P);
+        let u2 = fmul(other.x, z1z1, P);
+        let s1 = fmul(self.y, fmul(z2z2, other.z, P), P);
+        let s2 = fmul(other.y, fmul(z1z1, self.z, P), P);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Jacobian::INFINITY;
+        }
+        let h = fsub(u2, u1, P);
+        let h2 = fmul(h, h, P);
+        let h3 = fmul(h2, h, P);
+        let r = fsub(s2, s1, P);
+        let u1h2 = fmul(u1, h2, P);
+        let x3 = fsub(fsub(fmul(r, r, P), h3, P), fmul(U256::from(2u64), u1h2, P), P);
+        let y3 = fsub(fmul(r, fsub(u1h2, x3, P), P), fmul(s1, h3, P), P);
+        let z3 = fmul(h, fmul(self.z, other.z, P), P);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    fn mul_scalar(self, k: U256) -> Jacobian {
+        let mut acc = Jacobian::INFINITY;
+        let nbits = k.bits();
+        for i in (0..nbits).rev() {
+            acc = acc.double();
+            if k.bit(i as usize) {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+}
+
+impl Point {
+    /// The generator point `G`.
+    pub const GENERATOR: Point = Point::Affine { x: GX, y: GY };
+
+    /// Returns `true` if the point satisfies the curve equation (the point
+    /// at infinity counts as on-curve).
+    pub fn is_on_curve(&self) -> bool {
+        match self {
+            Point::Infinity => true,
+            Point::Affine { x, y } => {
+                if *x >= P || *y >= P {
+                    return false;
+                }
+                let y2 = fmul(*y, *y, P);
+                let x3 = fmul(fmul(*x, *x, P), *x, P);
+                y2 == fadd(x3, U256::from(7u64), P)
+            }
+        }
+    }
+
+    /// Scalar multiplication `k·self`.
+    pub fn mul(self, k: U256) -> Point {
+        let k = k.rem_evm(N);
+        if k.is_zero() {
+            return Point::Infinity;
+        }
+        Jacobian::from_affine(self).mul_scalar(k).to_affine()
+    }
+
+    /// Point addition.
+    pub fn add(self, other: Point) -> Point {
+        Jacobian::from_affine(self)
+            .add(Jacobian::from_affine(other))
+            .to_affine()
+    }
+
+    /// SEC1 uncompressed encoding (`0x04 || x || y`); `None` for infinity.
+    pub fn to_uncompressed(self) -> Option<[u8; 65]> {
+        match self {
+            Point::Infinity => None,
+            Point::Affine { x, y } => {
+                let mut out = [0u8; 65];
+                out[0] = 0x04;
+                out[1..33].copy_from_slice(&x.to_be_bytes());
+                out[33..].copy_from_slice(&y.to_be_bytes());
+                Some(out)
+            }
+        }
+    }
+
+    /// Decodes a SEC1 uncompressed encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdsaError::InvalidPoint`] if the prefix is wrong or the
+    /// coordinates are not on the curve.
+    pub fn from_uncompressed(bytes: &[u8; 65]) -> Result<Point, EcdsaError> {
+        if bytes[0] != 0x04 {
+            return Err(EcdsaError::InvalidPoint);
+        }
+        let x = U256::from_be_slice(&bytes[1..33]);
+        let y = U256::from_be_slice(&bytes[33..]);
+        let p = Point::Affine { x, y };
+        if !p.is_on_curve() {
+            return Err(EcdsaError::InvalidPoint);
+        }
+        Ok(p)
+    }
+
+    /// Lifts an x coordinate onto the curve, choosing the y whose parity
+    /// (odd/even) matches `odd`. Returns `None` if x is not on the curve.
+    pub fn lift_x(x: U256, odd: bool) -> Option<Point> {
+        if x >= P {
+            return None;
+        }
+        let x3 = fmul(fmul(x, x, P), x, P);
+        let y2 = fadd(x3, U256::from(7u64), P);
+        let mut y = fsqrt(y2)?;
+        if y.bit(0) != odd {
+            y = P.wrapping_sub(y);
+        }
+        Some(Point::Affine { x, y })
+    }
+}
+
+/// Errors produced by ECDSA operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcdsaError {
+    /// A scalar (secret key, `r`, or `s`) was zero or not below `n`.
+    InvalidScalar,
+    /// A point was malformed or off-curve.
+    InvalidPoint,
+    /// The signature did not verify.
+    BadSignature,
+    /// Public-key recovery failed (no valid point for the given `r`/`v`).
+    RecoveryFailed,
+}
+
+impl fmt::Display for EcdsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcdsaError::InvalidScalar => write!(f, "scalar out of range"),
+            EcdsaError::InvalidPoint => write!(f, "invalid curve point"),
+            EcdsaError::BadSignature => write!(f, "signature verification failed"),
+            EcdsaError::RecoveryFailed => write!(f, "public key recovery failed"),
+        }
+    }
+}
+
+impl std::error::Error for EcdsaError {}
+
+/// An ECDSA secret key (a scalar in `[1, n-1]`).
+#[derive(Clone)]
+pub struct SecretKey {
+    scalar: U256,
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecretKey").field("scalar", &"<redacted>").finish()
+    }
+}
+
+/// An ECDSA public key (a non-infinity curve point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublicKey {
+    point: Point,
+}
+
+/// An ECDSA signature with recovery id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// The `r` component.
+    pub r: U256,
+    /// The `s` component (always normalized to the low half).
+    pub s: U256,
+    /// Recovery id (0 or 1): parity of the nonce point's y coordinate.
+    pub v: u8,
+}
+
+impl SecretKey {
+    /// Creates a secret key from a scalar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdsaError::InvalidScalar`] if the scalar is zero or `>= n`.
+    pub fn from_scalar(scalar: U256) -> Result<Self, EcdsaError> {
+        if scalar.is_zero() || scalar >= N {
+            return Err(EcdsaError::InvalidScalar);
+        }
+        Ok(SecretKey { scalar })
+    }
+
+    /// Derives a secret key from 32 seed bytes by reduction mod `n`
+    /// (re-hashing if the reduction lands on zero — astronomically rare).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let mut digest = keccak256(seed);
+        loop {
+            let scalar = digest.into_u256().rem_evm(N);
+            if !scalar.is_zero() {
+                return SecretKey { scalar };
+            }
+            digest = keccak256(digest.as_bytes());
+        }
+    }
+
+    /// Computes the matching public key.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey { point: Point::GENERATOR.mul(self.scalar) }
+    }
+
+    /// Signs a 32-byte message digest, producing a low-s signature with a
+    /// recovery id. The nonce is derived deterministically from the key
+    /// and digest.
+    pub fn sign(&self, digest: &B256) -> Signature {
+        let z = digest.into_u256().rem_evm(N);
+        let mut counter = 0u64;
+        loop {
+            // Deterministic nonce: keccak(d || z || counter), reduced mod n.
+            let mut material = Vec::with_capacity(72);
+            material.extend_from_slice(&self.scalar.to_be_bytes());
+            material.extend_from_slice(digest.as_bytes());
+            material.extend_from_slice(&counter.to_be_bytes());
+            counter += 1;
+            let k = keccak256(&material).into_u256().rem_evm(N);
+            if k.is_zero() {
+                continue;
+            }
+            let Point::Affine { x, y } = Point::GENERATOR.mul(k) else {
+                continue;
+            };
+            let r = x.rem_evm(N);
+            if r.is_zero() {
+                continue;
+            }
+            let k_inv = finv(k, N);
+            let rd = fmul(r, self.scalar, N);
+            let s = fmul(k_inv, fadd(z, rd, N), N);
+            if s.is_zero() {
+                continue;
+            }
+            // Normalize to low-s (Ethereum's EIP-2 rule); flipping s flips
+            // the recovery parity.
+            let mut v = y.bit(0) as u8;
+            let half_n = N.shr_word(1);
+            let s = if s > half_n {
+                v ^= 1;
+                N.wrapping_sub(s)
+            } else {
+                s
+            };
+            return Signature { r, s, v };
+        }
+    }
+}
+
+impl PublicKey {
+    /// Returns the underlying curve point.
+    pub fn point(&self) -> Point {
+        self.point
+    }
+
+    /// Creates a public key from a point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdsaError::InvalidPoint`] for infinity or off-curve points.
+    pub fn from_point(point: Point) -> Result<Self, EcdsaError> {
+        match point {
+            Point::Infinity => Err(EcdsaError::InvalidPoint),
+            p if !p.is_on_curve() => Err(EcdsaError::InvalidPoint),
+            p => Ok(PublicKey { point: p }),
+        }
+    }
+
+    /// SEC1 uncompressed encoding.
+    pub fn to_bytes(&self) -> [u8; 65] {
+        self.point.to_uncompressed().expect("public key is never infinity")
+    }
+
+    /// Decodes a SEC1 uncompressed encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdsaError::InvalidPoint`] on malformed input.
+    pub fn from_bytes(bytes: &[u8; 65]) -> Result<Self, EcdsaError> {
+        Self::from_point(Point::from_uncompressed(bytes)?)
+    }
+
+    /// The Ethereum address of this key: low 20 bytes of
+    /// `keccak256(x || y)`.
+    pub fn to_eth_address(&self) -> tape_primitives::Address {
+        let bytes = self.to_bytes();
+        let digest = keccak256(&bytes[1..]);
+        tape_primitives::Address::from_slice(&digest.as_bytes()[12..])
+    }
+
+    /// Verifies a signature over a 32-byte digest.
+    ///
+    /// Like Ethereum's `ecrecover`, both `s` and `n - s` are accepted
+    /// (signature malleability): [`SecretKey::sign`] always emits the
+    /// low-s form, but verification does not reject the mirrored one.
+    /// Nothing in this workspace uses a signature as a unique identifier,
+    /// so malleability is harmless here; enforce `s <= n/2` at the call
+    /// site if you need EIP-2 strictness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdsaError::BadSignature`] if verification fails, or
+    /// [`EcdsaError::InvalidScalar`] if `r`/`s` are out of range.
+    pub fn verify(&self, digest: &B256, sig: &Signature) -> Result<(), EcdsaError> {
+        if sig.r.is_zero() || sig.r >= N || sig.s.is_zero() || sig.s >= N {
+            return Err(EcdsaError::InvalidScalar);
+        }
+        let z = digest.into_u256().rem_evm(N);
+        let s_inv = finv(sig.s, N);
+        let u1 = fmul(z, s_inv, N);
+        let u2 = fmul(sig.r, s_inv, N);
+        let point = Point::GENERATOR.mul(u1).add(self.point.mul(u2));
+        match point {
+            Point::Affine { x, .. } if x.rem_evm(N) == sig.r => Ok(()),
+            _ => Err(EcdsaError::BadSignature),
+        }
+    }
+}
+
+/// Recovers the signer's public key from a signature and digest
+/// (the `ecrecover` primitive).
+///
+/// # Errors
+///
+/// Returns [`EcdsaError`] if the scalars are out of range or no valid
+/// point exists for the signature.
+pub fn recover(digest: &B256, sig: &Signature) -> Result<PublicKey, EcdsaError> {
+    if sig.r.is_zero() || sig.r >= N || sig.s.is_zero() || sig.s >= N || sig.v > 1 {
+        return Err(EcdsaError::InvalidScalar);
+    }
+    let r_point = Point::lift_x(sig.r, sig.v == 1).ok_or(EcdsaError::RecoveryFailed)?;
+    let z = digest.into_u256().rem_evm(N);
+    let r_inv = finv(sig.r, N);
+    // Q = r^-1 (s·R − z·G)
+    let sr = r_point.mul(sig.s);
+    let zg = Point::GENERATOR.mul(z);
+    let neg_zg = match zg {
+        Point::Infinity => Point::Infinity,
+        Point::Affine { x, y } => Point::Affine { x, y: P.wrapping_sub(y) },
+    };
+    let q = sr.add(neg_zg).mul(r_inv);
+    PublicKey::from_point(q).map_err(|_| EcdsaError::RecoveryFailed)
+}
+
+/// Computes the ECDH shared secret: `keccak256(x-coordinate of d·Q)`.
+///
+/// # Errors
+///
+/// Returns [`EcdsaError::InvalidPoint`] if the multiplication degenerates
+/// (cannot happen for honest inputs).
+pub fn ecdh(secret: &SecretKey, peer: &PublicKey) -> Result<B256, EcdsaError> {
+    match peer.point.mul(secret.scalar) {
+        Point::Affine { x, .. } => Ok(keccak256(x.to_be_bytes())),
+        Point::Infinity => Err(EcdsaError::InvalidPoint),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(Point::GENERATOR.is_on_curve());
+        assert!(Point::Infinity.is_on_curve());
+    }
+
+    #[test]
+    fn generator_has_order_n() {
+        assert_eq!(Point::GENERATOR.mul(N), Point::Infinity);
+        assert_ne!(Point::GENERATOR.mul(N.wrapping_sub(U256::ONE)), Point::Infinity);
+    }
+
+    #[test]
+    fn known_scalar_mult() {
+        // 2·G, a standard test vector.
+        let two_g = Point::GENERATOR.mul(U256::from(2u64));
+        let Point::Affine { x, .. } = two_g else { panic!("2G is finite") };
+        assert_eq!(
+            format!("{x:x}"),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
+        );
+    }
+
+    #[test]
+    fn add_matches_mul() {
+        let g = Point::GENERATOR;
+        let three_a = g.add(g).add(g);
+        let three_m = g.mul(U256::from(3u64));
+        assert_eq!(three_a, three_m);
+        // P + (-P) = infinity
+        let Point::Affine { x, y } = g else { unreachable!() };
+        let neg = Point::Affine { x, y: P.wrapping_sub(y) };
+        assert_eq!(g.add(neg), Point::Infinity);
+        // P + inf = P
+        assert_eq!(g.add(Point::Infinity), g);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let sk = SecretKey::from_seed(b"test key material");
+        let pk = sk.public_key();
+        let digest = keccak256(b"message");
+        let sig = sk.sign(&digest);
+        assert!(pk.verify(&digest, &sig).is_ok());
+        // Low-s normalization holds.
+        assert!(sig.s <= N.shr_word(1));
+        // Wrong digest fails.
+        assert_eq!(
+            pk.verify(&keccak256(b"other"), &sig),
+            Err(EcdsaError::BadSignature)
+        );
+        // Tampered r fails.
+        let bad = Signature { r: sig.r.wrapping_add(U256::ONE), ..sig };
+        assert!(pk.verify(&digest, &bad).is_err());
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let sk = SecretKey::from_seed(b"determinism");
+        let digest = keccak256(b"msg");
+        assert_eq!(sk.sign(&digest), sk.sign(&digest));
+    }
+
+    #[test]
+    fn recover_matches_signer() {
+        for seed in [b"alpha".as_slice(), b"bravo", b"charlie"] {
+            let sk = SecretKey::from_seed(seed);
+            let pk = sk.public_key();
+            let digest = keccak256(seed);
+            let sig = sk.sign(&digest);
+            let recovered = recover(&digest, &sig).unwrap();
+            assert_eq!(recovered, pk);
+            assert_eq!(recovered.to_eth_address(), pk.to_eth_address());
+        }
+    }
+
+    #[test]
+    fn recover_wrong_v_gives_other_key() {
+        let sk = SecretKey::from_seed(b"vtest");
+        let digest = keccak256(b"m");
+        let sig = sk.sign(&digest);
+        let flipped = Signature { v: sig.v ^ 1, ..sig };
+        if let Ok(other) = recover(&digest, &flipped) {
+            assert_ne!(other, sk.public_key());
+        }
+    }
+
+    #[test]
+    fn ecdh_agreement() {
+        let a = SecretKey::from_seed(b"alice");
+        let b = SecretKey::from_seed(b"bob");
+        let s1 = ecdh(&a, &b.public_key()).unwrap();
+        let s2 = ecdh(&b, &a.public_key()).unwrap();
+        assert_eq!(s1, s2);
+        let c = SecretKey::from_seed(b"carol");
+        assert_ne!(ecdh(&a, &c.public_key()).unwrap(), s1);
+    }
+
+    #[test]
+    fn pubkey_encoding_roundtrip() {
+        let pk = SecretKey::from_seed(b"enc").public_key();
+        let bytes = pk.to_bytes();
+        assert_eq!(PublicKey::from_bytes(&bytes).unwrap(), pk);
+        let mut bad = bytes;
+        bad[0] = 0x05;
+        assert!(PublicKey::from_bytes(&bad).is_err());
+        let mut off_curve = bytes;
+        off_curve[64] ^= 1;
+        assert!(PublicKey::from_bytes(&off_curve).is_err());
+    }
+
+    #[test]
+    fn invalid_scalars_rejected() {
+        assert!(SecretKey::from_scalar(U256::ZERO).is_err());
+        assert!(SecretKey::from_scalar(N).is_err());
+        assert!(SecretKey::from_scalar(U256::ONE).is_ok());
+
+        let digest = keccak256(b"x");
+        let bad = Signature { r: U256::ZERO, s: U256::ONE, v: 0 };
+        assert!(recover(&digest, &bad).is_err());
+        let pk = SecretKey::from_seed(b"k").public_key();
+        assert!(pk.verify(&digest, &bad).is_err());
+    }
+
+    #[test]
+    fn lift_x_parity() {
+        let Point::Affine { x, y } = Point::GENERATOR else { unreachable!() };
+        let even = Point::lift_x(x, false).unwrap();
+        let odd = Point::lift_x(x, true).unwrap();
+        let Point::Affine { y: ye, .. } = even else { unreachable!() };
+        let Point::Affine { y: yo, .. } = odd else { unreachable!() };
+        assert!(!ye.bit(0));
+        assert!(yo.bit(0));
+        assert!(y == ye || y == yo);
+    }
+}

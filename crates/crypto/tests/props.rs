@@ -1,0 +1,138 @@
+//! Property-based tests for the cryptographic substrates.
+
+use proptest::prelude::*;
+use tape_crypto::{keccak256, secp, AesGcm, Keccak256, SecretKey, SecureRng};
+use tape_primitives::{B256, U256};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn keccak_incremental_matches_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        split in 0usize..600,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Keccak256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), keccak256(&data));
+    }
+
+    #[test]
+    fn keccak_collision_resistance_smoke(a in any::<Vec<u8>>(), b in any::<Vec<u8>>()) {
+        if a != b {
+            prop_assert_ne!(keccak256(&a), keccak256(&b));
+        }
+    }
+
+    #[test]
+    fn gcm_roundtrip(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 12]>(),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let gcm = AesGcm::new(&key);
+        let sealed = gcm.seal(&nonce, &aad, &plaintext);
+        prop_assert_eq!(gcm.open(&nonce, &aad, &sealed).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn gcm_any_bitflip_detected(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 12]>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 1..100),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let gcm = AesGcm::new(&key);
+        let mut sealed = gcm.seal(&nonce, b"", &plaintext);
+        let idx = flip_byte.index(sealed.len());
+        sealed[idx] ^= 1 << flip_bit;
+        prop_assert!(gcm.open(&nonce, b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn gcm_wrong_key_rejected(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 12]>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let gcm = AesGcm::new(&key);
+        let mut other_key = key;
+        other_key[0] ^= 1;
+        let other = AesGcm::new(&other_key);
+        let sealed = gcm.seal(&nonce, b"", &plaintext);
+        prop_assert!(other.open(&nonce, b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn ecdsa_sign_verify_recover(seed in any::<[u8; 16]>(), msg in any::<Vec<u8>>()) {
+        let sk = SecretKey::from_seed(&seed);
+        let pk = sk.public_key();
+        let digest = keccak256(&msg);
+        let sig = sk.sign(&digest);
+        prop_assert!(pk.verify(&digest, &sig).is_ok());
+        prop_assert_eq!(secp::recover(&digest, &sig).unwrap(), pk);
+    }
+
+    #[test]
+    fn ecdsa_cross_key_rejection(seed1 in any::<[u8; 8]>(), seed2 in any::<[u8; 8]>()) {
+        prop_assume!(seed1 != seed2);
+        let sk1 = SecretKey::from_seed(&seed1);
+        let sk2 = SecretKey::from_seed(&seed2);
+        let digest = keccak256(b"fixed message");
+        let sig = sk1.sign(&digest);
+        prop_assert!(sk2.public_key().verify(&digest, &sig).is_err());
+    }
+
+    #[test]
+    fn ecdh_symmetric(seed1 in any::<[u8; 8]>(), seed2 in any::<[u8; 8]>()) {
+        let a = SecretKey::from_seed(&seed1);
+        let b = SecretKey::from_seed(&seed2);
+        prop_assert_eq!(
+            secp::ecdh(&a, &b.public_key()).unwrap(),
+            secp::ecdh(&b, &a.public_key()).unwrap()
+        );
+    }
+
+    #[test]
+    fn scalar_mult_distributes(k1 in any::<u64>(), k2 in any::<u64>()) {
+        // (k1 + k2)·G == k1·G + k2·G
+        let g = secp::Point::GENERATOR;
+        let lhs = g.mul(U256::from(k1).wrapping_add(U256::from(k2)));
+        let rhs = g.mul(U256::from(k1)).add(g.mul(U256::from(k2)));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn rng_streams_disjoint(seed in any::<[u8; 8]>()) {
+        let mut rng = SecureRng::from_seed(&seed);
+        let first: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        let second: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        prop_assert_ne!(first, second);
+    }
+
+    #[test]
+    fn sha256_deterministic(data in any::<Vec<u8>>()) {
+        prop_assert_eq!(tape_crypto::sha256(&data), tape_crypto::sha256(&data));
+    }
+}
+
+#[test]
+fn eth_address_known_vector() {
+    // A key of 1 has the well-known generator public key; its Ethereum
+    // address is a fixed constant used across many tools.
+    let sk = SecretKey::from_scalar(U256::ONE).unwrap();
+    let addr = sk.public_key().to_eth_address();
+    assert_eq!(
+        format!("{addr}"),
+        "0x7e5f4552091a69125d5dfcb7b8c2659029395bdf"
+    );
+}
+
+#[test]
+fn b256_zero_hash_distinct_from_hash_of_zeroes() {
+    assert_ne!(keccak256([0u8; 32]), B256::ZERO);
+}

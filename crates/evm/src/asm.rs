@@ -1,0 +1,247 @@
+//! A small EVM assembler: builds bytecode programmatically with labels,
+//! forward jumps, and minimal-width pushes.
+//!
+//! Used by the test suites, the synthetic workload generator, and the
+//! examples — the reproduction's stand-in for Solidity-compiled
+//! contracts.
+
+use crate::opcode::op;
+use std::collections::HashMap;
+use tape_primitives::U256;
+
+/// A bytecode assembler.
+///
+/// # Examples
+///
+/// Build and run `2 + 3`, returning the result:
+///
+/// ```
+/// use tape_evm::asm::Asm;
+/// use tape_primitives::U256;
+///
+/// let code = Asm::new()
+///     .push(2u64)
+///     .push(3u64)
+///     .op(tape_evm::opcode::op::ADD)
+///     .ret_top()
+///     .build();
+/// assert!(!code.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    bytes: Vec<u8>,
+    /// label -> position
+    labels: HashMap<&'static str, usize>,
+    /// (patch position, label) for 2-byte forward references
+    fixups: Vec<(usize, &'static str)>,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a raw opcode byte.
+    pub fn op(mut self, opcode: u8) -> Self {
+        self.bytes.push(opcode);
+        self
+    }
+
+    /// Appends several raw opcode bytes.
+    pub fn ops(mut self, opcodes: &[u8]) -> Self {
+        self.bytes.extend_from_slice(opcodes);
+        self
+    }
+
+    /// Appends a minimal-width PUSH of the value (PUSH0 for zero).
+    pub fn push(mut self, value: impl Into<U256>) -> Self {
+        let value: U256 = value.into();
+        if value.is_zero() {
+            self.bytes.push(op::PUSH0);
+            return self;
+        }
+        let bytes = value.to_be_bytes_trimmed();
+        self.bytes.push(op::PUSH1 + (bytes.len() - 1) as u8);
+        self.bytes.extend_from_slice(&bytes);
+        self
+    }
+
+    /// Appends a PUSH of exactly `width` bytes (useful for deterministic
+    /// code sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 32, or the value does not fit.
+    pub fn push_width(mut self, value: impl Into<U256>, width: usize) -> Self {
+        assert!((1..=32).contains(&width), "push width must be 1..=32");
+        let value: U256 = value.into();
+        let be = value.to_be_bytes();
+        assert!(
+            be[..32 - width].iter().all(|&b| b == 0),
+            "value does not fit in {width} bytes"
+        );
+        self.bytes.push(op::PUSH1 + (width - 1) as u8);
+        self.bytes.extend_from_slice(&be[32 - width..]);
+        self
+    }
+
+    /// Appends a PUSH20 of an address.
+    pub fn push_address(self, address: tape_primitives::Address) -> Self {
+        self.push_width(address.into_word(), 20)
+    }
+
+    /// Defines a label at the current position and emits a `JUMPDEST`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn label(mut self, name: &'static str) -> Self {
+        let previous = self.labels.insert(name, self.bytes.len());
+        assert!(previous.is_none(), "label {name:?} defined twice");
+        self.bytes.push(op::JUMPDEST);
+        self
+    }
+
+    /// Pushes the (2-byte) position of a label; resolved at
+    /// [`build`](Self::build) time, so forward references work.
+    pub fn push_label(mut self, name: &'static str) -> Self {
+        self.bytes.push(op::PUSH2);
+        self.fixups.push((self.bytes.len(), name));
+        self.bytes.extend_from_slice(&[0, 0]);
+        self
+    }
+
+    /// `push_label` + `JUMP`.
+    pub fn jump(self, name: &'static str) -> Self {
+        self.push_label(name).op(op::JUMP)
+    }
+
+    /// `push_label` + `JUMPI` (consumes the condition already on the
+    /// stack).
+    pub fn jumpi(self, name: &'static str) -> Self {
+        self.push_label(name).op(op::JUMPI)
+    }
+
+    /// Stores the top of the stack at memory 0 and returns the 32-byte
+    /// word — the common "return the result" epilogue.
+    pub fn ret_top(self) -> Self {
+        self.push(0u64)
+            .op(op::MSTORE)
+            .push(32u64)
+            .push(0u64)
+            .op(op::RETURN)
+    }
+
+    /// `STOP`.
+    pub fn stop(self) -> Self {
+        self.op(op::STOP)
+    }
+
+    /// Current length of the emitted code.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` if no bytes were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Finalizes the bytecode, resolving label fixups.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an undefined label or a label beyond 65535.
+    pub fn build(mut self) -> Vec<u8> {
+        for (pos, name) in &self.fixups {
+            let target = *self
+                .labels
+                .get(name)
+                .unwrap_or_else(|| panic!("undefined label {name:?}"));
+            assert!(target <= u16::MAX as usize, "label {name:?} out of PUSH2 range");
+            self.bytes[*pos..pos + 2].copy_from_slice(&(target as u16).to_be_bytes());
+        }
+        self.bytes
+    }
+
+    /// Wraps `runtime` code in a standard deployment initcode: the
+    /// constructor copies the runtime to memory and returns it.
+    pub fn deploy_wrapper(runtime: &[u8]) -> Vec<u8> {
+        // PUSH2 len, PUSH2 offset, PUSH0, CODECOPY, PUSH2 len, PUSH0, RETURN
+        let mut init = Asm::new()
+            .push_width(runtime.len() as u64, 2)
+            .push_width(0u64, 2) // patched below: runtime offset
+            .push(0u64)
+            .op(op::CODECOPY)
+            .push_width(runtime.len() as u64, 2)
+            .push(0u64)
+            .op(op::RETURN)
+            .build();
+        let offset = init.len() as u16;
+        // Patch the second push (bytes 3..5 hold the offset operand).
+        init[4..6].copy_from_slice(&offset.to_be_bytes());
+        init.extend_from_slice(runtime);
+        init
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_width_push() {
+        assert_eq!(Asm::new().push(0u64).build(), vec![op::PUSH0]);
+        assert_eq!(Asm::new().push(0xffu64).build(), vec![op::PUSH1, 0xff]);
+        assert_eq!(Asm::new().push(0x100u64).build(), vec![op::PUSH2, 0x01, 0x00]);
+        assert_eq!(Asm::new().push(U256::MAX).build().len(), 33);
+    }
+
+    #[test]
+    fn fixed_width_push() {
+        assert_eq!(Asm::new().push_width(5u64, 4).build(), vec![op::PUSH4, 0, 0, 0, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn fixed_width_overflow_panics() {
+        let _ = Asm::new().push_width(0x1_0000u64, 2).build();
+    }
+
+    #[test]
+    fn labels_and_forward_jumps() {
+        let code = Asm::new()
+            .jump("end") // forward reference
+            .push(1u64)
+            .label("end")
+            .stop()
+            .build();
+        // PUSH2 <pos> JUMP PUSH1 1 JUMPDEST STOP
+        assert_eq!(code[0], op::PUSH2);
+        let target = u16::from_be_bytes([code[1], code[2]]) as usize;
+        assert_eq!(code[target], op::JUMPDEST);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let _ = Asm::new().jump("nowhere").build();
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let _ = Asm::new().label("a").label("a").build();
+    }
+
+    #[test]
+    fn deploy_wrapper_layout() {
+        let runtime = vec![op::PUSH1, 7, op::STOP];
+        let init = Asm::deploy_wrapper(&runtime);
+        assert!(init.ends_with(&runtime));
+        // The wrapper references the correct offset.
+        let offset = u16::from_be_bytes([init[4], init[5]]) as usize;
+        assert_eq!(&init[offset..], &runtime[..]);
+    }
+}

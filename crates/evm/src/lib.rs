@@ -1,0 +1,53 @@
+//! # tape-evm
+//!
+//! A from-scratch Ethereum Virtual Machine: the reference interpreter of
+//! the HarDTAPE reproduction ("functionally equivalent to the interpreter
+//! module of Geth", paper §IV-B). It provides:
+//!
+//! * the full instruction set with "Cancun-lite" gas rules
+//!   ([`opcode`], [`gas`]),
+//! * a transaction executor over journaled state ([`Evm`]),
+//! * precompiles 0x1/0x2/0x4 ([`precompile`]),
+//! * structured tracing equivalent to `debug_traceTransaction`
+//!   ([`StructTracer`]), and
+//! * the [`Inspector`] hook surface used by the Table-I statistics
+//!   collector and the HEVM timing model.
+//!
+//! This engine plays two roles in the evaluation: ground truth for the
+//! §VI-B correctness comparison against the independently implemented
+//! hardware EVM, and the "Geth" baseline for Figures 4 and 5.
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod gas;
+mod interp;
+mod memory;
+pub mod opcode;
+pub mod precompile;
+mod stack;
+mod tracer;
+mod types;
+
+pub use interp::{create2_address, create_address, Evm};
+pub use memory::Memory;
+pub use stack::{Stack, StackError, STACK_LIMIT};
+pub use tracer::{StructTracer, TraceCall, TraceStep};
+pub use types::{
+    Env, FrameEnd, FrameStart, Inspector, NoopInspector, StateAccess, StepInfo, Transaction,
+    TxError, TxResult, VmError,
+};
+
+impl<T: Inspector + ?Sized> Inspector for &mut T {
+    fn step(&mut self, step: &StepInfo<'_>) {
+        (**self).step(step);
+    }
+    fn call_start(&mut self, frame: &FrameStart) {
+        (**self).call_start(frame);
+    }
+    fn call_end(&mut self, end: &FrameEnd) {
+        (**self).call_end(end);
+    }
+    fn state_access(&mut self, access: &StateAccess) {
+        (**self).state_access(access);
+    }
+}

@@ -1,0 +1,193 @@
+//! The byte-addressed EVM memory ("Memory" in the paper's memory-like
+//! taxonomy): arbitrary length, unaligned access allowed, volatile.
+
+use tape_primitives::U256;
+
+/// EVM memory for one execution frame, growing in 32-byte words.
+///
+/// # Examples
+///
+/// ```
+/// use tape_evm::Memory;
+/// use tape_primitives::U256;
+///
+/// let mut mem = Memory::new();
+/// mem.store_word(0, U256::from(0xABu64));
+/// assert_eq!(mem.load_word(0), U256::from(0xABu64));
+/// assert_eq!(mem.size(), 32);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    data: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory { data: Vec::new() }
+    }
+
+    /// Current size in bytes (always a multiple of 32).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Size needed (word-aligned) to access `offset..offset+len`; equals
+    /// the current size when no growth is needed or `len == 0`.
+    pub fn required_size(&self, offset: usize, len: usize) -> usize {
+        if len == 0 {
+            return self.data.len();
+        }
+        let end = offset.saturating_add(len);
+        let aligned = end.div_ceil(32) * 32;
+        aligned.max(self.data.len())
+    }
+
+    /// Grows memory to cover `offset..offset+len` (no-op for `len == 0`).
+    pub fn expand(&mut self, offset: usize, len: usize) {
+        let required = self.required_size(offset, len);
+        if required > self.data.len() {
+            self.data.resize(required, 0);
+        }
+    }
+
+    /// Loads the 32-byte word at `offset`, expanding as needed.
+    pub fn load_word(&mut self, offset: usize) -> U256 {
+        self.expand(offset, 32);
+        let mut buf = [0u8; 32];
+        buf.copy_from_slice(&self.data[offset..offset + 32]);
+        U256::from_be_bytes(buf)
+    }
+
+    /// Stores a 32-byte word at `offset`, expanding as needed.
+    pub fn store_word(&mut self, offset: usize, value: U256) {
+        self.expand(offset, 32);
+        self.data[offset..offset + 32].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Stores a single byte (`MSTORE8`).
+    pub fn store_byte(&mut self, offset: usize, value: u8) {
+        self.expand(offset, 1);
+        self.data[offset] = value;
+    }
+
+    /// Copies a slice into memory, expanding as needed.
+    pub fn store_slice(&mut self, offset: usize, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        self.expand(offset, data.len());
+        self.data[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Copies from an external buffer with zero-fill past its end — the
+    /// semantics of `CALLDATACOPY`/`CODECOPY`/`EXTCODECOPY`.
+    pub fn store_slice_padded(&mut self, offset: usize, src: &[u8], src_offset: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.expand(offset, len);
+        for i in 0..len {
+            // checked_add: a sentinel src_offset of usize::MAX must read
+            // as zero-padding, not wrap around to the buffer start.
+            self.data[offset + i] = src_offset
+                .checked_add(i)
+                .and_then(|p| src.get(p))
+                .copied()
+                .unwrap_or(0);
+        }
+    }
+
+    /// Reads `len` bytes starting at `offset`, expanding as needed.
+    pub fn load_slice(&mut self, offset: usize, len: usize) -> Vec<u8> {
+        if len == 0 {
+            return Vec::new();
+        }
+        self.expand(offset, len);
+        self.data[offset..offset + len].to_vec()
+    }
+
+    /// `MCOPY`: overlapping-safe memory-to-memory copy.
+    pub fn copy_within(&mut self, dst: usize, src: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let needed = dst.max(src);
+        self.expand(needed, len);
+        self.data.copy_within(src..src + len, dst);
+    }
+
+    /// A view of the raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip_and_alignment() {
+        let mut m = Memory::new();
+        m.store_word(5, U256::from(0xFFu64)); // unaligned store
+        assert_eq!(m.load_word(5), U256::from(0xFFu64));
+        // 5 + 32 = 37 -> rounded up to 64.
+        assert_eq!(m.size(), 64);
+    }
+
+    #[test]
+    fn zero_length_access_does_not_expand() {
+        let mut m = Memory::new();
+        m.expand(1_000_000, 0);
+        assert_eq!(m.size(), 0);
+        assert_eq!(m.required_size(1_000_000, 0), 0);
+        m.store_slice(500, &[]);
+        assert_eq!(m.size(), 0);
+    }
+
+    #[test]
+    fn fresh_memory_reads_zero() {
+        let mut m = Memory::new();
+        assert_eq!(m.load_word(100), U256::ZERO);
+        assert_eq!(m.size(), 160); // 132 -> 160
+    }
+
+    #[test]
+    fn store_byte() {
+        let mut m = Memory::new();
+        m.store_byte(31, 0xAA);
+        assert_eq!(m.load_word(0), U256::from(0xAAu64));
+        assert_eq!(m.size(), 32);
+    }
+
+    #[test]
+    fn padded_copy_zero_fills() {
+        let mut m = Memory::new();
+        let src = [1u8, 2, 3];
+        m.store_slice_padded(0, &src, 1, 5); // reads [2, 3, 0, 0, 0]
+        assert_eq!(&m.as_bytes()[..5], &[2, 3, 0, 0, 0]);
+        m.store_slice_padded(10, &src, 100, 3); // fully past the end
+        assert_eq!(&m.as_bytes()[10..13], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn copy_within_overlapping() {
+        let mut m = Memory::new();
+        m.store_slice(0, &[1, 2, 3, 4, 5]);
+        m.copy_within(2, 0, 5); // forward overlap
+        assert_eq!(&m.as_bytes()[..7], &[1, 2, 1, 2, 3, 4, 5]);
+        m.copy_within(0, 2, 5); // backward overlap
+        assert_eq!(&m.as_bytes()[..5], &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn load_slice_expands() {
+        let mut m = Memory::new();
+        let bytes = m.load_slice(10, 10);
+        assert_eq!(bytes, vec![0u8; 10]);
+        assert_eq!(m.size(), 32);
+        assert!(m.load_slice(0, 0).is_empty());
+    }
+}

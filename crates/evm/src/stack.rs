@@ -1,0 +1,188 @@
+//! The EVM runtime stack: 1024 slots of 256-bit words.
+//!
+//! The paper dedicates the whole 32 KB stack to the HEVM's layer-1 cache
+//! "because almost every EVM instruction fetches operands from and writes
+//! results to the runtime stack" (§IV-B).
+
+use tape_primitives::U256;
+
+/// Maximum stack depth mandated by the EVM specification.
+pub const STACK_LIMIT: usize = 1024;
+
+/// Error produced by stack operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackError {
+    /// Pop or peek on too few elements.
+    Underflow,
+    /// Push beyond [`STACK_LIMIT`].
+    Overflow,
+}
+
+impl core::fmt::Display for StackError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StackError::Underflow => write!(f, "stack underflow"),
+            StackError::Overflow => write!(f, "stack overflow"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+/// The EVM operand stack.
+///
+/// # Examples
+///
+/// ```
+/// use tape_evm::Stack;
+/// use tape_primitives::U256;
+///
+/// let mut stack = Stack::new();
+/// stack.push(U256::from(2u64))?;
+/// stack.push(U256::from(3u64))?;
+/// assert_eq!(stack.pop()?, U256::from(3u64));
+/// # Ok::<(), tape_evm::StackError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Stack {
+    data: Vec<U256>,
+}
+
+impl Stack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Stack { data: Vec::with_capacity(64) }
+    }
+
+    /// Current depth.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Pushes a word.
+    ///
+    /// # Errors
+    ///
+    /// [`StackError::Overflow`] past 1024 entries.
+    #[inline]
+    pub fn push(&mut self, value: U256) -> Result<(), StackError> {
+        if self.data.len() >= STACK_LIMIT {
+            return Err(StackError::Overflow);
+        }
+        self.data.push(value);
+        Ok(())
+    }
+
+    /// Pops a word.
+    ///
+    /// # Errors
+    ///
+    /// [`StackError::Underflow`] when empty.
+    #[inline]
+    pub fn pop(&mut self) -> Result<U256, StackError> {
+        self.data.pop().ok_or(StackError::Underflow)
+    }
+
+    /// Peeks at the `n`-th word from the top (0 = top).
+    ///
+    /// # Errors
+    ///
+    /// [`StackError::Underflow`] when fewer than `n + 1` entries exist.
+    #[inline]
+    pub fn peek(&self, n: usize) -> Result<U256, StackError> {
+        if n >= self.data.len() {
+            return Err(StackError::Underflow);
+        }
+        Ok(self.data[self.data.len() - 1 - n])
+    }
+
+    /// `DUPn`: duplicates the `n`-th word from the top (1-based, like the
+    /// opcode family).
+    ///
+    /// # Errors
+    ///
+    /// [`StackError`] on underflow or overflow.
+    pub fn dup(&mut self, n: usize) -> Result<(), StackError> {
+        let value = self.peek(n - 1)?;
+        self.push(value)
+    }
+
+    /// `SWAPn`: swaps the top with the `n`-th word below it (1-based).
+    ///
+    /// # Errors
+    ///
+    /// [`StackError::Underflow`] when fewer than `n + 1` entries exist.
+    pub fn swap(&mut self, n: usize) -> Result<(), StackError> {
+        let len = self.data.len();
+        if n >= len {
+            return Err(StackError::Underflow);
+        }
+        self.data.swap(len - 1, len - 1 - n);
+        Ok(())
+    }
+
+    /// The stack contents, bottom first (for tracing).
+    pub fn as_slice(&self) -> &[U256] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from(v)
+    }
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut s = Stack::new();
+        s.push(u(1)).unwrap();
+        s.push(u(2)).unwrap();
+        assert_eq!(s.pop().unwrap(), u(2));
+        assert_eq!(s.pop().unwrap(), u(1));
+        assert_eq!(s.pop(), Err(StackError::Underflow));
+    }
+
+    #[test]
+    fn overflow_at_limit() {
+        let mut s = Stack::new();
+        for i in 0..STACK_LIMIT {
+            s.push(u(i as u64)).unwrap();
+        }
+        assert_eq!(s.push(u(0)), Err(StackError::Overflow));
+        assert_eq!(s.len(), STACK_LIMIT);
+    }
+
+    #[test]
+    fn peek_indexing() {
+        let mut s = Stack::new();
+        s.push(u(10)).unwrap();
+        s.push(u(20)).unwrap();
+        assert_eq!(s.peek(0).unwrap(), u(20));
+        assert_eq!(s.peek(1).unwrap(), u(10));
+        assert_eq!(s.peek(2), Err(StackError::Underflow));
+    }
+
+    #[test]
+    fn dup_and_swap() {
+        let mut s = Stack::new();
+        s.push(u(1)).unwrap();
+        s.push(u(2)).unwrap();
+        s.dup(2).unwrap(); // duplicate the 2nd from top (1)
+        assert_eq!(s.peek(0).unwrap(), u(1));
+        s.swap(2).unwrap(); // swap top with 3rd
+        assert_eq!(s.peek(0).unwrap(), u(1));
+        assert_eq!(s.peek(2).unwrap(), u(1));
+        assert_eq!(s.peek(1).unwrap(), u(2));
+        assert_eq!(s.swap(5), Err(StackError::Underflow));
+        assert_eq!(Stack::new().dup(1), Err(StackError::Underflow));
+    }
+}

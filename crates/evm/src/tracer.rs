@@ -1,0 +1,269 @@
+//! Structured execution tracing — the reproduction's
+//! `debug_traceTransaction` (paper §VI-B uses quicknode's RPC of the same
+//! name as ground truth; here the reference EVM produces it).
+
+use crate::types::{FrameEnd, FrameStart, Inspector, StepInfo};
+use tape_crypto::Keccak256;
+use tape_primitives::{Address, B256, U256};
+
+/// One interpreter step, mirroring a Geth struct-log entry: step-by-step
+/// PC, opcode, remaining gas, stack contents, and call depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Program counter.
+    pub pc: usize,
+    /// Opcode byte.
+    pub opcode: u8,
+    /// Mnemonic.
+    pub op_name: &'static str,
+    /// Gas remaining before the step.
+    pub gas: u64,
+    /// Call depth (1 = top frame).
+    pub depth: usize,
+    /// Stack, bottom first.
+    pub stack: Vec<U256>,
+    /// Memory size in bytes.
+    pub memory_size: usize,
+    /// Executing contract.
+    pub address: Address,
+}
+
+/// A call-tree node summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCall {
+    /// Depth of the frame.
+    pub depth: usize,
+    /// Code owner.
+    pub code_address: Address,
+    /// Storage context.
+    pub address: Address,
+    /// Caller.
+    pub caller: Address,
+    /// Value transferred.
+    pub value: U256,
+    /// Input length.
+    pub input_len: usize,
+    /// `true` once the frame committed; `false` if reverted/halted.
+    pub committed: bool,
+    /// ReturnData length.
+    pub output_len: usize,
+}
+
+/// Collects a full structured trace.
+///
+/// # Examples
+///
+/// ```
+/// use tape_evm::{Env, Evm, StructTracer, Transaction};
+/// use tape_primitives::{Address, U256};
+/// use tape_state::{Account, InMemoryState};
+///
+/// let mut backend = InMemoryState::new();
+/// let alice = Address::from_low_u64(1);
+/// backend.put_account(alice, Account::with_balance(U256::from(10u64).wrapping_pow(U256::from(18u64))));
+///
+/// let mut evm = Evm::with_inspector(Env::default(), &backend, StructTracer::new());
+/// let tx = Transaction::transfer(alice, Address::from_low_u64(0xB0B), U256::ONE);
+/// evm.transact(&tx)?;
+/// let tracer = evm.into_inspector();
+/// assert!(tracer.steps().is_empty()); // pure transfers execute no opcodes
+/// # Ok::<(), tape_evm::TxError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StructTracer {
+    steps: Vec<TraceStep>,
+    calls: Vec<TraceCall>,
+    open_calls: Vec<usize>,
+    capture_stack: bool,
+}
+
+impl StructTracer {
+    /// A tracer capturing steps and stacks.
+    pub fn new() -> Self {
+        StructTracer { capture_stack: true, ..Default::default() }
+    }
+
+    /// A cheaper tracer that skips stack snapshots.
+    pub fn without_stack() -> Self {
+        StructTracer { capture_stack: false, ..Default::default() }
+    }
+
+    /// The recorded steps.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// The recorded call tree (pre-order).
+    pub fn calls(&self) -> &[TraceCall] {
+        &self.calls
+    }
+
+    /// Clears the trace for reuse across transactions.
+    pub fn clear(&mut self) {
+        self.steps.clear();
+        self.calls.clear();
+        self.open_calls.clear();
+    }
+
+    /// A digest of the whole trace (PC, opcode, gas, depth, stack at each
+    /// step) — two engines produce equal digests iff they executed
+    /// identically.
+    pub fn digest(&self) -> B256 {
+        let mut h = Keccak256::new();
+        for step in &self.steps {
+            h.update(&(step.pc as u64).to_be_bytes());
+            h.update(&[step.opcode, step.depth as u8]);
+            h.update(&step.gas.to_be_bytes());
+            for word in &step.stack {
+                h.update(&word.to_be_bytes());
+            }
+        }
+        for call in &self.calls {
+            h.update(call.code_address.as_bytes());
+            h.update(&[call.depth as u8, call.committed as u8]);
+            h.update(&(call.output_len as u64).to_be_bytes());
+        }
+        h.finalize()
+    }
+
+    /// First step at which this trace diverges from `other`, if any.
+    /// `None` means the traces are identical step-for-step.
+    pub fn first_divergence(&self, other: &StructTracer) -> Option<usize> {
+        let n = self.steps.len().min(other.steps.len());
+        for i in 0..n {
+            if self.steps[i] != other.steps[i] {
+                return Some(i);
+            }
+        }
+        if self.steps.len() != other.steps.len() {
+            return Some(n);
+        }
+        None
+    }
+}
+
+impl Inspector for StructTracer {
+    fn step(&mut self, step: &StepInfo<'_>) {
+        self.steps.push(TraceStep {
+            pc: step.pc,
+            opcode: step.opcode,
+            op_name: crate::opcode::info(step.opcode).name,
+            gas: step.gas_remaining,
+            depth: step.depth,
+            stack: if self.capture_stack { step.stack.to_vec() } else { Vec::new() },
+            memory_size: step.memory_size,
+            address: step.address,
+        });
+    }
+
+    fn call_start(&mut self, frame: &FrameStart) {
+        self.open_calls.push(self.calls.len());
+        self.calls.push(TraceCall {
+            depth: frame.depth,
+            code_address: frame.code_address,
+            address: frame.address,
+            caller: frame.caller,
+            value: frame.value,
+            input_len: frame.input_len,
+            committed: false,
+            output_len: 0,
+        });
+    }
+
+    fn call_end(&mut self, end: &FrameEnd) {
+        if let Some(idx) = self.open_calls.pop() {
+            let call = &mut self.calls[idx];
+            call.committed = end.committed;
+            call.output_len = end.output_len;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::op;
+    use crate::types::{Env, Transaction};
+    use crate::Evm;
+    use tape_state::{Account, InMemoryState};
+
+    fn funded_backend() -> (InMemoryState, Address) {
+        let mut backend = InMemoryState::new();
+        let sender = Address::from_low_u64(0xAA);
+        backend.put_account(sender, Account::with_balance(U256::from(10u64).wrapping_pow(U256::from(19u64))));
+        (backend, sender)
+    }
+
+    #[test]
+    fn traces_simple_bytecode() {
+        let (mut backend, sender) = funded_backend();
+        let contract = Address::from_low_u64(0xC0);
+        // PUSH1 2, PUSH1 3, ADD, STOP
+        backend.put_account(
+            contract,
+            Account::with_code(vec![op::PUSH1, 2, op::PUSH1, 3, op::ADD, op::STOP]),
+        );
+
+        let mut evm = Evm::with_inspector(Env::default(), &backend, StructTracer::new());
+        let result = evm.transact(&Transaction::call(sender, contract, vec![])).unwrap();
+        assert!(result.success);
+        let tracer = evm.into_inspector();
+        let names: Vec<&str> = tracer.steps().iter().map(|s| s.op_name).collect();
+        assert_eq!(names, vec!["PUSH1", "PUSH1", "ADD", "STOP"]);
+        // Stack before ADD holds [2, 3].
+        assert_eq!(tracer.steps()[2].stack, vec![U256::from(2u64), U256::from(3u64)]);
+        assert_eq!(tracer.calls().len(), 1);
+        assert!(tracer.calls()[0].committed);
+    }
+
+    #[test]
+    fn digest_detects_divergence() {
+        let (mut backend, sender) = funded_backend();
+        let a = Address::from_low_u64(0xC1);
+        let b = Address::from_low_u64(0xC2);
+        backend.put_account(a, Account::with_code(vec![op::PUSH1, 2, op::STOP]));
+        backend.put_account(b, Account::with_code(vec![op::PUSH1, 3, op::STOP]));
+
+        let run = |target| {
+            let mut evm = Evm::with_inspector(Env::default(), &backend, StructTracer::new());
+            evm.transact(&Transaction::call(sender, target, vec![])).unwrap();
+            evm.into_inspector()
+        };
+        let ta = run(a);
+        let tb = run(b);
+        let ta2 = run(a);
+        assert_eq!(ta.digest(), ta2.digest());
+        assert_ne!(ta.digest(), tb.digest());
+        assert_eq!(ta.first_divergence(&ta2), None);
+        // The executing address differs from the very first step.
+        assert_eq!(ta.first_divergence(&tb), Some(0));
+    }
+
+    #[test]
+    fn without_stack_skips_snapshots() {
+        let (mut backend, sender) = funded_backend();
+        let c = Address::from_low_u64(0xC3);
+        backend.put_account(c, Account::with_code(vec![op::PUSH1, 9, op::STOP]));
+        let mut evm = Evm::with_inspector(Env::default(), &backend, StructTracer::without_stack());
+        evm.transact(&Transaction::call(sender, c, vec![])).unwrap();
+        let tracer = evm.into_inspector();
+        assert!(tracer.steps().iter().all(|s| s.stack.is_empty()));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = StructTracer::new();
+        t.steps.push(TraceStep {
+            pc: 0,
+            opcode: 0,
+            op_name: "STOP",
+            gas: 0,
+            depth: 1,
+            stack: vec![],
+            memory_size: 0,
+            address: Address::ZERO,
+        });
+        t.clear();
+        assert!(t.steps().is_empty());
+    }
+}

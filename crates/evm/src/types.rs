@@ -1,0 +1,345 @@
+//! Execution environment, transactions, results, and the inspector hooks.
+
+use tape_primitives::{rlp, Address, B256, U256};
+use tape_state::Log;
+
+/// Block-level execution environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Env {
+    /// Current block number.
+    pub block_number: u64,
+    /// Block timestamp (seconds).
+    pub timestamp: u64,
+    /// Fee recipient.
+    pub coinbase: Address,
+    /// Block gas limit.
+    pub gas_limit: u64,
+    /// EIP-1559 base fee.
+    pub base_fee: U256,
+    /// Post-merge randomness beacon value.
+    pub prevrandao: B256,
+    /// Chain id (1 = mainnet).
+    pub chain_id: u64,
+}
+
+impl Default for Env {
+    fn default() -> Self {
+        Env {
+            block_number: 19_145_194, // first block of the paper's evaluation set
+            timestamp: 1_706_000_000,
+            coinbase: Address::from_low_u64(0xC0FFEE),
+            gas_limit: 30_000_000,
+            base_fee: U256::from(10_000_000_000u64), // 10 gwei
+            prevrandao: B256::ZERO,
+            chain_id: 1,
+        }
+    }
+}
+
+/// A transaction to pre-execute (or apply on-chain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Sender address (signature recovery is out of scope for the
+    /// simulator; senders are authenticated at the bundle layer).
+    pub from: Address,
+    /// Recipient; `None` deploys a contract.
+    pub to: Option<Address>,
+    /// Wei transferred.
+    pub value: U256,
+    /// Calldata (or initcode for creation).
+    pub data: Vec<u8>,
+    /// Gas limit.
+    pub gas_limit: u64,
+    /// Gas price in wei.
+    pub gas_price: U256,
+    /// Expected sender nonce; `None` skips the check (pre-execution
+    /// convenience).
+    pub nonce: Option<u64>,
+    /// EIP-2930 access list: `(address, storage_keys)`.
+    pub access_list: Vec<(Address, Vec<U256>)>,
+}
+
+impl Default for Transaction {
+    fn default() -> Self {
+        Transaction {
+            from: Address::ZERO,
+            to: None,
+            value: U256::ZERO,
+            data: Vec::new(),
+            gas_limit: 1_000_000,
+            gas_price: U256::from(10_000_000_000u64),
+            nonce: None,
+            access_list: Vec::new(),
+        }
+    }
+}
+
+impl Transaction {
+    /// A simple call transaction.
+    pub fn call(from: Address, to: Address, data: Vec<u8>) -> Self {
+        Transaction { from, to: Some(to), data, ..Default::default() }
+    }
+
+    /// A plain value transfer.
+    pub fn transfer(from: Address, to: Address, value: U256) -> Self {
+        Transaction { from, to: Some(to), value, gas_limit: 21_000, ..Default::default() }
+    }
+
+    /// A contract-creation transaction.
+    pub fn create(from: Address, initcode: Vec<u8>) -> Self {
+        Transaction { from, to: None, data: initcode, gas_limit: 5_000_000, ..Default::default() }
+    }
+
+    /// Content hash of the transaction (used as its identifier).
+    pub fn hash(&self) -> B256 {
+        let mut fields = vec![
+            rlp::encode_address(&self.from),
+            match &self.to {
+                Some(to) => rlp::encode_address(to),
+                None => rlp::encode_bytes(&[]),
+            },
+            rlp::encode_u256(&self.value),
+            rlp::encode_bytes(&self.data),
+            rlp::encode_u64(self.gas_limit),
+            rlp::encode_u256(&self.gas_price),
+            rlp::encode_u64(self.nonce.unwrap_or(0)),
+        ];
+        for (addr, keys) in &self.access_list {
+            fields.push(rlp::encode_address(addr));
+            for k in keys {
+                fields.push(rlp::encode_u256(k));
+            }
+        }
+        tape_crypto::keccak256(rlp::encode_list(&fields))
+    }
+}
+
+/// Why a frame (or transaction) halted exceptionally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Ran out of gas.
+    OutOfGas,
+    /// Stack underflow.
+    StackUnderflow,
+    /// Stack overflow (beyond 1024).
+    StackOverflow,
+    /// Jump to a non-JUMPDEST target.
+    InvalidJump,
+    /// Undefined opcode, or the designated `INVALID` (0xFE).
+    InvalidOpcode(u8),
+    /// State-changing operation inside a STATICCALL.
+    StaticViolation,
+    /// RETURNDATACOPY past the end of the return buffer.
+    ReturnDataOutOfBounds,
+    /// Deployed code larger than the EIP-170 limit.
+    CodeSizeExceeded,
+    /// Initcode larger than the EIP-3860 limit.
+    InitcodeSizeExceeded,
+    /// CREATE address collision.
+    CreateCollision,
+    /// Deployed code starts with the reserved 0xEF byte (EIP-3541).
+    InvalidDeployedCode,
+    /// Memory request too large to even meter.
+    MemoryOverflow,
+}
+
+impl core::fmt::Display for VmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VmError::OutOfGas => write!(f, "out of gas"),
+            VmError::StackUnderflow => write!(f, "stack underflow"),
+            VmError::StackOverflow => write!(f, "stack overflow"),
+            VmError::InvalidJump => write!(f, "invalid jump destination"),
+            VmError::InvalidOpcode(op) => write!(f, "invalid opcode 0x{op:02x}"),
+            VmError::StaticViolation => write!(f, "state change in static context"),
+            VmError::ReturnDataOutOfBounds => write!(f, "return data out of bounds"),
+            VmError::CodeSizeExceeded => write!(f, "deployed code size exceeds limit"),
+            VmError::InitcodeSizeExceeded => write!(f, "initcode size exceeds limit"),
+            VmError::CreateCollision => write!(f, "create address collision"),
+            VmError::InvalidDeployedCode => write!(f, "deployed code starts with 0xEF"),
+            VmError::MemoryOverflow => write!(f, "memory request overflows"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Why a transaction was rejected before execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// Sender nonce mismatch.
+    NonceMismatch {
+        /// Nonce the transaction declared.
+        expected: u64,
+        /// Sender's actual nonce.
+        actual: u64,
+    },
+    /// Sender cannot cover `gas_limit * gas_price + value`.
+    InsufficientFunds,
+    /// `gas_limit` below the intrinsic cost.
+    IntrinsicGasTooLow {
+        /// The computed intrinsic cost.
+        needed: u64,
+    },
+    /// Initcode beyond the EIP-3860 limit.
+    InitcodeTooLarge,
+}
+
+impl core::fmt::Display for TxError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TxError::NonceMismatch { expected, actual } => {
+                write!(f, "nonce mismatch: tx has {expected}, account at {actual}")
+            }
+            TxError::InsufficientFunds => write!(f, "insufficient funds for gas and value"),
+            TxError::IntrinsicGasTooLow { needed } => {
+                write!(f, "gas limit below intrinsic cost {needed}")
+            }
+            TxError::InitcodeTooLarge => write!(f, "initcode exceeds EIP-3860 limit"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Outcome of one executed transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxResult {
+    /// `true` if the top-level frame succeeded.
+    pub success: bool,
+    /// Total gas consumed (after refunds).
+    pub gas_used: u64,
+    /// ReturnData of the top-level frame (revert payload on failure).
+    pub output: Vec<u8>,
+    /// Logs emitted (empty if reverted).
+    pub logs: Vec<Log>,
+    /// Address of the deployed contract for creation transactions.
+    pub created: Option<Address>,
+    /// The halt reason when `success == false` and the frame did not
+    /// REVERT cleanly.
+    pub halt: Option<VmError>,
+}
+
+/// Per-step information passed to [`Inspector::step`].
+#[derive(Debug)]
+pub struct StepInfo<'a> {
+    /// Program counter before executing the instruction.
+    pub pc: usize,
+    /// Opcode byte.
+    pub opcode: u8,
+    /// Gas remaining before the instruction. Tracers derive per-step cost
+    /// by diffing consecutive values (the same way Geth structlogs are
+    /// consumed).
+    pub gas_remaining: u64,
+    /// Call depth (1 = top-level frame, matching Table I's taxonomy).
+    pub depth: usize,
+    /// Stack contents, bottom first.
+    pub stack: &'a [U256],
+    /// Current Memory size in bytes.
+    pub memory_size: usize,
+    /// The executing contract (storage context).
+    pub address: Address,
+}
+
+/// Frame-boundary information passed to [`Inspector::call_start`].
+#[derive(Debug, Clone)]
+pub struct FrameStart {
+    /// Call depth of the new frame.
+    pub depth: usize,
+    /// Code owner.
+    pub code_address: Address,
+    /// Storage context.
+    pub address: Address,
+    /// Caller.
+    pub caller: Address,
+    /// Value transferred.
+    pub value: U256,
+    /// Input size in bytes.
+    pub input_len: usize,
+    /// Code size in bytes.
+    pub code_len: usize,
+    /// Gas given to the frame.
+    pub gas: u64,
+}
+
+/// Frame-boundary information passed to [`Inspector::call_end`].
+#[derive(Debug, Clone)]
+pub struct FrameEnd {
+    /// Depth of the frame that ended.
+    pub depth: usize,
+    /// `true` if the frame committed (RETURN/STOP), `false` on revert or
+    /// halt.
+    pub committed: bool,
+    /// ReturnData size.
+    pub output_len: usize,
+    /// Gas left in the frame at exit.
+    pub gas_left: u64,
+}
+
+/// A world-state access event (the paper's query taxonomy: K-V style
+/// queries vs Code queries, §IV-D).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateAccess {
+    /// Account header read (balance / nonce / code hash / code length) —
+    /// a K-V style query.
+    Account(Address),
+    /// Contract code fetch of the given length — a Code query.
+    Code(Address, usize),
+    /// Storage slot read — a K-V style query.
+    StorageRead(Address, U256),
+    /// Storage slot write (stays in the overlay; never reaches the ORAM).
+    StorageWrite(Address, U256, U256),
+}
+
+/// Observation hooks for execution.
+///
+/// Implemented by the structured tracer, the Table-I statistics
+/// collector, and the HEVM timing model. All methods default to no-ops.
+pub trait Inspector {
+    /// Called before each instruction executes.
+    fn step(&mut self, _step: &StepInfo<'_>) {}
+    /// Called when a new frame (call or create) starts.
+    fn call_start(&mut self, _frame: &FrameStart) {}
+    /// Called when a frame ends.
+    fn call_end(&mut self, _end: &FrameEnd) {}
+    /// Called on world-state accesses.
+    fn state_access(&mut self, _access: &StateAccess) {}
+}
+
+/// The do-nothing inspector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopInspector;
+
+impl Inspector for NoopInspector {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_hash_distinguishes_fields() {
+        let base = Transaction::call(Address::from_low_u64(1), Address::from_low_u64(2), vec![1]);
+        let mut other = base.clone();
+        other.value = U256::ONE;
+        assert_ne!(base.hash(), other.hash());
+        assert_eq!(base.hash(), base.clone().hash());
+        let create = Transaction::create(Address::from_low_u64(1), vec![1]);
+        assert_ne!(base.hash(), create.hash());
+    }
+
+    #[test]
+    fn constructors() {
+        let t = Transaction::transfer(Address::from_low_u64(1), Address::from_low_u64(2), U256::ONE);
+        assert_eq!(t.gas_limit, 21_000);
+        assert!(t.data.is_empty());
+        let c = Transaction::create(Address::from_low_u64(1), vec![0x60]);
+        assert!(c.to.is_none());
+    }
+
+    #[test]
+    fn default_env_matches_evaluation_set() {
+        let env = Env::default();
+        assert_eq!(env.block_number, 19_145_194);
+        assert_eq!(env.chain_id, 1);
+    }
+}

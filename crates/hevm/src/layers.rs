@@ -1,0 +1,227 @@
+//! Layer-2 call-stack paging and layer-3 untrusted memory (paper §IV-B).
+//!
+//! Layer 2 is a ring of 1 KB pages holding execution frames. When a new
+//! frame does not fit, bottom pages are dumped to layer 3 — AES-GCM
+//! protected (threat A4) and with random pre-evict/pre-load noise added
+//! to the observable swap sizes (threat A5). Reloading verifies the
+//! authentication tag and a strictly monotonic version to stop replays.
+
+use tape_crypto::{AesGcm, SecureRng};
+use tape_sim::{Clock, CostModel, Nanos};
+
+/// A swap event as *observed by the adversary* (sizes include noise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapEvent {
+    /// Virtual time of the swap.
+    pub at: Nanos,
+    /// Pages written to layer 3 (true + noise).
+    pub pages_out: usize,
+    /// Pages read back from layer 3 (true + noise).
+    pub pages_in: usize,
+}
+
+/// Error produced when layer-3 contents fail authentication (A4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layer3Tampered;
+
+impl core::fmt::Display for Layer3Tampered {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "layer-3 page failed authentication")
+    }
+}
+
+impl std::error::Error for Layer3Tampered {}
+
+/// The untrusted layer-3 page store plus the pager that protects it.
+pub struct Layer3Pager {
+    cipher: AesGcm,
+    rng: SecureRng,
+    /// Sealed frames, keyed by a sequence id kept on-chip.
+    store: Vec<Vec<u8>>,
+    swap_log: Vec<SwapEvent>,
+    nonce_counter: u64,
+    /// Maximum extra pages of noise per swap.
+    max_noise: usize,
+    page_size: usize,
+}
+
+impl core::fmt::Debug for Layer3Pager {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Layer3Pager")
+            .field("stored_frames", &self.store.len())
+            .field("swaps", &self.swap_log.len())
+            .finish()
+    }
+}
+
+/// Handle to a frame swapped out to layer 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwappedFrame {
+    pub(crate) index: usize,
+    /// True page count (kept on-chip; the adversary sees noisy sizes).
+    pub pages: usize,
+}
+
+impl Layer3Pager {
+    /// Creates a pager sealing pages under `key`.
+    pub fn new(key: &[u8; 16], rng: SecureRng, page_size: usize, max_noise: usize) -> Self {
+        Layer3Pager {
+            cipher: AesGcm::new(key),
+            rng,
+            store: Vec::new(),
+            swap_log: Vec::new(),
+            nonce_counter: 0,
+            max_noise,
+            page_size,
+        }
+    }
+
+    /// Seals a serialized frame out to untrusted memory, logging a
+    /// noisy swap size. Returns the on-chip handle.
+    pub fn swap_out(
+        &mut self,
+        frame_bytes: &[u8],
+        clock: &Clock,
+        cost: &CostModel,
+    ) -> SwappedFrame {
+        let pages = frame_bytes.len().div_ceil(self.page_size).max(1);
+        self.nonce_counter += 1;
+        let mut nonce = [0u8; 12];
+        nonce[4..].copy_from_slice(&self.nonce_counter.to_be_bytes());
+        let aad = (self.store.len() as u64).to_be_bytes();
+        let sealed = {
+            let mut out = nonce.to_vec();
+            out.extend(self.cipher.seal(&nonce, &aad, frame_bytes));
+            out
+        };
+        let index = self.store.len();
+        self.store.push(sealed);
+
+        // Pre-evict noise: dump extra dummy pages.
+        let noise = self.rng.next_below(self.max_noise as u64 + 1) as usize;
+        let observed = pages + noise;
+        clock.advance(cost.layer3_swap_page_ns * observed as u64);
+        self.swap_log.push(SwapEvent { at: clock.now(), pages_out: observed, pages_in: 0 });
+        SwappedFrame { index, pages }
+    }
+
+    /// Reloads and verifies a sealed frame, logging a noisy swap size.
+    ///
+    /// # Errors
+    ///
+    /// [`Layer3Tampered`] if the ciphertext fails authentication (bit
+    /// flips, swapped slots, replays).
+    pub fn swap_in(
+        &mut self,
+        handle: SwappedFrame,
+        clock: &Clock,
+        cost: &CostModel,
+    ) -> Result<Vec<u8>, Layer3Tampered> {
+        let sealed = self.store.get(handle.index).ok_or(Layer3Tampered)?;
+        if sealed.len() < 12 {
+            return Err(Layer3Tampered);
+        }
+        let nonce: [u8; 12] = sealed[..12].try_into().expect("length checked");
+        let aad = (handle.index as u64).to_be_bytes();
+        let bytes = self
+            .cipher
+            .open(&nonce, &aad, &sealed[12..])
+            .map_err(|_| Layer3Tampered)?;
+
+        let noise = self.rng.next_below(self.max_noise as u64 + 1) as usize;
+        let observed = handle.pages + noise;
+        clock.advance(cost.layer3_swap_page_ns * observed as u64);
+        self.swap_log.push(SwapEvent { at: clock.now(), pages_out: 0, pages_in: observed });
+        Ok(bytes)
+    }
+
+    /// The adversary's view of every swap.
+    pub fn swap_log(&self) -> &[SwapEvent] {
+        &self.swap_log
+    }
+
+    /// Test hook: corrupts a stored ciphertext (simulates attack A4).
+    pub fn tamper(&mut self, index: usize) {
+        if let Some(sealed) = self.store.get_mut(index) {
+            if let Some(last) = sealed.last_mut() {
+                *last ^= 0xFF;
+            }
+        }
+    }
+
+    /// Test hook: replays an old ciphertext into another slot.
+    pub fn replay(&mut self, from: usize, to: usize) {
+        if from < self.store.len() && to < self.store.len() {
+            let copy = self.store[from].clone();
+            self.store[to] = copy;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pager() -> (Layer3Pager, Clock, CostModel) {
+        (
+            Layer3Pager::new(&[9u8; 16], SecureRng::from_seed(b"pager"), 1024, 4),
+            Clock::new(),
+            CostModel::default(),
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (mut p, clock, cost) = pager();
+        let frame = vec![7u8; 3000];
+        let handle = p.swap_out(&frame, &clock, &cost);
+        assert_eq!(handle.pages, 3);
+        assert_eq!(p.swap_in(handle, &clock, &cost).unwrap(), frame);
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let (mut p, clock, cost) = pager();
+        let handle = p.swap_out(&[1, 2, 3], &clock, &cost);
+        p.tamper(handle.index);
+        assert_eq!(p.swap_in(handle, &clock, &cost), Err(Layer3Tampered));
+    }
+
+    #[test]
+    fn replay_detected() {
+        let (mut p, clock, cost) = pager();
+        let h0 = p.swap_out(&[0xAA; 100], &clock, &cost);
+        let h1 = p.swap_out(&[0xBB; 100], &clock, &cost);
+        // Adversary replaces frame 1's ciphertext with frame 0's.
+        p.replay(h0.index, h1.index);
+        // The AAD binds the slot index, so the replay fails to open.
+        assert_eq!(p.swap_in(h1, &clock, &cost), Err(Layer3Tampered));
+    }
+
+    #[test]
+    fn swap_sizes_are_noised() {
+        let (mut p, clock, cost) = pager();
+        // Swap the same 2-page frame repeatedly; observed sizes must vary
+        // (noise) and never be below the true size.
+        let mut observed = Vec::new();
+        for _ in 0..40 {
+            let h = p.swap_out(&vec![1u8; 2048], &clock, &cost);
+            observed.push(p.swap_log().last().unwrap().pages_out);
+            p.swap_in(h, &clock, &cost).unwrap();
+        }
+        assert!(observed.iter().all(|&o| o >= 2));
+        assert!(observed.iter().any(|&o| o > 2), "no noise ever added");
+        let distinct: std::collections::HashSet<_> = observed.iter().collect();
+        assert!(distinct.len() > 1, "swap sizes constant: {observed:?}");
+    }
+
+    #[test]
+    fn swap_advances_clock() {
+        let (mut p, clock, cost) = pager();
+        let h = p.swap_out(&[1u8; 1024], &clock, &cost);
+        let after_out = clock.now();
+        assert!(after_out >= cost.layer3_swap_page_ns);
+        p.swap_in(h, &clock, &cost).unwrap();
+        assert!(clock.now() > after_out);
+    }
+}

@@ -1,0 +1,187 @@
+//! Differential fuzzing: arbitrary byte soup and structured-random
+//! programs must produce *identical* outcomes on the reference engine
+//! and the HEVM — same success flag, gas, output, logs, state changes,
+//! and structured trace. This is §VI-B pushed past the curated
+//! evaluation set into the adversarial corner cases.
+
+use proptest::prelude::*;
+use tape_evm::asm::Asm;
+use tape_evm::opcode::op;
+use tape_evm::{Env, Evm, StructTracer, Transaction};
+use tape_hevm::{Hevm, HevmConfig};
+use tape_primitives::{Address, U256};
+use tape_sim::Clock;
+use tape_state::{Account, InMemoryState};
+
+fn sender() -> Address {
+    Address::from_low_u64(0xAA)
+}
+
+fn target() -> Address {
+    Address::from_low_u64(0xC0DE)
+}
+
+fn helper() -> Address {
+    Address::from_low_u64(0xCA11)
+}
+
+fn run_both(code: Vec<u8>, helper_code: Vec<u8>, input: Vec<u8>, gas: u64) {
+    let mut backend = InMemoryState::new();
+    backend.put_account(sender(), Account::with_balance(U256::from(u64::MAX)));
+    let mut main = Account::with_code(code);
+    main.balance = U256::from(1_000u64);
+    main.storage.insert(U256::ONE, U256::from(7u64));
+    backend.put_account(target(), main);
+    if !helper_code.is_empty() {
+        backend.put_account(helper(), Account::with_code(helper_code));
+    }
+
+    let mut tx = Transaction::call(sender(), target(), input);
+    tx.gas_limit = gas;
+
+    let mut reference = Evm::with_inspector(Env::default(), &backend, StructTracer::new());
+    let expected = reference.transact(&tx).expect("reference accepts");
+    let mut hevm = Hevm::with_inspector(
+        HevmConfig::default(),
+        Env::default(),
+        &backend,
+        Clock::new(),
+        StructTracer::new(),
+    );
+    let actual = hevm.transact(&tx).expect("hevm accepts");
+
+    assert_eq!(expected, actual, "tx result");
+    let ref_trace = reference.inspector();
+    let hevm_trace = hevm.inspector();
+    if let Some(step) = ref_trace.first_divergence(hevm_trace) {
+        panic!(
+            "trace diverges at step {step}:\n  ref:  {:?}\n  hevm: {:?}",
+            ref_trace.steps().get(step),
+            hevm_trace.steps().get(step)
+        );
+    }
+    assert_eq!(reference.state().changes(), hevm.state().changes(), "state changes");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Pure byte soup: whatever it does — halt, revert, run off the end —
+    /// both engines must agree exactly.
+    #[test]
+    fn random_bytes_agree(
+        code in proptest::collection::vec(any::<u8>(), 0..200),
+        input in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        run_both(code, vec![], input, 300_000);
+    }
+
+    /// Byte soup biased toward defined opcodes (higher chance of real
+    /// execution paths than uniform bytes).
+    #[test]
+    fn biased_opcode_soup_agrees(
+        ops in proptest::collection::vec(0u8..0xA5, 1..150),
+        input in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        run_both(ops, vec![], input, 300_000);
+    }
+
+    /// Structured programs: random straight-line stack/ALU/memory work
+    /// with a proper epilogue, so deep execution paths are exercised
+    /// (not just early halts).
+    #[test]
+    fn structured_programs_agree(
+        words in proptest::collection::vec(any::<u64>(), 1..20),
+        alu in proptest::collection::vec(
+            prop::sample::select(vec![
+                op::ADD, op::MUL, op::SUB, op::DIV, op::SDIV, op::MOD, op::SMOD,
+                op::AND, op::OR, op::XOR, op::LT, op::GT, op::SLT, op::SGT, op::EQ,
+                op::SHL, op::SHR, op::SAR, op::BYTE, op::SIGNEXTEND,
+            ]),
+            0..30,
+        ),
+        store_slot in any::<u8>(),
+    ) {
+        let mut asm = Asm::new();
+        for w in &words {
+            asm = asm.push(*w);
+        }
+        for binop in &alu {
+            // Keep at least one operand on the stack: duplicate first.
+            asm = asm.op(op::DUP1).op(*binop);
+        }
+        let code = asm
+            .op(op::DUP1)
+            .push(store_slot as u64)
+            .op(op::SSTORE)
+            .ret_top()
+            .build();
+        run_both(code, vec![], vec![], 500_000);
+    }
+
+    /// Random cross-contract calls: the helper runs random (possibly
+    /// crashing) code; the caller forwards random gas and input, then
+    /// stores the success flag.
+    #[test]
+    fn random_subcalls_agree(
+        helper_code in proptest::collection::vec(any::<u8>(), 0..100),
+        call_gas in 0u64..200_000,
+        value in 0u64..2_000,
+        out_len in 0u64..64,
+    ) {
+        let code = Asm::new()
+            .push(out_len)
+            .push(0u64)
+            .push(4u64) // in len
+            .push(0u64) // in offset
+            .push(value)
+            .push_address(helper())
+            .push(call_gas)
+            .op(op::CALL)
+            .push(9u64)
+            .op(op::SSTORE)
+            .op(op::RETURNDATASIZE)
+            .ret_top()
+            .build();
+        run_both(code, helper_code, vec![0xAB; 4], 400_000);
+    }
+
+    /// Random memory traffic: MSTORE/MLOAD/MCOPY/KECCAK over arbitrary
+    /// (bounded) offsets, exercising expansion metering in both engines.
+    #[test]
+    fn random_memory_traffic_agrees(
+        ops in proptest::collection::vec((0u8..5, 0u64..4096, 0u64..4096), 1..25),
+    ) {
+        let mut asm = Asm::new();
+        for (kind, a, b) in &ops {
+            asm = match kind {
+                0 => asm.push(*a).push(*b).op(op::MSTORE),
+                1 => asm.push(*a).op(op::MLOAD).op(op::POP),
+                2 => asm.push(*a).push(*b).op(op::MSTORE8),
+                3 => asm.push(64u64).push(*a).push(*b).op(op::MCOPY),
+                _ => asm.push(32u64).push(*a).op(op::KECCAK256).op(op::POP),
+            };
+        }
+        run_both(asm.op(op::MSIZE).ret_top().build(), vec![], vec![], 2_000_000);
+    }
+
+    /// Tight gas limits: out-of-gas must strike at the same instruction
+    /// in both engines (verified via identical traces and gas_used).
+    #[test]
+    fn gas_exhaustion_agrees(
+        gas in 21_000u64..40_000,
+        spin in prop::bool::ANY,
+    ) {
+        let code = if spin {
+            Asm::new().label("top").push(1u64).op(op::POP).jump("top").build()
+        } else {
+            // keccak-heavy straight line.
+            let mut asm = Asm::new();
+            for i in 0..50u64 {
+                asm = asm.push(32u64).push(i * 32).op(op::KECCAK256).op(op::POP);
+            }
+            asm.stop().build()
+        };
+        run_both(code, vec![], vec![], gas);
+    }
+}

@@ -1,0 +1,279 @@
+//! # tape-mpt
+//!
+//! Ethereum Merkle Patricia Tries: the authenticated key-value structure
+//! behind the world state (paper §II-A). HarDTAPE uses Merkle proofs to
+//! authenticate world-state data fetched from the untrusted Node during
+//! block synchronization (paper §IV-C): once verified, data is re-protected
+//! by AES-GCM inside the ORAM, so proofs are *not* needed on the hot
+//! pre-execution path.
+//!
+//! * [`MerkleTrie`] — the raw trie with insert/get/remove, root hashing,
+//!   and proof generation.
+//! * [`SecureTrie`] — the variant Ethereum uses for state and storage:
+//!   keys are keccak-hashed before insertion.
+//! * [`verify_proof`] — stateless proof verification against a root hash.
+//!
+//! # Examples
+//!
+//! ```
+//! use tape_mpt::{SecureTrie, verify_proof};
+//!
+//! let mut state = SecureTrie::new();
+//! state.insert(b"account-1", b"balance=100");
+//! state.insert(b"account-2", b"balance=250");
+//!
+//! let root = state.root_hash();
+//! let proof = state.prove(b"account-1");
+//! let verified = verify_proof(root, &tape_crypto::keccak256(b"account-1").into_bytes(), &proof)?;
+//! assert_eq!(verified, Some(b"balance=100".to_vec()));
+//! # Ok::<(), tape_mpt::ProofError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod nibbles;
+mod trie;
+
+pub use trie::{verify_proof, MerkleTrie, ProofError, EMPTY_ROOT};
+
+use tape_crypto::keccak256;
+use tape_primitives::B256;
+
+/// A "secure" trie: identical to [`MerkleTrie`] but all keys are
+/// keccak-256 hashed first, matching Ethereum's state and storage tries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SecureTrie {
+    inner: MerkleTrie,
+}
+
+impl SecureTrie {
+    /// Creates an empty secure trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key/value pair (the key is hashed).
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Option<Vec<u8>> {
+        self.inner.insert(keccak256(key).as_bytes(), value)
+    }
+
+    /// Looks up a key (the key is hashed).
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.inner.get(keccak256(key).as_bytes())
+    }
+
+    /// Removes a key (the key is hashed).
+    pub fn remove(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.inner.remove(keccak256(key).as_bytes())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` if the trie holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The Merkle root hash.
+    pub fn root_hash(&self) -> B256 {
+        self.inner.root_hash()
+    }
+
+    /// Proof for a key. Verify with [`verify_proof`] against the *hashed*
+    /// key (`keccak256(key)`).
+    pub fn prove(&self, key: &[u8]) -> Vec<Vec<u8>> {
+        self.inner.prove(keccak256(key).as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tape_primitives::hex;
+
+    #[test]
+    fn empty_root_constant() {
+        assert_eq!(
+            hex::encode(MerkleTrie::new().root_hash().as_bytes()),
+            "56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421"
+        );
+    }
+
+    #[test]
+    fn yellow_paper_root_vector() {
+        // The canonical {do, dog, doge, horse} vector from ethereum/tests.
+        let mut trie = MerkleTrie::new();
+        trie.insert(b"do", b"verb");
+        trie.insert(b"dog", b"puppy");
+        trie.insert(b"doge", b"coin");
+        trie.insert(b"horse", b"stallion");
+        assert_eq!(
+            hex::encode(trie.root_hash().as_bytes()),
+            "5991bb8c6514148a29db676a14ac506cd2cd5775ace63c30a4fe457715e9ac84"
+        );
+    }
+
+    #[test]
+    fn insertion_order_independence() {
+        let pairs: Vec<(&[u8], &[u8])> = vec![
+            (b"do", b"verb"),
+            (b"dog", b"puppy"),
+            (b"doge", b"coin"),
+            (b"horse", b"stallion"),
+            (b"dodge", b"car"),
+        ];
+        let mut forward = MerkleTrie::new();
+        for (k, v) in &pairs {
+            forward.insert(k, v);
+        }
+        let mut backward = MerkleTrie::new();
+        for (k, v) in pairs.iter().rev() {
+            backward.insert(k, v);
+        }
+        assert_eq!(forward.root_hash(), backward.root_hash());
+    }
+
+    #[test]
+    fn overwrite_returns_old_value() {
+        let mut trie = MerkleTrie::new();
+        assert_eq!(trie.insert(b"k", b"v1"), None);
+        assert_eq!(trie.insert(b"k", b"v2"), Some(b"v1".to_vec()));
+        assert_eq!(trie.get(b"k"), Some(&b"v2"[..]));
+        assert_eq!(trie.len(), 1);
+    }
+
+    #[test]
+    fn remove_restores_previous_root() {
+        let mut trie = MerkleTrie::new();
+        trie.insert(b"do", b"verb");
+        trie.insert(b"dog", b"puppy");
+        let snapshot = trie.root_hash();
+        trie.insert(b"doge", b"coin");
+        assert_ne!(trie.root_hash(), snapshot);
+        assert_eq!(trie.remove(b"doge"), Some(b"coin".to_vec()));
+        assert_eq!(trie.root_hash(), snapshot);
+        assert_eq!(trie.remove(b"missing"), None);
+    }
+
+    #[test]
+    fn remove_all_yields_empty_root() {
+        let mut trie = MerkleTrie::new();
+        let keys: Vec<Vec<u8>> = (0u32..50).map(|i| i.to_be_bytes().to_vec()).collect();
+        for k in &keys {
+            trie.insert(k, b"value");
+        }
+        for k in &keys {
+            assert!(trie.remove(k).is_some());
+        }
+        assert_eq!(trie.root_hash(), EMPTY_ROOT);
+        assert!(trie.is_empty());
+    }
+
+    #[test]
+    fn empty_value_deletes() {
+        let mut trie = MerkleTrie::new();
+        trie.insert(b"k", b"v");
+        trie.insert(b"k", b"");
+        assert_eq!(trie.get(b"k"), None);
+        assert_eq!(trie.root_hash(), EMPTY_ROOT);
+    }
+
+    #[test]
+    fn proof_of_presence_and_absence() {
+        let mut trie = MerkleTrie::new();
+        for i in 0u32..100 {
+            trie.insert(&i.to_be_bytes(), format!("value-{i}").as_bytes());
+        }
+        let root = trie.root_hash();
+
+        let proof = trie.prove(&5u32.to_be_bytes());
+        assert_eq!(
+            verify_proof(root, &5u32.to_be_bytes(), &proof).unwrap(),
+            Some(b"value-5".to_vec())
+        );
+
+        let absent_key = 10_000u32.to_be_bytes();
+        let absence = trie.prove(&absent_key);
+        assert_eq!(verify_proof(root, &absent_key, &absence).unwrap(), None);
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let mut trie = MerkleTrie::new();
+        for i in 0u32..100 {
+            trie.insert(&i.to_be_bytes(), format!("value-{i}").as_bytes());
+        }
+        let root = trie.root_hash();
+        let mut proof = trie.prove(&7u32.to_be_bytes());
+        // Corrupt a byte of the first (root) node.
+        proof[0][5] ^= 0xff;
+        assert!(verify_proof(root, &7u32.to_be_bytes(), &proof).is_err());
+        // Drop a node from the proof.
+        let mut short = trie.prove(&7u32.to_be_bytes());
+        short.pop();
+        let result = verify_proof(root, &7u32.to_be_bytes(), &short);
+        assert!(matches!(result, Err(ProofError::MissingNode) | Ok(None)));
+    }
+
+    #[test]
+    fn proof_cannot_claim_wrong_value() {
+        let mut trie = MerkleTrie::new();
+        trie.insert(b"key", b"honest");
+        let root = trie.root_hash();
+
+        let mut forged = MerkleTrie::new();
+        forged.insert(b"key", b"forged");
+        let forged_proof = forged.prove(b"key");
+        assert!(verify_proof(root, b"key", &forged_proof).is_err());
+    }
+
+    #[test]
+    fn single_entry_proof() {
+        let mut trie = MerkleTrie::new();
+        trie.insert(b"only", b"entry");
+        let root = trie.root_hash();
+        let proof = trie.prove(b"only");
+        assert_eq!(verify_proof(root, b"only", &proof).unwrap(), Some(b"entry".to_vec()));
+    }
+
+    #[test]
+    fn secure_trie_hashes_keys() {
+        let mut secure = SecureTrie::new();
+        secure.insert(b"account", b"data");
+        assert_eq!(secure.get(b"account"), Some(&b"data"[..]));
+        assert_eq!(secure.len(), 1);
+
+        // The same data in a raw trie yields a different root because the
+        // secure trie hashed the key.
+        let mut raw = MerkleTrie::new();
+        raw.insert(b"account", b"data");
+        assert_ne!(secure.root_hash(), raw.root_hash());
+
+        let root = secure.root_hash();
+        let proof = secure.prove(b"account");
+        let hashed = tape_crypto::keccak256(b"account");
+        assert_eq!(
+            verify_proof(root, hashed.as_bytes(), &proof).unwrap(),
+            Some(b"data".to_vec())
+        );
+        assert_eq!(secure.remove(b"account"), Some(b"data".to_vec()));
+        assert!(secure.is_empty());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let mut trie = MerkleTrie::new();
+        for i in 0u32..20 {
+            trie.insert(&i.to_be_bytes(), b"x");
+        }
+        let mut count = 0;
+        trie.for_each(|_, v| {
+            assert_eq!(v, b"x");
+            count += 1;
+        });
+        assert_eq!(count, 20);
+    }
+}

@@ -1,0 +1,119 @@
+//! Nibble-path utilities and the hex-prefix encoding used by trie nodes.
+
+/// Expands bytes into nibbles (high nibble first).
+pub fn bytes_to_nibbles(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(b >> 4);
+        out.push(b & 0x0f);
+    }
+    out
+}
+
+/// Length of the shared prefix of two nibble slices.
+pub fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// Hex-prefix encodes a nibble path. `is_leaf` selects the leaf (2) vs
+/// extension (0) flag per the Ethereum yellow paper.
+pub fn hex_prefix_encode(nibbles: &[u8], is_leaf: bool) -> Vec<u8> {
+    let mut flag = if is_leaf { 2u8 } else { 0u8 };
+    let odd = nibbles.len() % 2 == 1;
+    if odd {
+        flag += 1;
+    }
+    let mut out = Vec::with_capacity(nibbles.len() / 2 + 1);
+    if odd {
+        out.push((flag << 4) | nibbles[0]);
+        for pair in nibbles[1..].chunks_exact(2) {
+            out.push((pair[0] << 4) | pair[1]);
+        }
+    } else {
+        out.push(flag << 4);
+        for pair in nibbles.chunks_exact(2) {
+            out.push((pair[0] << 4) | pair[1]);
+        }
+    }
+    out
+}
+
+/// Decodes a hex-prefix encoding; returns `(nibbles, is_leaf)`, or `None`
+/// on a malformed flag.
+pub fn hex_prefix_decode(encoded: &[u8]) -> Option<(Vec<u8>, bool)> {
+    let (&first, rest) = encoded.split_first()?;
+    let flag = first >> 4;
+    if flag > 3 {
+        return None;
+    }
+    let is_leaf = flag >= 2;
+    let odd = flag % 2 == 1;
+    let mut nibbles = Vec::with_capacity(rest.len() * 2 + 1);
+    if odd {
+        nibbles.push(first & 0x0f);
+    } else if first & 0x0f != 0 {
+        return None; // padding nibble must be zero
+    }
+    for &b in rest {
+        nibbles.push(b >> 4);
+        nibbles.push(b & 0x0f);
+    }
+    Some((nibbles, is_leaf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nibble_expansion() {
+        assert_eq!(bytes_to_nibbles(&[0xAB, 0xCD]), vec![0xA, 0xB, 0xC, 0xD]);
+        assert!(bytes_to_nibbles(&[]).is_empty());
+    }
+
+    #[test]
+    fn common_prefix() {
+        assert_eq!(common_prefix_len(&[1, 2, 3], &[1, 2, 4]), 2);
+        assert_eq!(common_prefix_len(&[1], &[2]), 0);
+        assert_eq!(common_prefix_len(&[1, 2], &[1, 2]), 2);
+    }
+
+    #[test]
+    fn hex_prefix_yellow_paper_examples() {
+        // From the yellow paper appendix: [1,2,3,4,5] ext -> 0x112345
+        assert_eq!(hex_prefix_encode(&[1, 2, 3, 4, 5], false), vec![0x11, 0x23, 0x45]);
+        // [0,1,2,3,4,5] ext -> 0x00012345
+        assert_eq!(
+            hex_prefix_encode(&[0, 1, 2, 3, 4, 5], false),
+            vec![0x00, 0x01, 0x23, 0x45]
+        );
+        // [0,f,1,c,b,8] leaf(0x20 flag even) -> 0x200f1cb8
+        assert_eq!(
+            hex_prefix_encode(&[0, 0xf, 1, 0xc, 0xb, 8], true),
+            vec![0x20, 0x0f, 0x1c, 0xb8]
+        );
+        // [f,1,c,b,8] leaf odd -> 0x3f1cb8
+        assert_eq!(
+            hex_prefix_encode(&[0xf, 1, 0xc, 0xb, 8], true),
+            vec![0x3f, 0x1c, 0xb8]
+        );
+    }
+
+    #[test]
+    fn hex_prefix_roundtrip() {
+        for len in 0..8 {
+            for leaf in [false, true] {
+                let nibbles: Vec<u8> = (0..len).map(|i| (i % 16) as u8).collect();
+                let enc = hex_prefix_encode(&nibbles, leaf);
+                assert_eq!(hex_prefix_decode(&enc), Some((nibbles.clone(), leaf)));
+            }
+        }
+    }
+
+    #[test]
+    fn hex_prefix_decode_rejects_bad_flag() {
+        assert_eq!(hex_prefix_decode(&[0x40]), None);
+        assert_eq!(hex_prefix_decode(&[0x01]), None); // nonzero padding
+        assert_eq!(hex_prefix_decode(&[]), None);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: the trie must behave exactly like a HashMap while
+//! producing order-independent roots and sound proofs.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tape_mpt::{verify_proof, MerkleTrie, EMPTY_ROOT};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>, Vec<u8>),
+    Remove(Vec<u8>),
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+    // Short keys collide on prefixes often, exercising branch/ext splits.
+    proptest::collection::vec(0u8..4, 1..6)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_key(), proptest::collection::vec(any::<u8>(), 1..20))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        arb_key().prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trie_matches_hashmap(ops in proptest::collection::vec(arb_op(), 0..120)) {
+        let mut trie = MerkleTrie::new();
+        let mut map: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(trie.insert(k, v), map.insert(k.clone(), v.clone()));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(trie.remove(k), map.remove(k));
+                }
+            }
+        }
+        prop_assert_eq!(trie.len(), map.len());
+        for (k, v) in &map {
+            prop_assert_eq!(trie.get(k), Some(v.as_slice()));
+        }
+        if map.is_empty() {
+            prop_assert_eq!(trie.root_hash(), EMPTY_ROOT);
+        }
+    }
+
+    #[test]
+    fn root_is_content_addressed(ops in proptest::collection::vec(arb_op(), 0..80)) {
+        // Applying the ops and then rebuilding from the final map in a
+        // different order must give the same root.
+        let mut trie = MerkleTrie::new();
+        let mut map: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    trie.insert(k, v);
+                    map.insert(k.clone(), v.clone());
+                }
+                Op::Remove(k) => {
+                    trie.remove(k);
+                    map.remove(k);
+                }
+            }
+        }
+        let mut rebuilt = MerkleTrie::new();
+        let mut entries: Vec<_> = map.into_iter().collect();
+        entries.sort();
+        entries.reverse();
+        for (k, v) in entries {
+            rebuilt.insert(&k, &v);
+        }
+        prop_assert_eq!(trie.root_hash(), rebuilt.root_hash());
+    }
+
+    #[test]
+    fn proofs_sound_for_all_keys(
+        entries in proptest::collection::hash_map(arb_key(), proptest::collection::vec(any::<u8>(), 1..10), 1..40),
+        probe in arb_key(),
+    ) {
+        let mut trie = MerkleTrie::new();
+        for (k, v) in &entries {
+            trie.insert(k, v);
+        }
+        let root = trie.root_hash();
+
+        // Every present key verifies to its value.
+        for (k, v) in &entries {
+            let proof = trie.prove(k);
+            prop_assert_eq!(verify_proof(root, k, &proof).unwrap(), Some(v.clone()));
+        }
+
+        // A probe key verifies to its map content (present or absent).
+        let proof = trie.prove(&probe);
+        prop_assert_eq!(
+            verify_proof(root, &probe, &proof).unwrap(),
+            entries.get(&probe).cloned()
+        );
+    }
+
+    #[test]
+    fn proof_bound_to_root(
+        entries in proptest::collection::hash_map(arb_key(), proptest::collection::vec(any::<u8>(), 1..10), 2..30),
+    ) {
+        let mut trie = MerkleTrie::new();
+        for (k, v) in &entries {
+            trie.insert(k, v);
+        }
+        let root = trie.root_hash();
+        let key = entries.keys().next().unwrap().clone();
+        let proof = trie.prove(&key);
+
+        // Mutate the trie: the old proof must not verify against the new root.
+        trie.insert(&key, b"changed value xyz");
+        let new_root = trie.root_hash();
+        prop_assume!(new_root != root);
+        let result = verify_proof(new_root, &key, &proof);
+        // Either an error (missing/mismatched node) or the proof simply
+        // cannot produce the new value.
+        match result {
+            Ok(Some(v)) => prop_assert_ne!(v, b"changed value xyz".to_vec()),
+            Ok(None) | Err(_) => {}
+        }
+    }
+}

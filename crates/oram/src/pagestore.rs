@@ -1,0 +1,499 @@
+//! The paged world state: reassembling Ethereum's irregular data into
+//! fixed-size ORAM *blocks* (paper §IV-D).
+//!
+//! * Contract bytecode is split into 1 KB **code pages**.
+//! * Storage records are grouped **32 consecutive keys per page**
+//!   (Solidity assigns variables and array elements consecutive slots,
+//!   so groups have high locality).
+//! * Account headers (balance, nonce, code hash, code length) form
+//!   **meta pages**.
+//!
+//! All three page kinds share one block size, so their ORAM responses
+//! are indistinguishable — solving the paper's problems (1) and (2).
+
+use crate::path_oram::{BlockId, OramClient, OramError, OramServer};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tape_crypto::Keccak256;
+use tape_primitives::{Address, B256, U256};
+use tape_sim::{Clock, CostModel};
+use tape_state::{Account, AccountInfo, StateReader};
+
+/// Records per storage group: 1024-byte page / 32-byte value.
+pub const RECORDS_PER_GROUP: u64 = 32;
+
+/// A logical page of the world state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageKey {
+    /// Account header page.
+    AccountMeta(Address),
+    /// The `index`-th 1 KB page of an account's bytecode.
+    CodePage(Address, u32),
+    /// The group of storage records with keys
+    /// `[group*32, group*32 + 31]`. Non-contiguous (hash-derived) keys
+    /// land in the group of `key >> 5` like any other key.
+    StorageGroup(Address, U256),
+}
+
+impl PageKey {
+    /// The ORAM block id for this page: a domain-separated hash, so the
+    /// adversary cannot relate ids to addresses.
+    pub fn block_id(&self) -> BlockId {
+        let mut h = Keccak256::new();
+        match self {
+            PageKey::AccountMeta(addr) => {
+                h.update(b"meta");
+                h.update(addr.as_bytes());
+            }
+            PageKey::CodePage(addr, index) => {
+                h.update(b"code");
+                h.update(addr.as_bytes());
+                h.update(&index.to_be_bytes());
+            }
+            PageKey::StorageGroup(addr, group) => {
+                h.update(b"stor");
+                h.update(addr.as_bytes());
+                h.update(&group.to_be_bytes());
+            }
+        }
+        h.finalize()
+    }
+
+    /// The storage group that contains `key`.
+    pub fn group_of(key: &U256) -> U256 {
+        key.shr_word(5)
+    }
+
+    /// Index of `key` within its group.
+    pub fn index_in_group(key: &U256) -> usize {
+        (key.low_u64() & (RECORDS_PER_GROUP - 1)) as usize
+    }
+}
+
+/// Encodes an account header into a page.
+fn encode_meta(info: &AccountInfo, page_size: usize) -> Vec<u8> {
+    let mut page = vec![0u8; page_size];
+    page[0] = 1; // exists
+    page[1..33].copy_from_slice(&info.balance.to_be_bytes());
+    page[33..41].copy_from_slice(&info.nonce.to_be_bytes());
+    page[41..73].copy_from_slice(info.code_hash.as_bytes());
+    page[73..81].copy_from_slice(&(info.code_len as u64).to_be_bytes());
+    page
+}
+
+fn decode_meta(page: &[u8]) -> Option<AccountInfo> {
+    if page[0] == 0 {
+        return None;
+    }
+    Some(AccountInfo {
+        balance: U256::from_be_slice(&page[1..33]),
+        nonce: u64::from_be_bytes(page[33..41].try_into().expect("fixed layout")),
+        code_hash: B256::from_slice(&page[41..73]),
+        code_len: u64::from_be_bytes(page[73..81].try_into().expect("fixed layout")) as usize,
+    })
+}
+
+/// Statistics of what the oblivious store fetched, split by the paper's
+/// two query types.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// K-V style queries (account meta + storage groups).
+    pub kv_queries: u64,
+    /// Code page queries.
+    pub code_queries: u64,
+    /// Prefetch (dummy) queries issued by the prefetcher.
+    pub prefetch_queries: u64,
+}
+
+impl QueryStats {
+    /// All queries combined.
+    pub fn total(&self) -> u64 {
+        self.kv_queries + self.code_queries + self.prefetch_queries
+    }
+}
+
+/// The ORAM-backed oblivious world state: a [`StateReader`] whose every
+/// miss turns into an indistinguishable fixed-size ORAM query.
+///
+/// Pages fetched once stay in an on-chip page cache (the layer-1
+/// world-state cache of §IV-B), so "users frequently calling the same
+/// contract" hit locally — the Fig. 5 warm case.
+pub struct ObliviousState {
+    inner: RefCell<Inner>,
+}
+
+struct Inner {
+    client: OramClient,
+    server: OramServer,
+    clock: Clock,
+    cost: CostModel,
+    /// On-chip page cache: fetched pages for the current bundle.
+    cache: HashMap<PageKey, Option<Vec<u8>>>,
+    /// Storage groups synced per account, so a later sync can zero groups
+    /// that no longer exist (stale pages would otherwise serve old data).
+    /// BTree collections keep every write sequence deterministic.
+    synced_groups: std::collections::BTreeMap<Address, std::collections::BTreeSet<U256>>,
+    stats: QueryStats,
+    page_size: usize,
+}
+
+impl core::fmt::Debug for ObliviousState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("ObliviousState")
+            .field("cached_pages", &inner.cache.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl ObliviousState {
+    /// Wraps a populated ORAM in a state reader.
+    pub fn new(client: OramClient, server: OramServer, clock: Clock, cost: CostModel) -> Self {
+        let page_size = client.config().block_size;
+        ObliviousState {
+            inner: RefCell::new(Inner {
+                client,
+                server,
+                clock,
+                cost,
+                cache: HashMap::new(),
+                synced_groups: std::collections::BTreeMap::new(),
+                stats: QueryStats::default(),
+                page_size,
+            }),
+        }
+    }
+
+    /// Builds the ORAM content from a full world state — the paper's
+    /// block-synchronization step 11 (in production this happens
+    /// incrementally per block; see `tape-node`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OramError`] from the underlying writes.
+    pub fn sync_full_state(
+        &self,
+        accounts: impl Iterator<Item = (Address, Account)>,
+    ) -> Result<(), OramError> {
+        for (address, account) in accounts {
+            self.sync_account(&address, &account)?;
+        }
+        Ok(())
+    }
+
+    /// Writes one account's meta page, code pages, and storage groups
+    /// into the ORAM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OramError`] from the underlying writes.
+    pub fn sync_account(&self, address: &Address, account: &Account) -> Result<(), OramError> {
+        let mut inner = self.inner.borrow_mut();
+        let page_size = inner.page_size;
+
+        let meta = encode_meta(&account.info(), page_size);
+        inner.write_page(PageKey::AccountMeta(*address), meta)?;
+
+        for (i, chunk) in account.code.chunks(page_size).enumerate() {
+            let mut page = vec![0u8; page_size];
+            page[..chunk.len()].copy_from_slice(chunk);
+            inner.write_page(PageKey::CodePage(*address, i as u32), page)?;
+        }
+
+        // Group storage records 32-per-page. BTreeMap: write order must
+        // be deterministic so ORAM layouts are reproducible across runs.
+        let mut groups: std::collections::BTreeMap<U256, Vec<(usize, U256)>> =
+            std::collections::BTreeMap::new();
+        for (key, value) in &account.storage {
+            groups
+                .entry(PageKey::group_of(key))
+                .or_default()
+                .push((PageKey::index_in_group(key), *value));
+        }
+        let new_groups: std::collections::BTreeSet<U256> = groups.keys().copied().collect();
+        for (group, records) in groups {
+            let mut page = vec![0u8; page_size];
+            for (index, value) in records {
+                page[index * 32..(index + 1) * 32].copy_from_slice(&value.to_be_bytes());
+            }
+            inner.write_page(PageKey::StorageGroup(*address, group), page)?;
+        }
+        // Zero out groups whose last record was cleared on-chain; a stale
+        // page would otherwise keep serving the old values.
+        let old_groups = inner.synced_groups.remove(address).unwrap_or_default();
+        for stale in old_groups.difference(&new_groups) {
+            inner.write_page(PageKey::StorageGroup(*address, *stale), vec![0u8; page_size])?;
+        }
+        inner.synced_groups.insert(*address, new_groups);
+        Ok(())
+    }
+
+    /// Removes an account (on-chain SELFDESTRUCT observed during block
+    /// sync): the meta page is rewritten as nonexistent and every synced
+    /// storage group is zeroed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OramError`] from the underlying writes.
+    pub fn remove_account(&self, address: &Address) -> Result<(), OramError> {
+        let mut inner = self.inner.borrow_mut();
+        let page_size = inner.page_size;
+        // Meta page with the `exists` byte clear: reads decode to None.
+        inner.write_page(PageKey::AccountMeta(*address), vec![0u8; page_size])?;
+        let groups = inner.synced_groups.remove(address).unwrap_or_default();
+        for group in groups {
+            inner.write_page(PageKey::StorageGroup(*address, group), vec![0u8; page_size])?;
+        }
+        // Invalidate any cached pages of the account.
+        inner.cache.retain(|key, _| match key {
+            PageKey::AccountMeta(a) | PageKey::CodePage(a, _) | PageKey::StorageGroup(a, _) => {
+                a != address
+            }
+        });
+        Ok(())
+    }
+
+    /// Fetch statistics by query type.
+    pub fn stats(&self) -> QueryStats {
+        self.inner.borrow().stats
+    }
+
+    /// Clears the on-chip page cache (end of a bundle, paper step 10).
+    pub fn clear_cache(&self) {
+        self.inner.borrow_mut().cache.clear();
+    }
+
+    /// The adversary's view: every `(time, leaf)` the server observed.
+    pub fn observed_accesses(&self) -> Vec<crate::path_oram::ObservedAccess> {
+        self.inner.borrow().server.observed().to_vec()
+    }
+
+    /// Issues one prefetch query for a code page (driven by the
+    /// [`CodePrefetcher`](crate::CodePrefetcher)).
+    pub fn prefetch_page(&self, key: PageKey) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.cache.contains_key(&key) {
+            // Already on-chip: issue a dummy query anyway so the wire
+            // pattern stays consistent.
+            let dummy = PageKey::CodePage(Address::ZERO, u32::MAX).block_id();
+            let _ = inner.fetch_raw(&dummy);
+        } else {
+            let _ = inner.fetch_page_uncached(key);
+        }
+        inner.stats.prefetch_queries += 1;
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> Clock {
+        self.inner.borrow().clock.clone()
+    }
+}
+
+impl Inner {
+    fn write_page(&mut self, key: PageKey, page: Vec<u8>) -> Result<(), OramError> {
+        let id = key.block_id();
+        self.client
+            .write(&mut self.server, &self.clock, &self.cost, &id, page)?;
+        Ok(())
+    }
+
+    fn fetch_raw(&mut self, id: &BlockId) -> Option<Vec<u8>> {
+        self.client
+            .read(&mut self.server, &self.clock, &self.cost, id)
+            .expect("ORAM integrity violated: aborting pre-execution")
+    }
+
+    fn fetch_page_uncached(&mut self, key: PageKey) -> Option<Vec<u8>> {
+        let id = key.block_id();
+        let page = self.fetch_raw(&id);
+        self.cache.insert(key, page.clone());
+        page
+    }
+
+    /// Cached fetch, counting the query type.
+    fn fetch_page(&mut self, key: PageKey) -> Option<Vec<u8>> {
+        if let Some(page) = self.cache.get(&key) {
+            return page.clone();
+        }
+        match key {
+            PageKey::CodePage(..) => self.stats.code_queries += 1,
+            _ => self.stats.kv_queries += 1,
+        }
+        self.fetch_page_uncached(key)
+    }
+}
+
+impl StateReader for ObliviousState {
+    fn account(&self, address: &Address) -> Option<AccountInfo> {
+        let mut inner = self.inner.borrow_mut();
+        let page = inner.fetch_page(PageKey::AccountMeta(*address))?;
+        decode_meta(&page)
+    }
+
+    fn code(&self, address: &Address) -> Arc<Vec<u8>> {
+        let mut inner = self.inner.borrow_mut();
+        let Some(meta_page) = inner.fetch_page(PageKey::AccountMeta(*address)) else {
+            return Arc::default();
+        };
+        let Some(info) = decode_meta(&meta_page) else {
+            return Arc::default();
+        };
+        if info.code_len == 0 {
+            return Arc::default();
+        }
+        let page_size = inner.page_size;
+        let pages = info.code_len.div_ceil(page_size);
+        let mut code = Vec::with_capacity(info.code_len);
+        for i in 0..pages {
+            let page = inner
+                .fetch_page(PageKey::CodePage(*address, i as u32))
+                .unwrap_or_else(|| vec![0u8; page_size]);
+            code.extend_from_slice(&page);
+        }
+        code.truncate(info.code_len);
+        Arc::new(code)
+    }
+
+    fn storage(&self, address: &Address, key: &U256) -> U256 {
+        let mut inner = self.inner.borrow_mut();
+        let group = PageKey::group_of(key);
+        match inner.fetch_page(PageKey::StorageGroup(*address, group)) {
+            Some(page) => {
+                let idx = PageKey::index_in_group(key);
+                U256::from_be_slice(&page[idx * 32..(idx + 1) * 32])
+            }
+            None => U256::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path_oram::OramConfig;
+    use tape_crypto::SecureRng;
+
+    fn oblivious_with(accounts: Vec<(Address, Account)>) -> ObliviousState {
+        let config = OramConfig { block_size: 1024, bucket_capacity: 4, height: 8 };
+        let server = OramServer::new(config.clone());
+        let client = OramClient::new(config, &[3u8; 16], SecureRng::from_seed(b"pagestore"));
+        let state = ObliviousState::new(client, server, Clock::new(), CostModel::default());
+        state.sync_full_state(accounts.into_iter()).unwrap();
+        state
+    }
+
+    #[test]
+    fn page_key_ids_distinct() {
+        let a = Address::from_low_u64(1);
+        let ids = [
+            PageKey::AccountMeta(a).block_id(),
+            PageKey::CodePage(a, 0).block_id(),
+            PageKey::CodePage(a, 1).block_id(),
+            PageKey::StorageGroup(a, U256::ZERO).block_id(),
+            PageKey::AccountMeta(Address::from_low_u64(2)).block_id(),
+        ];
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                assert_ne!(ids[i], ids[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_arithmetic() {
+        assert_eq!(PageKey::group_of(&U256::from(0u64)), U256::ZERO);
+        assert_eq!(PageKey::group_of(&U256::from(31u64)), U256::ZERO);
+        assert_eq!(PageKey::group_of(&U256::from(32u64)), U256::ONE);
+        assert_eq!(PageKey::index_in_group(&U256::from(33u64)), 1);
+        assert_eq!(PageKey::index_in_group(&U256::from(31u64)), 31);
+    }
+
+    #[test]
+    fn account_roundtrip() {
+        let addr = Address::from_low_u64(5);
+        let mut account = Account::with_code(vec![0xAB; 3000]); // 3 code pages
+        account.balance = U256::from(12345u64);
+        account.nonce = 7;
+        account.storage.insert(U256::from(3u64), U256::from(0x33u64));
+        account.storage.insert(U256::from(40u64), U256::from(0x44u64));
+
+        let state = oblivious_with(vec![(addr, account.clone())]);
+        let info = state.account(&addr).unwrap();
+        assert_eq!(info.balance, U256::from(12345u64));
+        assert_eq!(info.nonce, 7);
+        assert_eq!(info.code_len, 3000);
+        assert_eq!(state.code(&addr).as_slice(), &vec![0xAB; 3000][..]);
+        assert_eq!(state.storage(&addr, &U256::from(3u64)), U256::from(0x33u64));
+        assert_eq!(state.storage(&addr, &U256::from(40u64)), U256::from(0x44u64));
+        assert_eq!(state.storage(&addr, &U256::from(4u64)), U256::ZERO); // same group, unset
+        assert_eq!(state.storage(&addr, &U256::from(999u64)), U256::ZERO); // absent group
+    }
+
+    #[test]
+    fn absent_account() {
+        let state = oblivious_with(vec![]);
+        let ghost = Address::from_low_u64(9);
+        assert!(state.account(&ghost).is_none());
+        assert!(state.code(&ghost).is_empty());
+        assert_eq!(state.storage(&ghost, &U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn cache_avoids_repeat_queries() {
+        let addr = Address::from_low_u64(5);
+        let state = oblivious_with(vec![(addr, Account::with_balance(U256::ONE))]);
+        let before = state.stats();
+        state.account(&addr);
+        state.account(&addr);
+        state.account(&addr);
+        let after = state.stats();
+        assert_eq!(after.kv_queries - before.kv_queries, 1);
+
+        state.clear_cache();
+        state.account(&addr);
+        assert_eq!(state.stats().kv_queries - after.kv_queries, 1);
+    }
+
+    #[test]
+    fn code_and_kv_queries_counted_separately() {
+        let addr = Address::from_low_u64(5);
+        let mut account = Account::with_code(vec![1u8; 2500]); // 3 pages
+        account.balance = U256::ONE;
+        let state = oblivious_with(vec![(addr, account)]);
+        state.code(&addr);
+        let stats = state.stats();
+        assert_eq!(stats.kv_queries, 1); // the meta page
+        assert_eq!(stats.code_queries, 3);
+    }
+
+    #[test]
+    fn prefetch_counts_and_hits_wire() {
+        let addr = Address::from_low_u64(5);
+        let account = Account::with_code(vec![1u8; 2048]);
+        let state = oblivious_with(vec![(addr, account)]);
+        let wire_before = state.observed_accesses().len();
+        state.prefetch_page(PageKey::CodePage(addr, 0));
+        state.prefetch_page(PageKey::CodePage(addr, 0)); // cached -> dummy query
+        assert_eq!(state.stats().prefetch_queries, 2);
+        // Both prefetches produced real wire traffic.
+        assert_eq!(state.observed_accesses().len() - wire_before, 2);
+    }
+
+    #[test]
+    fn response_sizes_indistinguishable() {
+        // Code pages and storage groups produce identical wire traffic:
+        // each access reads+writes exactly blocks_per_access ciphertexts
+        // of identical size. We verify via the server's uniform geometry.
+        let addr = Address::from_low_u64(5);
+        let mut account = Account::with_code(vec![9u8; 1024]);
+        account.storage.insert(U256::ONE, U256::ONE);
+        let state = oblivious_with(vec![(addr, account)]);
+        state.code(&addr);
+        state.storage(&addr, &U256::ONE);
+        // Both paths hit the same server; nothing but the leaf differs.
+        let accesses = state.observed_accesses();
+        assert!(accesses.len() >= 4);
+    }
+}

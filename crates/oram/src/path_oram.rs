@@ -1,0 +1,592 @@
+//! Path ORAM (Stefanov & Shi) with AES-GCM re-encryption.
+//!
+//! The client hides which logical block it touches: every access reads
+//! and rewrites one whole root-to-leaf path of randomized-encrypted
+//! buckets, and the accessed block is remapped to a fresh uniformly
+//! random leaf. The server (run by the untrusted SP) sees only
+//! `(leaf, ciphertexts)` pairs — the access-pattern protection of paper
+//! §IV-D.
+
+use std::collections::HashMap;
+use tape_crypto::{AesGcm, SecureRng};
+use tape_primitives::B256;
+use tape_sim::{Clock, CostModel};
+
+/// Logical block identifier (a hash of the page key).
+pub type BlockId = B256;
+
+/// Tree and block geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OramConfig {
+    /// Payload bytes per *block* (paper: 1 KB).
+    pub block_size: usize,
+    /// Blocks per bucket (Z; the classic choice is 4).
+    pub bucket_capacity: usize,
+    /// Tree height: leaves = `2^height`, buckets = `2^(height+1) - 1`.
+    pub height: u32,
+}
+
+impl Default for OramConfig {
+    fn default() -> Self {
+        // A laptop-scale tree. The paper's 1.1 TB world state corresponds
+        // to height ≈ 30 (n ≈ 10⁹ blocks); experiments scale the height
+        // and extrapolate (see EXPERIMENTS.md).
+        OramConfig { block_size: 1024, bucket_capacity: 4, height: 12 }
+    }
+}
+
+impl OramConfig {
+    /// Number of leaves.
+    pub fn leaves(&self) -> u64 {
+        1 << self.height
+    }
+
+    /// Total bucket count.
+    pub fn buckets(&self) -> u64 {
+        (1 << (self.height + 1)) - 1
+    }
+
+    /// Buckets on one root-to-leaf path.
+    pub fn path_len(&self) -> u64 {
+        self.height as u64 + 1
+    }
+
+    /// Blocks touched per access (read + rewrite of one path).
+    pub fn blocks_per_access(&self) -> u64 {
+        self.path_len() * self.bucket_capacity as u64
+    }
+
+    /// Bucket index of the node at `level` on the path to `leaf`
+    /// (level 0 = root).
+    fn bucket_index(&self, leaf: u64, level: u32) -> usize {
+        debug_assert!(leaf < self.leaves());
+        debug_assert!(level <= self.height);
+        // Root is index 0; the node at `level` on the path to `leaf` is
+        // found by following the high bits of the leaf number.
+        let prefix = leaf >> (self.height - level);
+        (((1u64 << level) - 1) + prefix) as usize
+    }
+}
+
+/// One access observed by the server: everything the adversary sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservedAccess {
+    /// Virtual time of the query.
+    pub at: tape_sim::Nanos,
+    /// The leaf whose path was read and rewritten.
+    pub leaf: u64,
+}
+
+/// The untrusted ORAM server: stores opaque fixed-size ciphertexts and
+/// records the access pattern it can observe.
+#[derive(Debug)]
+pub struct OramServer {
+    config: OramConfig,
+    /// `buckets[i][j]` = ciphertext of slot j in bucket i.
+    buckets: Vec<Vec<Vec<u8>>>,
+    log: Vec<ObservedAccess>,
+    queries: u64,
+}
+
+impl OramServer {
+    /// Creates a server with every slot holding an (uninitialized) empty
+    /// ciphertext marker.
+    pub fn new(config: OramConfig) -> Self {
+        let buckets = (0..config.buckets())
+            .map(|_| vec![Vec::new(); config.bucket_capacity])
+            .collect();
+        OramServer { config, buckets, log: Vec::new(), queries: 0 }
+    }
+
+    /// The server's geometry.
+    pub fn config(&self) -> &OramConfig {
+        &self.config
+    }
+
+    /// Reads all ciphertexts on the path to `leaf`, logging the access.
+    pub fn read_path(&mut self, leaf: u64, at: tape_sim::Nanos) -> Vec<Vec<u8>> {
+        self.queries += 1;
+        self.log.push(ObservedAccess { at, leaf });
+        let mut out = Vec::with_capacity(self.config.blocks_per_access() as usize);
+        for level in 0..=self.config.height {
+            let idx = self.config.bucket_index(leaf, level);
+            for slot in &self.buckets[idx] {
+                out.push(slot.clone());
+            }
+        }
+        out
+    }
+
+    /// Overwrites the path to `leaf` with fresh ciphertexts
+    /// (`blocks.len()` must equal [`OramConfig::blocks_per_access`]).
+    pub fn write_path(&mut self, leaf: u64, blocks: Vec<Vec<u8>>) {
+        assert_eq!(blocks.len() as u64, self.config.blocks_per_access());
+        let mut it = blocks.into_iter();
+        for level in 0..=self.config.height {
+            let idx = self.config.bucket_index(leaf, level);
+            for slot in self.buckets[idx].iter_mut() {
+                *slot = it.next().expect("length asserted");
+            }
+        }
+    }
+
+    /// Every access the server has observed — the adversary's view.
+    pub fn observed(&self) -> &[ObservedAccess] {
+        &self.log
+    }
+
+    /// Total queries served.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+/// Why an ORAM operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OramError {
+    /// A ciphertext failed authentication — the server tampered with it
+    /// (attack A6).
+    Tampered,
+    /// A plaintext block had the wrong size.
+    BadBlockSize {
+        /// The configured block size.
+        expected: usize,
+        /// The payload length supplied.
+        actual: usize,
+    },
+}
+
+impl core::fmt::Display for OramError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OramError::Tampered => write!(f, "ORAM block failed authentication"),
+            OramError::BadBlockSize { expected, actual } => {
+                write!(f, "bad block size: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OramError {}
+
+/// A stash entry: a decrypted real block waiting for eviction, carrying
+/// its embedded leaf assignment (kept in the ciphertext so eviction never
+/// needs the position map — the property recursion relies on).
+#[derive(Debug, Clone)]
+struct StashEntry {
+    data: Vec<u8>,
+    leaf: u64,
+}
+
+/// The trusted Path ORAM client (runs inside the Hypervisor).
+///
+/// Holds the position map and stash on-chip; every access produces one
+/// uniformly random path read + rewrite on the server, independent of
+/// the logical block touched.
+pub struct OramClient {
+    config: OramConfig,
+    cipher: AesGcm,
+    rng: SecureRng,
+    position: HashMap<BlockId, u64>,
+    stash: HashMap<BlockId, StashEntry>,
+    /// Random per-client nonce prefix: clients in a fleet share the ORAM
+    /// key (paper §IV-D), so each client must own a disjoint nonce space
+    /// or AES-GCM security collapses on the first counter collision.
+    nonce_prefix: [u8; 4],
+    nonce_counter: u64,
+    max_stash: usize,
+}
+
+impl core::fmt::Debug for OramClient {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("OramClient")
+            .field("positions", &self.position.len())
+            .field("stash", &self.stash.len())
+            .finish()
+    }
+}
+
+impl OramClient {
+    /// Creates a client sharing `key` (the ORAM key held by the
+    /// Hypervisors, paper §IV-D) and a seeded RNG.
+    pub fn new(config: OramConfig, key: &[u8; 16], mut rng: SecureRng) -> Self {
+        let mut nonce_prefix = [0u8; 4];
+        rng.fill_bytes(&mut nonce_prefix);
+        OramClient {
+            config,
+            cipher: AesGcm::new(key),
+            rng,
+            position: HashMap::new(),
+            stash: HashMap::new(),
+            nonce_prefix,
+            nonce_counter: 0,
+            max_stash: 0,
+        }
+    }
+
+    /// The client's geometry.
+    pub fn config(&self) -> &OramConfig {
+        &self.config
+    }
+
+    /// Number of mapped blocks.
+    pub fn len(&self) -> usize {
+        self.position.len()
+    }
+
+    /// Returns `true` if no blocks are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.position.is_empty()
+    }
+
+    /// High-water mark of the stash (for the O(log n) bound checks).
+    pub fn max_stash_seen(&self) -> usize {
+        self.max_stash
+    }
+
+    fn next_nonce(&mut self) -> [u8; 12] {
+        self.nonce_counter += 1;
+        let mut nonce = [0u8; 12];
+        nonce[..4].copy_from_slice(&self.nonce_prefix);
+        nonce[4..].copy_from_slice(&self.nonce_counter.to_be_bytes());
+        nonce
+    }
+
+    fn encrypt_slot(&mut self, id: Option<(&BlockId, u64, &[u8])>) -> Vec<u8> {
+        // Slot plaintext: 1 validity byte + 32-byte id + 8-byte leaf +
+        // payload. The embedded leaf makes eviction position-map-free.
+        let mut plain = Vec::with_capacity(41 + self.config.block_size);
+        match id {
+            Some((id, leaf, data)) => {
+                plain.push(1);
+                plain.extend_from_slice(id.as_bytes());
+                plain.extend_from_slice(&leaf.to_be_bytes());
+                plain.extend_from_slice(data);
+            }
+            None => {
+                plain.push(0);
+                plain.extend_from_slice(&[0u8; 40]);
+                plain.extend(std::iter::repeat_n(0u8, self.config.block_size));
+            }
+        }
+        let nonce = self.next_nonce();
+        let mut out = nonce.to_vec();
+        out.extend(self.cipher.seal(&nonce, b"oram", &plain));
+        out
+    }
+
+    fn decrypt_slot(&self, slot: &[u8]) -> Result<Option<(BlockId, u64, Vec<u8>)>, OramError> {
+        if slot.is_empty() {
+            // Never-written slot: treated as a dummy.
+            return Ok(None);
+        }
+        if slot.len() < 12 {
+            return Err(OramError::Tampered);
+        }
+        let nonce: [u8; 12] = slot[..12].try_into().expect("length checked");
+        let plain = self
+            .cipher
+            .open(&nonce, b"oram", &slot[12..])
+            .map_err(|_| OramError::Tampered)?;
+        if plain.len() != 41 + self.config.block_size {
+            return Err(OramError::Tampered);
+        }
+        if plain[0] == 0 {
+            return Ok(None);
+        }
+        let id = B256::from_slice(&plain[1..33]);
+        let leaf = u64::from_be_bytes(plain[33..41].try_into().expect("fixed layout"));
+        Ok(Some((id, leaf, plain[41..].to_vec())))
+    }
+
+    /// Reads a block; `None` if the id was never written.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Tampered`] if the server returned forged ciphertexts.
+    pub fn read(
+        &mut self,
+        server: &mut OramServer,
+        clock: &Clock,
+        cost: &CostModel,
+        id: &BlockId,
+    ) -> Result<Option<Vec<u8>>, OramError> {
+        self.access(server, clock, cost, id, None)
+    }
+
+    /// Writes a block (creating it if new) and returns its old contents.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError`] on tampering or a wrong-size payload.
+    pub fn write(
+        &mut self,
+        server: &mut OramServer,
+        clock: &Clock,
+        cost: &CostModel,
+        id: &BlockId,
+        data: Vec<u8>,
+    ) -> Result<Option<Vec<u8>>, OramError> {
+        if data.len() != self.config.block_size {
+            return Err(OramError::BadBlockSize {
+                expected: self.config.block_size,
+                actual: data.len(),
+            });
+        }
+        self.access(server, clock, cost, id, Some(data))
+    }
+
+    /// The Path ORAM access procedure: remap, read path into stash,
+    /// update, evict greedily, rewrite path. The internal position map
+    /// supplies the leaves; [`access_at`](Self::access_at) is the
+    /// map-free variant recursion builds on.
+    fn access(
+        &mut self,
+        server: &mut OramServer,
+        clock: &Clock,
+        cost: &CostModel,
+        id: &BlockId,
+        new_data: Option<Vec<u8>>,
+    ) -> Result<Option<Vec<u8>>, OramError> {
+        let leaves = self.config.leaves();
+        let known = self.position.contains_key(id);
+        let old_leaf = match self.position.get(id) {
+            Some(&leaf) => leaf,
+            None => self.rng.next_below(leaves),
+        };
+        let new_leaf = self.rng.next_below(leaves);
+
+        let is_write = new_data.is_some();
+        let old = self.access_at(server, clock, cost, id, old_leaf, new_leaf, |existing| {
+            match new_data {
+                Some(data) => Some(data),
+                None => existing,
+            }
+        })?;
+
+        // Maintain the map: real blocks get the fresh leaf; a read miss
+        // leaves no mapping behind.
+        if is_write || old.is_some() || known {
+            self.position.insert(*id, new_leaf);
+        }
+        Ok(old)
+    }
+
+    /// The map-free access primitive: the caller supplies the current and
+    /// next leaf of the target block (recursive position maps do exactly
+    /// this). `update` receives the block's current contents (`None` when
+    /// absent) and returns what to store (`None` deletes/keeps absent).
+    /// Returns the previous contents.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Tampered`] if the server returned forged ciphertexts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn access_at(
+        &mut self,
+        server: &mut OramServer,
+        clock: &Clock,
+        cost: &CostModel,
+        id: &BlockId,
+        old_leaf: u64,
+        new_leaf: u64,
+        update: impl FnOnce(Option<Vec<u8>>) -> Option<Vec<u8>>,
+    ) -> Result<Option<Vec<u8>>, OramError> {
+        // Read the whole path into the stash; embedded leaves ride along.
+        let slots = server.read_path(old_leaf, clock.now());
+        for slot in &slots {
+            if let Some((slot_id, leaf, data)) = self.decrypt_slot(slot)? {
+                self.stash.entry(slot_id).or_insert(StashEntry { data, leaf });
+            }
+        }
+
+        // Serve the request from the stash, remapping the target.
+        let old = self.stash.get(id).map(|e| e.data.clone());
+        match update(old.clone()) {
+            Some(data) => {
+                self.stash.insert(*id, StashEntry { data, leaf: new_leaf });
+            }
+            None => {
+                self.stash.remove(id);
+            }
+        }
+
+        // Greedy eviction: walk the path leaf-to-root, placing stash
+        // blocks into the deepest bucket whose subtree contains their
+        // embedded leaf.
+        let mut path_buckets: Vec<Vec<(BlockId, u64, Vec<u8>)>> =
+            vec![Vec::new(); self.config.path_len() as usize];
+        let stash_ids: Vec<BlockId> = self.stash.keys().copied().collect();
+        for level in (0..=self.config.height).rev() {
+            let capacity = self.config.bucket_capacity;
+            for sid in &stash_ids {
+                if path_buckets[level as usize].len() >= capacity {
+                    break;
+                }
+                let Some(entry) = self.stash.get(sid) else { continue };
+                // The block can live at `level` iff the path to its leaf
+                // passes through the same bucket.
+                let shift = self.config.height - level;
+                if entry.leaf >> shift == old_leaf >> shift {
+                    let entry = self.stash.remove(sid).expect("checked above");
+                    path_buckets[level as usize].push((*sid, entry.leaf, entry.data));
+                }
+            }
+        }
+
+        // Re-encrypt the full path (real blocks + dummies).
+        let mut out = Vec::with_capacity(self.config.blocks_per_access() as usize);
+        for bucket in path_buckets {
+            let mut written = 0;
+            for (bid, leaf, data) in &bucket {
+                out.push(self.encrypt_slot(Some((bid, *leaf, data))));
+                written += 1;
+            }
+            for _ in written..self.config.bucket_capacity {
+                out.push(self.encrypt_slot(None));
+            }
+        }
+        server.write_path(old_leaf, out);
+
+        self.max_stash = self.max_stash.max(self.stash.len());
+        clock.advance(cost.oram_query_ns(self.config.blocks_per_access()));
+        Ok(old)
+    }
+
+    /// A fresh uniform leaf from the client's secure RNG.
+    pub fn random_leaf(&mut self) -> u64 {
+        let leaves = self.config.leaves();
+        self.rng.next_below(leaves)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tape_crypto::keccak256;
+
+    fn setup() -> (OramServer, OramClient, Clock, CostModel) {
+        let config = OramConfig { block_size: 64, bucket_capacity: 4, height: 6 };
+        let server = OramServer::new(config.clone());
+        let client = OramClient::new(config, &[7u8; 16], SecureRng::from_seed(b"oram test"));
+        (server, client, Clock::new(), CostModel::default())
+    }
+
+    fn bid(n: u64) -> BlockId {
+        keccak256(n.to_be_bytes())
+    }
+
+    fn block(config_size: usize, fill: u8) -> Vec<u8> {
+        vec![fill; config_size]
+    }
+
+    #[test]
+    fn bucket_index_geometry() {
+        let c = OramConfig { block_size: 1, bucket_capacity: 1, height: 2 };
+        // Tree: root 0; level 1: 1,2; level 2 (leaves): 3,4,5,6.
+        assert_eq!(c.bucket_index(0, 0), 0);
+        assert_eq!(c.bucket_index(3, 0), 0);
+        assert_eq!(c.bucket_index(0, 1), 1);
+        assert_eq!(c.bucket_index(1, 1), 1);
+        assert_eq!(c.bucket_index(2, 1), 2);
+        assert_eq!(c.bucket_index(0, 2), 3);
+        assert_eq!(c.bucket_index(3, 2), 6);
+        assert_eq!(c.buckets(), 7);
+        assert_eq!(c.path_len(), 3);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let (mut server, mut client, clock, cost) = setup();
+        let data = block(64, 0xAB);
+        assert_eq!(
+            client.write(&mut server, &clock, &cost, &bid(1), data.clone()).unwrap(),
+            None
+        );
+        assert_eq!(
+            client.read(&mut server, &clock, &cost, &bid(1)).unwrap(),
+            Some(data)
+        );
+        assert_eq!(client.read(&mut server, &clock, &cost, &bid(99)).unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_returns_old() {
+        let (mut server, mut client, clock, cost) = setup();
+        client.write(&mut server, &clock, &cost, &bid(1), block(64, 1)).unwrap();
+        let old = client
+            .write(&mut server, &clock, &cost, &bid(1), block(64, 2))
+            .unwrap();
+        assert_eq!(old, Some(block(64, 1)));
+        assert_eq!(
+            client.read(&mut server, &clock, &cost, &bid(1)).unwrap(),
+            Some(block(64, 2))
+        );
+    }
+
+    #[test]
+    fn many_blocks_survive_shuffling() {
+        let (mut server, mut client, clock, cost) = setup();
+        for i in 0..100u64 {
+            client
+                .write(&mut server, &clock, &cost, &bid(i), block(64, i as u8))
+                .unwrap();
+        }
+        // Interleaved reads in a scrambled order.
+        for i in (0..100u64).rev().step_by(3) {
+            assert_eq!(
+                client.read(&mut server, &clock, &cost, &bid(i)).unwrap(),
+                Some(block(64, i as u8)),
+                "block {i}"
+            );
+        }
+        // Stash stays small (O(log n) with Z=4).
+        assert!(client.max_stash_seen() < 40, "stash blew up: {}", client.max_stash_seen());
+    }
+
+    #[test]
+    fn wrong_block_size_rejected() {
+        let (mut server, mut client, clock, cost) = setup();
+        let err = client
+            .write(&mut server, &clock, &cost, &bid(1), vec![0; 63])
+            .unwrap_err();
+        assert_eq!(err, OramError::BadBlockSize { expected: 64, actual: 63 });
+    }
+
+    #[test]
+    fn server_tampering_detected() {
+        let (mut server, mut client, clock, cost) = setup();
+        client.write(&mut server, &clock, &cost, &bid(1), block(64, 5)).unwrap();
+        // Corrupt every non-empty slot ciphertext.
+        for bucket in &mut server.buckets {
+            for slot in bucket.iter_mut() {
+                if !slot.is_empty() {
+                    let last = slot.len() - 1;
+                    slot[last] ^= 0xFF;
+                }
+            }
+        }
+        let err = client.read(&mut server, &clock, &cost, &bid(1)).unwrap_err();
+        assert_eq!(err, OramError::Tampered);
+    }
+
+    #[test]
+    fn access_advances_clock() {
+        let (mut server, mut client, clock, cost) = setup();
+        client.write(&mut server, &clock, &cost, &bid(1), block(64, 1)).unwrap();
+        let per_access = cost.oram_query_ns(client.config().blocks_per_access());
+        assert_eq!(clock.now(), per_access);
+        client.read(&mut server, &clock, &cost, &bid(1)).unwrap();
+        assert_eq!(clock.now(), 2 * per_access);
+    }
+
+    #[test]
+    fn server_logs_every_access() {
+        let (mut server, mut client, clock, cost) = setup();
+        for i in 0..10u64 {
+            client.write(&mut server, &clock, &cost, &bid(i), block(64, 0)).unwrap();
+        }
+        assert_eq!(server.observed().len(), 10);
+        assert_eq!(server.queries(), 10);
+    }
+}

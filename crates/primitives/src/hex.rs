@@ -1,0 +1,131 @@
+//! Minimal hexadecimal encoding and decoding.
+//!
+//! The workspace deliberately avoids external codec crates; this module
+//! provides the two functions everything else needs.
+
+use core::fmt;
+
+/// Error produced when decoding an invalid hex string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FromHexError {
+    /// The input contained a non-hex character at the given offset.
+    InvalidCharacter {
+        /// The offending character.
+        ch: char,
+        /// Byte offset of the character.
+        index: usize,
+    },
+    /// The input length was odd, or did not match the expected length.
+    InvalidLength {
+        /// Expected number of hex digits.
+        expected: usize,
+        /// Actual number of hex digits.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for FromHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromHexError::InvalidCharacter { ch, index } => {
+                write!(f, "invalid hex character {ch:?} at index {index}")
+            }
+            FromHexError::InvalidLength { expected, actual } => {
+                write!(f, "invalid hex length: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FromHexError {}
+
+/// Encodes bytes as a lowercase hex string (no prefix).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tape_primitives::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: impl AsRef<[u8]>) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let bytes = bytes.as_ref();
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (no prefix) into bytes.
+///
+/// # Errors
+///
+/// Returns [`FromHexError`] if the input has odd length or contains a
+/// non-hex character.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tape_primitives::hex::decode("dead")?, vec![0xde, 0xad]);
+/// # Ok::<(), tape_primitives::hex::FromHexError>(())
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, FromHexError> {
+    if s.len() % 2 != 0 {
+        return Err(FromHexError::InvalidLength { expected: s.len() + 1, actual: s.len() });
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for i in (0..bytes.len()).step_by(2) {
+        let hi = nibble(bytes[i]).ok_or(FromHexError::InvalidCharacter {
+            ch: bytes[i] as char,
+            index: i,
+        })?;
+        let lo = nibble(bytes[i + 1]).ok_or(FromHexError::InvalidCharacter {
+            ch: bytes[i + 1] as char,
+            index: i + 1,
+        })?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn nibble(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn decode_mixed_case() {
+        assert_eq!(decode("DeAd").unwrap(), vec![0xde, 0xad]);
+    }
+
+    #[test]
+    fn decode_empty() {
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+        assert_eq!(encode([]), "");
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert!(matches!(decode("abc"), Err(FromHexError::InvalidLength { .. })));
+        assert!(matches!(
+            decode("zz"),
+            Err(FromHexError::InvalidCharacter { ch: 'z', index: 0 })
+        ));
+    }
+}

@@ -1,0 +1,33 @@
+//! # tape-primitives
+//!
+//! Core data types for the HarDTAPE reproduction: the EVM word type
+//! [`U256`], fixed-size byte arrays ([`B256`], [`Address`]), hexadecimal
+//! codecs, and RLP serialization.
+//!
+//! Everything in this crate is implemented from scratch (no external codec
+//! or bignum crates) so the whole reproduction remains self-contained.
+//!
+//! # Examples
+//!
+//! ```
+//! use tape_primitives::{Address, B256, U256};
+//!
+//! let balance = U256::from(1_000_000u64);
+//! let spent = U256::from(400_000u64);
+//! assert_eq!(balance.wrapping_sub(spent), U256::from(600_000u64));
+//!
+//! let owner = Address::from_low_u64(0xCAFE);
+//! let slot: B256 = U256::from(3u64).into();
+//! assert_eq!(slot.into_u256(), U256::from(3u64));
+//! assert_eq!(owner.into_word().to_be_bytes()[31], 0xFE);
+//! ```
+
+#![warn(missing_docs)]
+
+mod fixed;
+pub mod hex;
+pub mod rlp;
+mod u256;
+
+pub use fixed::{Address, B256};
+pub use u256::{ParseU256Error, U256};

@@ -1,0 +1,176 @@
+//! Property-based tests for U256 arithmetic and RLP round-trips.
+
+use proptest::prelude::*;
+use tape_primitives::{rlp, U256};
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    any::<[u64; 4]>().prop_map(U256::from_limbs)
+}
+
+/// Small values exercise carry-free paths; mixing them in improves shrink
+/// quality.
+fn arb_u256_mixed() -> impl Strategy<Value = U256> {
+    prop_oneof![
+        arb_u256(),
+        any::<u64>().prop_map(U256::from),
+        Just(U256::ZERO),
+        Just(U256::ONE),
+        Just(U256::MAX),
+        Just(U256::SIGN_BIT),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in arb_u256_mixed(), b in arb_u256_mixed()) {
+        prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+    }
+
+    #[test]
+    fn add_sub_inverse(a in arb_u256_mixed(), b in arb_u256_mixed()) {
+        prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_u256_mixed(), b in arb_u256_mixed()) {
+        prop_assert_eq!(a.wrapping_mul(b), b.wrapping_mul(a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in arb_u256_mixed(), b in arb_u256_mixed(), c in arb_u256_mixed()) {
+        let lhs = a.wrapping_mul(b.wrapping_add(c));
+        let rhs = a.wrapping_mul(b).wrapping_add(a.wrapping_mul(c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_u256_mixed(), b in arb_u256_mixed()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.checked_div_rem(b).unwrap();
+        prop_assert!(r < b);
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    #[test]
+    fn div_agrees_with_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assume!(b != 0);
+        let (q, r) = U256::from(a).checked_div_rem(U256::from(b)).unwrap();
+        prop_assert_eq!(q, U256::from(a / b));
+        prop_assert_eq!(r, U256::from(a % b));
+    }
+
+    #[test]
+    fn mulmod_matches_u128(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
+        let expected = ((a as u128 * b as u128) % m as u128) as u64;
+        prop_assert_eq!(
+            U256::from(a).mul_mod(U256::from(b), U256::from(m)),
+            U256::from(expected)
+        );
+    }
+
+    #[test]
+    fn addmod_matches_u128(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
+        let expected = ((a as u128 + b as u128) % m as u128) as u64;
+        prop_assert_eq!(
+            U256::from(a).add_mod(U256::from(b), U256::from(m)),
+            U256::from(expected)
+        );
+    }
+
+    #[test]
+    fn shift_roundtrip(a in arb_u256(), s in 0u32..256) {
+        // (a << s) >> s keeps the low 256-s bits.
+        let masked = if s == 0 { a } else { a.shl_word(s).shr_word(s) };
+        let expected = a & U256::MAX.shr_word(s);
+        prop_assert_eq!(masked, expected);
+    }
+
+    #[test]
+    fn shl_is_mul_by_pow2(a in arb_u256(), s in 0u32..256) {
+        let pow = U256::ONE.shl_word(s);
+        prop_assert_eq!(a.shl_word(s), a.wrapping_mul(pow));
+    }
+
+    #[test]
+    fn neg_is_additive_inverse(a in arb_u256_mixed()) {
+        prop_assert_eq!(a.wrapping_add(a.wrapping_neg()), U256::ZERO);
+    }
+
+    #[test]
+    fn sdiv_smod_reconstruct(a in arb_u256_mixed(), b in arb_u256_mixed()) {
+        prop_assume!(!b.is_zero());
+        // a == sdiv(a,b)*b + smod(a,b) (mod 2^256) — EVM signed semantics.
+        let q = a.sdiv_evm(b);
+        let r = a.smod_evm(b);
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    #[test]
+    fn be_bytes_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in arb_u256_mixed()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<U256>().unwrap(), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_u256_mixed()) {
+        let s = format!("{a:#x}");
+        prop_assert_eq!(s.parse::<U256>().unwrap(), a);
+    }
+
+    #[test]
+    fn exp_matches_naive(base in arb_u256_mixed(), e in 0u32..40) {
+        let mut naive = U256::ONE;
+        for _ in 0..e {
+            naive = naive.wrapping_mul(base);
+        }
+        prop_assert_eq!(base.wrapping_pow(U256::from(e as u64)), naive);
+    }
+
+    #[test]
+    fn isqrt_bounds(a in arb_u256_mixed()) {
+        let r = a.isqrt();
+        // r^2 <= a and (r+1)^2 > a (checking without overflow).
+        prop_assert!(r.checked_mul(r).map(|sq| sq <= a).unwrap_or(false) || a.is_zero());
+        let r1 = r.wrapping_add(U256::ONE);
+        match r1.checked_mul(r1) {
+            Some(sq) => prop_assert!(sq > a),
+            None => {} // (r+1)^2 overflowed 256 bits, necessarily > a
+        }
+    }
+
+    #[test]
+    fn rlp_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let enc = rlp::encode_bytes(&data);
+        let dec = rlp::decode(&enc).unwrap();
+        prop_assert_eq!(dec.as_bytes().unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn rlp_list_roundtrip(items in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..20)) {
+        let encoded: Vec<Vec<u8>> = items.iter().map(|i| rlp::encode_bytes(i)).collect();
+        let enc = rlp::encode_list(&encoded);
+        let dec = rlp::decode(&enc).unwrap();
+        let list = dec.as_list().unwrap();
+        prop_assert_eq!(list.len(), items.len());
+        for (item, original) in list.iter().zip(&items) {
+            prop_assert_eq!(item.as_bytes().unwrap(), &original[..]);
+        }
+    }
+
+    #[test]
+    fn rlp_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let _ = rlp::decode(&data);
+    }
+
+    #[test]
+    fn rlp_reencode_is_identity(data in proptest::collection::vec(any::<u8>(), 0..100)) {
+        if let Ok(item) = rlp::decode(&data) {
+            prop_assert_eq!(rlp::encode_item(&item), data);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The calibrated cost model.
+//!
+//! Every constant here is an *input* to the simulation, standing in for a
+//! measurement the paper made on real hardware (XCZU15EV FPGA @ 0.1 GHz,
+//! Cortex-A53 @ 1.4 GHz, i7-12700 ORAM server, 2 ms Ethernet). The
+//! evaluation harness charges these costs per event actually executed —
+//! so per-transaction totals *emerge* from real execution; only the unit
+//! costs are calibrated. Changing a constant here is the knob for
+//! sensitivity/ablation studies.
+
+use tape_evm::opcode::{self, op, OpCategory};
+
+/// Unit costs in virtual nanoseconds. `Default` reproduces the paper's
+/// measurement environment (§VI).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// One HEVM clock cycle (0.1 GHz → 10 ns).
+    pub hevm_cycle_ns: u64,
+    /// Geth interpreter dispatch cost per instruction on the server CPU.
+    pub geth_dispatch_ns: u64,
+    /// Geth per-state-access cost (memory-resident trie lookup).
+    pub geth_state_access_ns: u64,
+    /// Geth fixed per-transaction overhead (RPC handling, setup).
+    pub geth_tx_overhead_ns: u64,
+    /// Geth per-frame setup (interpreter/EVM object allocation, journal
+    /// snapshot) — charged per contract frame; this is what makes Geth
+    /// slower on the Fig. 5 Transfer benchmark.
+    pub geth_frame_setup_ns: u64,
+    /// HEVM fixed per-transaction overhead (Hypervisor session and
+    /// message handling on the A53).
+    pub hevm_tx_overhead_ns: u64,
+    /// Round-trip Ethernet latency to the SP's machines (paper: 2 ms).
+    pub link_rtt_ns: u64,
+    /// ORAM server processing per query (paper §VI-D: 25 µs).
+    pub oram_server_op_ns: u64,
+    /// On-chip re-encryption cost per 1 KB ORAM *block* on a path.
+    pub oram_client_block_ns: u64,
+    /// ECDSA signature on the Cortex-A53 (one per bundle for the trace).
+    pub ecdsa_sign_ns: u64,
+    /// ECDSA verification on the Cortex-A53 (one per bundle of user input).
+    pub ecdsa_verify_ns: u64,
+    /// Fixed cost per AES-GCM-protected message (header check + DMA setup).
+    pub aes_message_ns: u64,
+    /// AES-GCM throughput cost per byte on the A.E.DMA path.
+    pub aes_per_byte_ns: u64,
+    /// Layer-3 page swap (1 KB DMA + AES-GCM) per page.
+    pub layer3_swap_page_ns: u64,
+    /// Fetching locally-prefetched world-state data when the ORAM is
+    /// disabled (`-raw`/`-E`/`-ES` configurations).
+    pub local_state_fetch_ns: u64,
+    /// Layer-1 cache miss penalty (refill from layer 2), per access.
+    pub l1_miss_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            hevm_cycle_ns: 10,          // 0.1 GHz
+            geth_dispatch_ns: 12,
+            geth_state_access_ns: 900,
+            geth_tx_overhead_ns: 550_000,
+            geth_frame_setup_ns: 30_000,
+            hevm_tx_overhead_ns: 1_000_000,
+            link_rtt_ns: 2_000_000,     // 2 ms Ethernet
+            oram_server_op_ns: 25_000,  // 25 µs per query
+            oram_client_block_ns: 4_000,
+            ecdsa_sign_ns: 40_000_000,  // sign + verify ≈ 80 ms on the A53
+            ecdsa_verify_ns: 40_000_000,
+            aes_message_ns: 250_000,
+            aes_per_byte_ns: 550,
+            layer3_swap_page_ns: 20_000,
+            local_state_fetch_ns: 4_000,
+            l1_miss_ns: 500,
+        }
+    }
+}
+
+impl CostModel {
+    /// HEVM pipeline cycles for one instruction. The four-stage pipeline
+    /// retires simple ops every cycle; multi-cycle ALU ops (256-bit
+    /// MUL/DIV/EXP), keccak rounds, and frame switches stall it.
+    pub fn hevm_cycles(&self, opcode: u8) -> u64 {
+        match opcode {
+            op::MUL => 8,
+            op::DIV | op::SDIV | op::MOD | op::SMOD => 40,
+            op::ADDMOD | op::MULMOD => 48,
+            op::EXP => 320, // worst-case square-and-multiply microcode
+            op::KECCAK256 => 96,
+            op::JUMP | op::JUMPI => 4, // pipeline flush
+            op::SLOAD | op::SSTORE | op::TLOAD | op::TSTORE => 6,
+            op::CREATE | op::CREATE2 => 400,
+            op::CALL | op::CALLCODE | op::DELEGATECALL | op::STATICCALL | op::RETURN
+            | op::REVERT | op::SELFDESTRUCT => 240, // L1 dump/reload on frame switch
+            _ => match opcode::info(opcode).category {
+                OpCategory::Arithmetic => 4,
+                OpCategory::Memory => 2,
+                OpCategory::Log => 8,
+                _ => 1,
+            },
+        }
+    }
+
+    /// Virtual time for one HEVM instruction.
+    pub fn hevm_instruction_ns(&self, opcode: u8) -> u64 {
+        self.hevm_cycles(opcode) * self.hevm_cycle_ns
+    }
+
+    /// Virtual time for one Geth (software interpreter) instruction.
+    pub fn geth_instruction_ns(&self, opcode: u8) -> u64 {
+        // A modern x86 runs most 256-bit ops in a handful of ns; hashing
+        // and frame switches dominate, and storage goes through the trie.
+        let work = match opcode {
+            op::KECCAK256 => 45,
+            op::EXP => 90,
+            op::DIV | op::SDIV | op::MOD | op::SMOD | op::ADDMOD | op::MULMOD => 25,
+            op::CALL | op::CALLCODE | op::DELEGATECALL | op::STATICCALL | op::CREATE
+            | op::CREATE2 => 700, // Geth allocates a new frame + EVM object
+            op::SLOAD | op::SSTORE => 60,
+            _ => 3,
+        };
+        self.geth_dispatch_ns + work
+    }
+
+    /// Virtual time for one Path ORAM query as seen by the client:
+    /// network round trip + server work + re-encrypting the path.
+    pub fn oram_query_ns(&self, path_blocks: u64) -> u64 {
+        self.link_rtt_ns + self.oram_server_op_ns + path_blocks * self.oram_client_block_ns
+    }
+
+    /// Virtual time for an AES-GCM-protected message of `len` bytes.
+    pub fn protected_message_ns(&self, len: usize) -> u64 {
+        self.aes_message_ns + self.aes_per_byte_ns * len as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let m = CostModel::default();
+        assert_eq!(m.hevm_cycle_ns, 10); // 0.1 GHz
+        assert_eq!(m.link_rtt_ns, 2_000_000); // 2 ms
+        assert_eq!(m.oram_server_op_ns, 25_000); // 25 µs
+        // ECDSA sign + verify ≈ the paper's 80 ms `-ES` step.
+        assert_eq!(m.ecdsa_sign_ns + m.ecdsa_verify_ns, 80_000_000);
+    }
+
+    #[test]
+    fn hevm_cycle_ordering() {
+        let m = CostModel::default();
+        // Simple ALU < MUL < DIV < CALL.
+        assert!(m.hevm_cycles(op::ADD) < m.hevm_cycles(op::MUL));
+        assert!(m.hevm_cycles(op::MUL) < m.hevm_cycles(op::DIV));
+        assert!(m.hevm_cycles(op::DIV) < m.hevm_cycles(op::CALL));
+        assert_eq!(m.hevm_cycles(op::DUP1), 1);
+        assert_eq!(m.hevm_instruction_ns(op::ADD), 40);
+    }
+
+    #[test]
+    fn geth_call_dominates_simple_ops() {
+        let m = CostModel::default();
+        assert!(m.geth_instruction_ns(op::CALL) > 40 * m.geth_instruction_ns(op::ADD));
+    }
+
+    #[test]
+    fn oram_query_dominated_by_link() {
+        let m = CostModel::default();
+        let q = m.oram_query_ns(30);
+        assert!(q > m.link_rtt_ns);
+        assert!(q < 2 * m.link_rtt_ns + m.oram_server_op_ns + 30 * m.oram_client_block_ns);
+    }
+
+    #[test]
+    fn protected_message_scales_with_length() {
+        let m = CostModel::default();
+        assert!(m.protected_message_ns(4096) > m.protected_message_ns(100));
+        assert_eq!(
+            m.protected_message_ns(0),
+            m.aes_message_ns
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! # tape-sim
+//!
+//! The simulation substrate that replaces the paper's physical testbed:
+//! a deterministic virtual [`Clock`], the calibrated [`CostModel`]
+//! standing in for the FPGA / Cortex-A53 / Ethernet / ORAM-server
+//! hardware, the §VI-A [`resources`] model, and statistics helpers used
+//! by the evaluation harness.
+//!
+//! See DESIGN.md for the substitution table mapping each constant to the
+//! paper's measurement.
+#![warn(missing_docs)]
+
+mod clock;
+mod cost;
+pub mod resources;
+pub mod stats;
+
+pub use clock::{format_ns, Clock, Nanos};
+pub use cost::CostModel;

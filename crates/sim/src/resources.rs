@@ -1,0 +1,218 @@
+//! The hardware resource model — the reproduction of §VI-A.
+//!
+//! Vivado synthesis cannot be re-run in this environment, so LUT/FF
+//! figures per HEVM are the paper's reported constants, while BlockRAM is
+//! *derived* from the memory architecture (layer-1 partitions, the
+//! BRAM-backed layer-2 window, and the tracer buffer). Chip capacities
+//! are the public XCZU15EV datasheet numbers.
+
+/// Layer-1 / layer-2 memory partitioning of one HEVM (paper §IV-B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// Code cache bytes (paper: 64 KB — covers >99% of frames).
+    pub code_cache: usize,
+    /// Input cache bytes (paper: 4 KB).
+    pub input_cache: usize,
+    /// Memory cache bytes (paper: 4 KB).
+    pub memory_cache: usize,
+    /// ReturnData cache bytes (paper: 4 KB).
+    pub return_cache: usize,
+    /// World-state cache bytes (paper: 4 KB ≈ 64 records).
+    pub state_cache: usize,
+    /// Full runtime stack (paper: 32 KB = 1024 × 32 B).
+    pub stack_bytes: usize,
+    /// Frame-state registers (32 × 32 B).
+    pub frame_state_bytes: usize,
+    /// Page size for layer-2/ORAM paging (paper: 1 KB).
+    pub page_size: usize,
+    /// Total layer-2 call-stack ring (paper: 1 MB).
+    pub layer2_bytes: usize,
+    /// BRAM-backed window of layer 2 (the rest sits in UltraRAM).
+    pub layer2_bram_window: usize,
+    /// On-chip tracer buffer.
+    pub tracer_bytes: usize,
+    /// Pipeline/misc buffers.
+    pub misc_bytes: usize,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            code_cache: 64 * 1024,
+            input_cache: 4 * 1024,
+            memory_cache: 4 * 1024,
+            return_cache: 4 * 1024,
+            state_cache: 4 * 1024,
+            stack_bytes: 32 * 1024,
+            frame_state_bytes: 1024,
+            page_size: 1024,
+            layer2_bytes: 1024 * 1024,
+            layer2_bram_window: 360 * 1024,
+            tracer_bytes: 32 * 1024,
+            misc_bytes: 4 * 1024,
+        }
+    }
+}
+
+impl MemoryConfig {
+    /// Total layer-1 bytes.
+    pub fn layer1_total(&self) -> usize {
+        self.code_cache
+            + self.input_cache
+            + self.memory_cache
+            + self.return_cache
+            + self.state_cache
+            + self.stack_bytes
+            + self.frame_state_bytes
+    }
+
+    /// BlockRAM consumed by one HEVM.
+    pub fn bram_per_hevm(&self) -> usize {
+        self.layer1_total() + self.layer2_bram_window + self.tracer_bytes + self.misc_bytes
+    }
+
+    /// The memory-overflow threshold: a single execution frame larger than
+    /// half of layer 2 aborts the bundle (paper §IV-B).
+    pub fn frame_size_limit(&self) -> usize {
+        self.layer2_bytes / 2
+    }
+}
+
+/// Per-HEVM logic consumption (paper's Vivado report).
+pub const LUTS_PER_HEVM: u32 = 103_388;
+/// Per-HEVM register consumption (paper's Vivado report).
+pub const FFS_PER_HEVM: u32 = 37_104;
+
+/// XCZU15EV programmable-logic capacity (public datasheet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipCapacity {
+    /// Lookup tables.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+    /// BlockRAM bytes (26.2 Mb).
+    pub bram_bytes: usize,
+    /// On-chip memory available to the Hypervisor (OCM).
+    pub hypervisor_ocm: usize,
+}
+
+impl Default for ChipCapacity {
+    fn default() -> Self {
+        ChipCapacity {
+            luts: 341_280,
+            ffs: 682_560,
+            bram_bytes: 26_200_000 / 8,
+            hypervisor_ocm: 256 * 1024,
+        }
+    }
+}
+
+/// Hypervisor memory footprint (paper §VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HypervisorFootprint {
+    /// Binary size (includes the network protocol stack).
+    pub binary_bytes: usize,
+    /// Peak stack usage observed (the Hypervisor uses no heap).
+    pub stack_bytes: usize,
+}
+
+impl Default for HypervisorFootprint {
+    fn default() -> Self {
+        HypervisorFootprint { binary_bytes: 156 * 1024, stack_bytes: 92 * 1024 }
+    }
+}
+
+impl HypervisorFootprint {
+    /// Total runtime memory.
+    pub fn total(&self) -> usize {
+        self.binary_bytes + self.stack_bytes
+    }
+}
+
+/// The full §VI-A resource report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceReport {
+    /// LUTs consumed per HEVM.
+    pub luts_per_hevm: u32,
+    /// FFs consumed per HEVM.
+    pub ffs_per_hevm: u32,
+    /// BRAM bytes per HEVM (derived from the memory config).
+    pub bram_per_hevm: usize,
+    /// Maximum HEVMs on one chip and the binding resource.
+    pub max_hevms: u32,
+    /// Which resource limits the HEVM count.
+    pub bottleneck: &'static str,
+    /// Hypervisor memory footprint.
+    pub hypervisor: HypervisorFootprint,
+    /// Whether the Hypervisor fits the on-chip memory.
+    pub hypervisor_fits: bool,
+}
+
+/// Computes the resource report for a memory configuration on a chip.
+pub fn report(config: &MemoryConfig, chip: &ChipCapacity) -> ResourceReport {
+    let bram = config.bram_per_hevm();
+    let by_luts = chip.luts / LUTS_PER_HEVM;
+    let by_ffs = chip.ffs / FFS_PER_HEVM;
+    let by_bram = (chip.bram_bytes / bram.max(1)) as u32;
+    let max = by_luts.min(by_ffs).min(by_bram);
+    let bottleneck = if max == by_luts {
+        "LUT"
+    } else if max == by_bram {
+        "BRAM"
+    } else {
+        "FF"
+    };
+    let hypervisor = HypervisorFootprint::default();
+    ResourceReport {
+        luts_per_hevm: LUTS_PER_HEVM,
+        ffs_per_hevm: FFS_PER_HEVM,
+        bram_per_hevm: bram,
+        max_hevms: max,
+        bottleneck,
+        hypervisor,
+        hypervisor_fits: hypervisor.total() <= chip.hypervisor_ocm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bram_matches_paper() {
+        // 64+4+4+4+4+32+1 KB layer 1 + 360 KB L2 window + 32 KB tracer
+        // + 4 KB misc = 509 KB, the paper's reported figure.
+        let config = MemoryConfig::default();
+        assert_eq!(config.layer1_total(), 113 * 1024);
+        assert_eq!(config.bram_per_hevm(), 509 * 1024);
+    }
+
+    #[test]
+    fn three_hevms_lut_bound() {
+        let report = report(&MemoryConfig::default(), &ChipCapacity::default());
+        assert_eq!(report.max_hevms, 3);
+        assert_eq!(report.bottleneck, "LUT");
+    }
+
+    #[test]
+    fn hypervisor_fits_ocm() {
+        let fp = HypervisorFootprint::default();
+        assert_eq!(fp.total(), 248 * 1024);
+        let report = report(&MemoryConfig::default(), &ChipCapacity::default());
+        assert!(report.hypervisor_fits);
+    }
+
+    #[test]
+    fn frame_limit_is_half_layer2() {
+        let config = MemoryConfig::default();
+        assert_eq!(config.frame_size_limit(), 512 * 1024);
+    }
+
+    #[test]
+    fn bram_becomes_bottleneck_with_huge_caches() {
+        let config = MemoryConfig { code_cache: 2 * 1024 * 1024, ..Default::default() };
+        let report = report(&config, &ChipCapacity::default());
+        assert_eq!(report.bottleneck, "BRAM");
+        assert!(report.max_hevms < 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Small statistics helpers shared by the evaluation harness.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64
+}
+
+/// The `p`-th percentile (0–100) using nearest-rank on a sorted copy.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `p` is outside 0–100.
+pub fn percentile(values: &[u64], p: f64) -> u64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+/// A histogram over caller-supplied bucket upper bounds, used for the
+/// Table-I style distribution tables.
+///
+/// # Examples
+///
+/// ```
+/// use tape_sim::stats::Histogram;
+///
+/// // Table I buckets for memory-like sizes: <1k, 1-4k, 4-12k, 12-64k, >64k
+/// let mut h = Histogram::new(vec![1024, 4096, 12 * 1024, 64 * 1024]);
+/// h.record(100);
+/// h.record(5000);
+/// assert_eq!(h.shares(), vec![0.5, 0.0, 0.5, 0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Upper bounds (inclusive) of each bucket; one overflow bucket is
+    /// appended automatically.
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending inclusive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bounds are not strictly ascending.
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        let buckets = bounds.len() + 1;
+        Histogram { bounds, counts: vec![0; buckets], total: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw bucket counts (last bucket is the overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket shares in [0, 1]; all zeros when empty.
+    pub fn shares(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentile() {
+        let values = [10u64, 20, 30, 40, 50];
+        assert_eq!(mean(&values), 30.0);
+        assert_eq!(percentile(&values, 0.0), 10);
+        assert_eq!(percentile(&values, 50.0), 30);
+        assert_eq!(percentile(&values, 100.0), 50);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(vec![10, 100]);
+        for v in [5, 10, 11, 100, 101, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2]);
+        assert_eq!(h.total(), 6);
+        let shares = h.shares();
+        assert!((shares[0] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn histogram_bad_bounds() {
+        Histogram::new(vec![10, 10]);
+    }
+}

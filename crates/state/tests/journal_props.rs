@@ -1,0 +1,127 @@
+//! Property tests: the journaled overlay must behave exactly like a
+//! model interpreter over (balance, storage) maps under random
+//! operations with nested checkpoint/commit/revert.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tape_primitives::{Address, U256};
+use tape_state::{Account, InMemoryState, JournaledState};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Transfer { from: u8, to: u8, amount: u64 },
+    Store { who: u8, key: u8, value: u64 },
+    IncNonce { who: u8 },
+    Checkpoint,
+    Commit,
+    Revert,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0u8..4, 0u64..500).prop_map(|(from, to, amount)| Op::Transfer { from, to, amount }),
+        (0u8..4, 0u8..3, 0u64..100).prop_map(|(who, key, value)| Op::Store { who, key, value }),
+        (0u8..4).prop_map(|who| Op::IncNonce { who }),
+        Just(Op::Checkpoint),
+        Just(Op::Commit),
+        Just(Op::Revert),
+    ]
+}
+
+fn addr(i: u8) -> Address {
+    Address::from_low_u64(0x100 + i as u64)
+}
+
+/// A plain model of the overlay semantics.
+#[derive(Debug, Clone, PartialEq)]
+struct Model {
+    balances: HashMap<u8, u64>,
+    nonces: HashMap<u8, u64>,
+    storage: HashMap<(u8, u8), u64>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn journal_matches_model(ops in proptest::collection::vec(arb_op(), 0..80)) {
+        let mut backend = InMemoryState::new();
+        for i in 0..4u8 {
+            backend.put_account(addr(i), Account::with_balance(U256::from(1_000u64)));
+        }
+
+        let mut journal = JournaledState::new(&backend);
+        let mut model = Model {
+            balances: (0..4).map(|i| (i, 1_000u64)).collect(),
+            nonces: HashMap::new(),
+            storage: HashMap::new(),
+        };
+        // Parallel stacks: journal checkpoints and model snapshots.
+        let mut checkpoints = Vec::new();
+        let mut snapshots: Vec<Model> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Transfer { from, to, amount } => {
+                    let ok = journal
+                        .transfer(&addr(*from), &addr(*to), U256::from(*amount))
+                        .is_ok();
+                    let model_ok = model.balances.get(from).copied().unwrap_or(0) >= *amount;
+                    prop_assert_eq!(ok, model_ok, "transfer feasibility");
+                    if model_ok {
+                        *model.balances.entry(*from).or_insert(0) -= amount;
+                        *model.balances.entry(*to).or_insert(0) += amount;
+                    }
+                }
+                Op::Store { who, key, value } => {
+                    journal.sstore(&addr(*who), &U256::from(*key), U256::from(*value));
+                    model.storage.insert((*who, *key), *value);
+                }
+                Op::IncNonce { who } => {
+                    journal.inc_nonce(&addr(*who));
+                    *model.nonces.entry(*who).or_insert(0) += 1;
+                }
+                Op::Checkpoint => {
+                    checkpoints.push(journal.checkpoint());
+                    snapshots.push(model.clone());
+                }
+                Op::Commit => {
+                    if let Some(cp) = checkpoints.pop() {
+                        journal.commit(cp);
+                        snapshots.pop();
+                    }
+                }
+                Op::Revert => {
+                    if let Some(cp) = checkpoints.pop() {
+                        journal.revert(cp);
+                        model = snapshots.pop().expect("stacks in lockstep");
+                    }
+                }
+            }
+        }
+
+        // The journal and the model agree on every observable.
+        for i in 0..4u8 {
+            prop_assert_eq!(
+                journal.balance(&addr(i)),
+                U256::from(model.balances.get(&i).copied().unwrap_or(0)),
+                "balance of {}", i
+            );
+            prop_assert_eq!(
+                journal.nonce(&addr(i)),
+                model.nonces.get(&i).copied().unwrap_or(0),
+                "nonce of {}", i
+            );
+            for key in 0..3u8 {
+                prop_assert_eq!(
+                    journal.sload(&addr(i), &U256::from(key)).value,
+                    U256::from(model.storage.get(&(i, key)).copied().unwrap_or(0)),
+                    "storage ({}, {})", i, key
+                );
+            }
+        }
+        // Total balance is conserved across any interleaving.
+        let total: u64 = model.balances.values().sum();
+        prop_assert_eq!(total, 4_000);
+    }
+}

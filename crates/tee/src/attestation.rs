@@ -1,0 +1,327 @@
+//! The chain of trust: Manufacturer → PUF-derived device key → secure
+//! boot → remote attestation → DHKE session keys (paper §IV-A, following
+//! the SHEF-style design the paper cites).
+
+use tape_crypto::{keccak256, secp, Keccak256, PublicKey, SecretKey, SecureRng, Signature};
+use tape_primitives::B256;
+
+/// The trusted device creator. Provisions PUF secrets and certifies the
+/// device keys they derive.
+pub struct Manufacturer {
+    root: SecretKey,
+}
+
+impl core::fmt::Debug for Manufacturer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Manufacturer").finish_non_exhaustive()
+    }
+}
+
+/// A certificate binding a device public key to the Manufacturer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceCertificate {
+    /// The certified device public key.
+    pub device_key: PublicKey,
+    /// Manufacturer signature over the device key.
+    pub signature: Signature,
+}
+
+impl Manufacturer {
+    /// Creates a manufacturer with a root signing key.
+    pub fn new(seed: &[u8]) -> Self {
+        Manufacturer { root: SecretKey::from_seed(seed) }
+    }
+
+    /// The publicly known manufacturer verification key.
+    pub fn public_key(&self) -> PublicKey {
+        self.root.public_key()
+    }
+
+    /// Provisions a new device: installs a PUF secret and certifies the
+    /// device key derived from it.
+    pub fn provision(&self, device_id: u64, rng: &mut SecureRng) -> (tape_crypto::Puf, DeviceCertificate) {
+        let mut secret = rng.next_b256().into_bytes();
+        secret[..8].copy_from_slice(&device_id.to_be_bytes());
+        let puf = tape_crypto::Puf::provision(B256::new(secret));
+        let device_key = puf.device_key().public_key();
+        let signature = self.root.sign(&cert_digest(&device_key));
+        (puf, DeviceCertificate { device_key, signature })
+    }
+}
+
+fn cert_digest(device_key: &PublicKey) -> B256 {
+    let mut h = Keccak256::new();
+    h.update(b"hardtape-device-cert-v1");
+    h.update(&device_key.to_bytes());
+    h.finalize()
+}
+
+/// Errors in the attestation protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttestError {
+    /// The device certificate does not verify under the manufacturer key.
+    BadCertificate,
+    /// The quote signature does not verify under the device key.
+    BadQuote,
+    /// The quote was bound to a different nonce (replay, A1).
+    NonceMismatch,
+    /// The measured firmware differs from the expected image.
+    FirmwareMismatch,
+    /// Key agreement failed.
+    Dhke,
+}
+
+impl core::fmt::Display for AttestError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AttestError::BadCertificate => write!(f, "invalid device certificate"),
+            AttestError::BadQuote => write!(f, "invalid attestation quote"),
+            AttestError::NonceMismatch => write!(f, "attestation nonce mismatch"),
+            AttestError::FirmwareMismatch => write!(f, "unexpected firmware measurement"),
+            AttestError::Dhke => write!(f, "key agreement failed"),
+        }
+    }
+}
+
+impl std::error::Error for AttestError {}
+
+/// The boot-time measurement of the Hypervisor firmware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootMeasurement {
+    /// keccak256 of the booted firmware image.
+    pub firmware_hash: B256,
+}
+
+/// Secure boot: the CSU measures and signs the firmware before handing
+/// control to the Hypervisor.
+pub fn secure_boot(puf: &tape_crypto::Puf, firmware: &[u8]) -> (BootMeasurement, Signature) {
+    let measurement = BootMeasurement { firmware_hash: keccak256(firmware) };
+    let signature = puf.device_key().sign(&boot_digest(&measurement));
+    (measurement, signature)
+}
+
+fn boot_digest(m: &BootMeasurement) -> B256 {
+    let mut h = Keccak256::new();
+    h.update(b"hardtape-boot-v1");
+    h.update(m.firmware_hash.as_bytes());
+    h.finalize()
+}
+
+/// An attestation quote: binds the session key and user nonce to the
+/// device and its firmware measurement (defeats MITM and replay, A1).
+#[derive(Debug, Clone)]
+pub struct Quote {
+    /// The device certificate.
+    pub certificate: DeviceCertificate,
+    /// Firmware measurement from secure boot.
+    pub measurement: BootMeasurement,
+    /// Boot signature by the device key.
+    pub boot_signature: Signature,
+    /// The Hypervisor's freshly generated session public key.
+    pub session_key: PublicKey,
+    /// The user-supplied nonce echoed into the quote.
+    pub nonce: B256,
+    /// Device-key signature over (session key, nonce, firmware hash).
+    pub signature: Signature,
+}
+
+fn quote_digest(session: &PublicKey, nonce: &B256, firmware: &B256) -> B256 {
+    let mut h = Keccak256::new();
+    h.update(b"hardtape-quote-v1");
+    h.update(&session.to_bytes());
+    h.update(nonce.as_bytes());
+    h.update(firmware.as_bytes());
+    h.finalize()
+}
+
+/// The device-side attestation responder (runs in the Hypervisor).
+pub struct Attester {
+    puf: tape_crypto::Puf,
+    certificate: DeviceCertificate,
+    measurement: BootMeasurement,
+    boot_signature: Signature,
+}
+
+impl core::fmt::Debug for Attester {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Attester")
+            .field("firmware", &self.measurement.firmware_hash)
+            .finish()
+    }
+}
+
+impl Attester {
+    /// Builds the responder after secure boot.
+    pub fn new(puf: tape_crypto::Puf, certificate: DeviceCertificate, firmware: &[u8]) -> Self {
+        let (measurement, boot_signature) = secure_boot(&puf, firmware);
+        Attester { puf, certificate, measurement, boot_signature }
+    }
+
+    /// Responds to a user's attestation request: generates a fresh
+    /// session key pair and a quote over it. Returns the quote and the
+    /// session secret (kept by the Hypervisor).
+    pub fn respond(&self, nonce: B256, rng: &mut SecureRng) -> (Quote, SecretKey) {
+        let session_secret = rng.next_secret_key();
+        let session_key = session_secret.public_key();
+        let digest = quote_digest(&session_key, &nonce, &self.measurement.firmware_hash);
+        let signature = self.puf.device_key().sign(&digest);
+        (
+            Quote {
+                certificate: self.certificate,
+                measurement: self.measurement,
+                boot_signature: self.boot_signature,
+                session_key,
+                nonce,
+                signature,
+            },
+            session_secret,
+        )
+    }
+}
+
+/// The user-side verifier.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    manufacturer: PublicKey,
+    expected_firmware: B256,
+}
+
+impl Verifier {
+    /// A verifier trusting `manufacturer` and expecting the published
+    /// firmware image hash.
+    pub fn new(manufacturer: PublicKey, expected_firmware: B256) -> Self {
+        Verifier { manufacturer, expected_firmware }
+    }
+
+    /// Verifies a quote against the nonce this user chose.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError`] pinpointing the broken link of the chain.
+    pub fn verify(&self, quote: &Quote, expected_nonce: &B256) -> Result<(), AttestError> {
+        // 1. Manufacturer certified the device key.
+        self.manufacturer
+            .verify(&cert_digest(&quote.certificate.device_key), &quote.certificate.signature)
+            .map_err(|_| AttestError::BadCertificate)?;
+        // 2. The firmware measurement is boot-signed by the device key.
+        quote
+            .certificate
+            .device_key
+            .verify(&boot_digest(&quote.measurement), &quote.boot_signature)
+            .map_err(|_| AttestError::BadQuote)?;
+        // 3. The measurement matches the published Hypervisor image.
+        if quote.measurement.firmware_hash != self.expected_firmware {
+            return Err(AttestError::FirmwareMismatch);
+        }
+        // 4. The quote binds the session key to OUR nonce.
+        if &quote.nonce != expected_nonce {
+            return Err(AttestError::NonceMismatch);
+        }
+        let digest =
+            quote_digest(&quote.session_key, &quote.nonce, &quote.measurement.firmware_hash);
+        quote
+            .certificate
+            .device_key
+            .verify(&digest, &quote.signature)
+            .map_err(|_| AttestError::BadQuote)?;
+        Ok(())
+    }
+}
+
+/// Derives the AES-128 session key both sides share after DHKE.
+///
+/// # Errors
+///
+/// [`AttestError::Dhke`] if the peer key is degenerate.
+pub fn session_key(own: &SecretKey, peer: &PublicKey) -> Result<[u8; 16], AttestError> {
+    let shared = secp::ecdh(own, peer).map_err(|_| AttestError::Dhke)?;
+    Ok(shared.as_bytes()[..16].try_into().expect("16 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIRMWARE: &[u8] = b"hardtape hypervisor firmware v1.0";
+
+    fn full_setup() -> (Manufacturer, Attester, Verifier, SecureRng) {
+        let manufacturer = Manufacturer::new(b"acme fab");
+        let mut rng = SecureRng::from_seed(b"attestation tests");
+        let (puf, cert) = manufacturer.provision(1, &mut rng);
+        let attester = Attester::new(puf, cert, FIRMWARE);
+        let verifier = Verifier::new(manufacturer.public_key(), keccak256(FIRMWARE));
+        (manufacturer, attester, verifier, rng)
+    }
+
+    #[test]
+    fn honest_attestation_verifies_and_agrees_on_keys() {
+        let (_, attester, verifier, mut rng) = full_setup();
+        let nonce = rng.next_b256();
+        let (quote, hypervisor_secret) = attester.respond(nonce, &mut rng);
+        verifier.verify(&quote, &nonce).expect("honest quote verifies");
+
+        // DHKE: user generates their own session pair; both derive the
+        // same AES key.
+        let user_secret = rng.next_secret_key();
+        let k_user = session_key(&user_secret, &quote.session_key).unwrap();
+        let k_hyp = session_key(&hypervisor_secret, &user_secret.public_key()).unwrap();
+        assert_eq!(k_user, k_hyp);
+    }
+
+    #[test]
+    fn fake_device_rejected() {
+        // A1: the SP presents a device key NOT certified by the
+        // manufacturer.
+        let (_, _, verifier, mut rng) = full_setup();
+        let rogue_manufacturer = Manufacturer::new(b"knockoff fab");
+        let (rogue_puf, rogue_cert) = rogue_manufacturer.provision(9, &mut rng);
+        let rogue = Attester::new(rogue_puf, rogue_cert, FIRMWARE);
+        let nonce = rng.next_b256();
+        let (quote, _) = rogue.respond(nonce, &mut rng);
+        assert_eq!(verifier.verify(&quote, &nonce), Err(AttestError::BadCertificate));
+    }
+
+    #[test]
+    fn wrong_firmware_rejected() {
+        let manufacturer = Manufacturer::new(b"acme fab");
+        let mut rng = SecureRng::from_seed(b"fw");
+        let (puf, cert) = manufacturer.provision(1, &mut rng);
+        // Device boots a backdoored image.
+        let evil = Attester::new(puf, cert, b"backdoored firmware");
+        let verifier = Verifier::new(manufacturer.public_key(), keccak256(FIRMWARE));
+        let nonce = rng.next_b256();
+        let (quote, _) = evil.respond(nonce, &mut rng);
+        assert_eq!(verifier.verify(&quote, &nonce), Err(AttestError::FirmwareMismatch));
+    }
+
+    #[test]
+    fn replayed_quote_rejected() {
+        let (_, attester, verifier, mut rng) = full_setup();
+        let old_nonce = rng.next_b256();
+        let (old_quote, _) = attester.respond(old_nonce, &mut rng);
+        // The adversary replays the old quote against a fresh nonce.
+        let fresh_nonce = rng.next_b256();
+        assert_eq!(
+            verifier.verify(&old_quote, &fresh_nonce),
+            Err(AttestError::NonceMismatch)
+        );
+    }
+
+    #[test]
+    fn tampered_session_key_rejected() {
+        let (_, attester, verifier, mut rng) = full_setup();
+        let nonce = rng.next_b256();
+        let (mut quote, _) = attester.respond(nonce, &mut rng);
+        // MITM swaps in their own session key.
+        quote.session_key = rng.next_secret_key().public_key();
+        assert_eq!(verifier.verify(&quote, &nonce), Err(AttestError::BadQuote));
+    }
+
+    #[test]
+    fn distinct_sessions_get_distinct_keys() {
+        let (_, attester, _, mut rng) = full_setup();
+        let (q1, _) = attester.respond(rng.next_b256(), &mut rng);
+        let (q2, _) = attester.respond(rng.next_b256(), &mut rng);
+        assert_ne!(q1.session_key, q2.session_key);
+    }
+}

@@ -1,0 +1,202 @@
+//! The secure channel between user and Hypervisor: AES-GCM with
+//! monotonic sequence numbers, plus optional per-bundle ECDSA signatures
+//! (the paper's `-E` and `-ES` layers, §IV-C).
+
+use tape_crypto::{keccak256, AesGcm, PublicKey, SecretKey, Signature};
+
+/// Errors on the secure channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// Decryption/authentication failed.
+    Sealed,
+    /// A message arrived out of order or replayed.
+    Sequence {
+        /// Sequence number the receiver expected.
+        expected: u64,
+        /// Sequence number the message carried.
+        actual: u64,
+    },
+    /// An attached signature did not verify.
+    Signature,
+}
+
+impl core::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ChannelError::Sealed => write!(f, "message failed authentication"),
+            ChannelError::Sequence { expected, actual } => {
+                write!(f, "bad sequence number: expected {expected}, got {actual}")
+            }
+            ChannelError::Signature => write!(f, "bundle signature invalid"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// A sealed message on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedMessage {
+    /// Monotonic sequence number (also the nonce source).
+    pub seq: u64,
+    /// Ciphertext plus tag.
+    pub sealed: Vec<u8>,
+}
+
+/// One direction of the secure channel.
+///
+/// Each endpoint holds two `Channel`s (send/receive) keyed with the DHKE
+/// session key; sequence numbers prevent reordering and replay.
+pub struct Channel {
+    cipher: AesGcm,
+    direction: u8,
+    next_seq: u64,
+}
+
+impl core::fmt::Debug for Channel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Channel")
+            .field("direction", &self.direction)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl Channel {
+    /// Creates a channel half. `direction` domain-separates the two
+    /// halves (0 = user→device, 1 = device→user).
+    pub fn new(session_key: &[u8; 16], direction: u8) -> Self {
+        Channel { cipher: AesGcm::new(session_key), direction, next_seq: 0 }
+    }
+
+    fn nonce(&self, seq: u64) -> [u8; 12] {
+        let mut nonce = [0u8; 12];
+        nonce[0] = self.direction;
+        nonce[4..].copy_from_slice(&seq.to_be_bytes());
+        nonce
+    }
+
+    /// Seals a payload with the next sequence number.
+    pub fn seal(&mut self, payload: &[u8]) -> SealedMessage {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let sealed = self.cipher.seal(&self.nonce(seq), &seq.to_be_bytes(), payload);
+        SealedMessage { seq, sealed }
+    }
+
+    /// Opens the next expected message.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError`] on replays, reordering, or tampering.
+    pub fn open(&mut self, message: &SealedMessage) -> Result<Vec<u8>, ChannelError> {
+        if message.seq != self.next_seq {
+            return Err(ChannelError::Sequence { expected: self.next_seq, actual: message.seq });
+        }
+        let payload = self
+            .cipher
+            .open(&self.nonce(message.seq), &message.seq.to_be_bytes(), &message.sealed)
+            .map_err(|_| ChannelError::Sealed)?;
+        self.next_seq += 1;
+        Ok(payload)
+    }
+}
+
+/// Signs a bundle payload (the `-ES` layer: one signature per bundle,
+/// amortized over its transactions).
+pub fn sign_bundle(key: &SecretKey, payload: &[u8]) -> Signature {
+    key.sign(&keccak256(payload))
+}
+
+/// Verifies a bundle signature.
+///
+/// # Errors
+///
+/// [`ChannelError::Signature`] when verification fails.
+pub fn verify_bundle(
+    key: &PublicKey,
+    payload: &[u8],
+    signature: &Signature,
+) -> Result<(), ChannelError> {
+    key.verify(&keccak256(payload), signature)
+        .map_err(|_| ChannelError::Signature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tape_crypto::SecureRng;
+
+    fn pair() -> (Channel, Channel) {
+        let key = [0x42u8; 16];
+        (Channel::new(&key, 0), Channel::new(&key, 0))
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let (mut tx, mut rx) = pair();
+        for i in 0..5u64 {
+            let msg = tx.seal(format!("payload {i}").as_bytes());
+            assert_eq!(msg.seq, i);
+            assert_eq!(rx.open(&msg).unwrap(), format!("payload {i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut tx, mut rx) = pair();
+        let m0 = tx.seal(b"first");
+        rx.open(&m0).unwrap();
+        assert_eq!(
+            rx.open(&m0),
+            Err(ChannelError::Sequence { expected: 1, actual: 0 })
+        );
+    }
+
+    #[test]
+    fn reorder_rejected() {
+        let (mut tx, mut rx) = pair();
+        let _m0 = tx.seal(b"first");
+        let m1 = tx.seal(b"second");
+        assert_eq!(
+            rx.open(&m1),
+            Err(ChannelError::Sequence { expected: 0, actual: 1 })
+        );
+    }
+
+    #[test]
+    fn tamper_rejected() {
+        let (mut tx, mut rx) = pair();
+        let mut m = tx.seal(b"payload");
+        m.sealed[0] ^= 1;
+        assert_eq!(rx.open(&m), Err(ChannelError::Sealed));
+    }
+
+    #[test]
+    fn directions_are_separated() {
+        let key = [7u8; 16];
+        let mut user_tx = Channel::new(&key, 0);
+        let mut device_rx_wrong = Channel::new(&key, 1);
+        let m = user_tx.seal(b"hello");
+        // Opening with the wrong direction fails (nonce differs).
+        assert_eq!(device_rx_wrong.open(&m), Err(ChannelError::Sealed));
+    }
+
+    #[test]
+    fn bundle_signatures() {
+        let mut rng = SecureRng::from_seed(b"bundle");
+        let user = rng.next_secret_key();
+        let payload = b"tx1|tx2|tx3";
+        let sig = sign_bundle(&user, payload);
+        verify_bundle(&user.public_key(), payload, &sig).unwrap();
+        assert_eq!(
+            verify_bundle(&user.public_key(), b"tx1|tx2|tampered", &sig),
+            Err(ChannelError::Signature)
+        );
+        let other = rng.next_secret_key();
+        assert_eq!(
+            verify_bundle(&other.public_key(), payload, &sig),
+            Err(ChannelError::Signature)
+        );
+    }
+}

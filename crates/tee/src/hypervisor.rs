@@ -1,0 +1,298 @@
+//! The Hypervisor: the only software on chip. Manages HEVM slots
+//! (exclusive, per-bundle assignment — the "dedicated hardware" rule),
+//! queues non-preemptive interrupts, and tracks its own memory footprint
+//! against the 256 KB on-chip budget (paper §IV, §V/A2–A3, §VI-A).
+
+use crate::attestation::{Attester, Quote};
+use crate::message::MessageHeader;
+use tape_crypto::{SecretKey, SecureRng};
+use tape_primitives::B256;
+use tape_sim::resources::HypervisorFootprint;
+
+/// State of one HEVM slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// Ready for assignment.
+    Idle,
+    /// Exclusively assigned to the session with this id.
+    Assigned {
+        /// The owning session.
+        session: u64,
+    },
+}
+
+/// Errors in slot management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotError {
+    /// Every HEVM is busy; the bundle must queue.
+    AllBusy,
+    /// Release/interaction attempted by a session that does not own the
+    /// slot (isolation, A2).
+    NotOwner {
+        /// The slot in question.
+        slot: usize,
+        /// The requesting session.
+        session: u64,
+    },
+    /// Slot index out of range.
+    BadSlot(usize),
+}
+
+impl core::fmt::Display for SlotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SlotError::AllBusy => write!(f, "no idle HEVM available"),
+            SlotError::NotOwner { slot, session } => {
+                write!(f, "session {session} does not own HEVM slot {slot}")
+            }
+            SlotError::BadSlot(s) => write!(f, "no such HEVM slot {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SlotError {}
+
+/// A queued, not-yet-handled interrupt from the untrusted world.
+#[derive(Debug, Clone)]
+pub struct PendingInterrupt {
+    /// The staged 32-byte header.
+    pub header: [u8; 32],
+    /// The staged sealed payload.
+    pub payload: Vec<u8>,
+}
+
+/// The on-chip Hypervisor.
+pub struct Hypervisor {
+    attester: Attester,
+    rng: SecureRng,
+    slots: Vec<SlotState>,
+    /// Non-preemptive interrupt queue: inputs staged while busy.
+    interrupts: std::collections::VecDeque<PendingInterrupt>,
+    busy: bool,
+    next_session: u64,
+    /// The fleet-shared ORAM key (paper §IV-D "ORAM key protection").
+    oram_key: [u8; 16],
+    footprint: HypervisorFootprint,
+}
+
+impl core::fmt::Debug for Hypervisor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Hypervisor")
+            .field("slots", &self.slots)
+            .field("queued_interrupts", &self.interrupts.len())
+            .finish()
+    }
+}
+
+impl Hypervisor {
+    /// Boots the Hypervisor with `hevm_count` cores (the XCZU15EV fits 3).
+    pub fn boot(attester: Attester, hevm_count: usize, mut rng: SecureRng) -> Self {
+        // The first device in a fleet picks the ORAM key at random; later
+        // devices fetch it over a device-to-device DHKE channel (modeled
+        // by `share_oram_key`).
+        let mut oram_key = [0u8; 16];
+        rng.fill_bytes(&mut oram_key);
+        Hypervisor {
+            attester,
+            rng,
+            slots: vec![SlotState::Idle; hevm_count],
+            interrupts: std::collections::VecDeque::new(),
+            busy: false,
+            next_session: 1,
+            oram_key,
+            footprint: HypervisorFootprint::default(),
+        }
+    }
+
+    /// The fleet ORAM key (shared between trusted Hypervisors only).
+    pub fn oram_key(&self) -> [u8; 16] {
+        self.oram_key
+    }
+
+    /// Adopts the ORAM key from an existing fleet member (new device
+    /// joining, paper §IV-D).
+    pub fn share_oram_key(&mut self, key: [u8; 16]) {
+        self.oram_key = key;
+    }
+
+    /// Responds to a remote-attestation request, opening a new session.
+    /// Returns the quote, the session id, and the Hypervisor's session
+    /// secret.
+    pub fn attest(&mut self, user_nonce: B256) -> (Quote, u64, SecretKey) {
+        let (quote, secret) = self.attester.respond(user_nonce, &mut self.rng);
+        let session = self.next_session;
+        self.next_session += 1;
+        (quote, session, secret)
+    }
+
+    /// Slot states (observability for tests and the scheduler).
+    pub fn slots(&self) -> &[SlotState] {
+        &self.slots
+    }
+
+    /// Assigns an idle HEVM exclusively to `session`.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::AllBusy`] when every core is assigned.
+    pub fn assign(&mut self, session: u64) -> Result<usize, SlotError> {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if *slot == SlotState::Idle {
+                *slot = SlotState::Assigned { session };
+                return Ok(i);
+            }
+        }
+        Err(SlotError::AllBusy)
+    }
+
+    /// Releases a slot at bundle end; the HEVM's on-chip memories are
+    /// cleared before it returns to the pool (paper step 10).
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError`] if the slot is invalid or owned by another session.
+    pub fn release(&mut self, slot: usize, session: u64) -> Result<(), SlotError> {
+        match self.slots.get(slot) {
+            None => Err(SlotError::BadSlot(slot)),
+            Some(SlotState::Assigned { session: owner }) if *owner == session => {
+                self.slots[slot] = SlotState::Idle;
+                Ok(())
+            }
+            Some(_) => Err(SlotError::NotOwner { slot, session }),
+        }
+    }
+
+    /// Marks the Hypervisor busy (handling an exception); interrupts
+    /// arriving now are queued, not processed (non-preemptive, A2).
+    pub fn enter_busy(&mut self) {
+        self.busy = true;
+    }
+
+    /// Marks the Hypervisor idle again.
+    pub fn leave_busy(&mut self) {
+        self.busy = false;
+    }
+
+    /// An interrupt from the untrusted world. Returns `Some(interrupt)`
+    /// immediately when idle, or queues it when busy.
+    pub fn raise_interrupt(
+        &mut self,
+        header: [u8; 32],
+        payload: Vec<u8>,
+    ) -> Option<PendingInterrupt> {
+        let pending = PendingInterrupt { header, payload };
+        if self.busy {
+            self.interrupts.push_back(pending);
+            None
+        } else {
+            Some(pending)
+        }
+    }
+
+    /// Drains one queued interrupt, only when idle.
+    pub fn next_interrupt(&mut self) -> Option<PendingInterrupt> {
+        if self.busy {
+            return None;
+        }
+        self.interrupts.pop_front()
+    }
+
+    /// Validates a staged header without touching the payload (the A3
+    /// discipline: 32 bytes parsed, nothing else buffered).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::message::DmaError`] from header validation.
+    pub fn inspect_header(
+        &self,
+        header: &[u8; 32],
+    ) -> Result<MessageHeader, crate::message::DmaError> {
+        MessageHeader::parse(header)
+    }
+
+    /// The Hypervisor's memory footprint vs the 256 KB OCM (§VI-A).
+    pub fn footprint(&self) -> HypervisorFootprint {
+        self.footprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attestation::Manufacturer;
+
+    fn hypervisor_seeded(cores: usize, seed: &[u8]) -> Hypervisor {
+        let manufacturer = Manufacturer::new(b"fab");
+        let mut rng = SecureRng::from_seed(seed);
+        let (puf, cert) = manufacturer.provision(1, &mut rng);
+        let attester = Attester::new(puf, cert, b"firmware");
+        Hypervisor::boot(attester, cores, rng)
+    }
+
+    fn hypervisor(cores: usize) -> Hypervisor {
+        hypervisor_seeded(cores, b"hv tests")
+    }
+
+    #[test]
+    fn exclusive_slot_assignment() {
+        let mut hv = hypervisor(3);
+        let a = hv.assign(10).unwrap();
+        let b = hv.assign(11).unwrap();
+        let c = hv.assign(12).unwrap();
+        assert_eq!(vec![a, b, c], vec![0, 1, 2]);
+        assert_eq!(hv.assign(13), Err(SlotError::AllBusy));
+
+        // Release by the wrong session is refused (A2).
+        assert_eq!(hv.release(a, 99), Err(SlotError::NotOwner { slot: a, session: 99 }));
+        hv.release(b, 11).unwrap();
+        assert_eq!(hv.assign(13), Ok(b));
+        assert_eq!(hv.release(7, 10), Err(SlotError::BadSlot(7)));
+    }
+
+    #[test]
+    fn interrupts_queue_while_busy() {
+        let mut hv = hypervisor(1);
+        // Idle: delivered immediately.
+        let delivered = hv.raise_interrupt([0u8; 32], vec![1]);
+        assert!(delivered.is_some());
+
+        // Busy: queued.
+        hv.enter_busy();
+        assert!(hv.raise_interrupt([0u8; 32], vec![2]).is_none());
+        assert!(hv.raise_interrupt([0u8; 32], vec![3]).is_none());
+        assert!(hv.next_interrupt().is_none(), "must not preempt");
+
+        hv.leave_busy();
+        assert_eq!(hv.next_interrupt().unwrap().payload, vec![2]);
+        assert_eq!(hv.next_interrupt().unwrap().payload, vec![3]);
+        assert!(hv.next_interrupt().is_none());
+    }
+
+    #[test]
+    fn sessions_get_unique_ids_and_keys() {
+        let mut hv = hypervisor(1);
+        let (q1, s1, _) = hv.attest(B256::new([1; 32]));
+        let (q2, s2, _) = hv.attest(B256::new([2; 32]));
+        assert_ne!(s1, s2);
+        assert_ne!(q1.session_key, q2.session_key);
+    }
+
+    #[test]
+    fn oram_key_sharing() {
+        let mut a = hypervisor_seeded(1, b"device-a");
+        let mut b = hypervisor_seeded(1, b"device-b");
+        // Freshly booted devices have independent keys...
+        assert_ne!(a.oram_key(), b.oram_key());
+        // ...until the newcomer adopts the fleet key.
+        let fleet = a.oram_key();
+        b.share_oram_key(fleet);
+        assert_eq!(a.oram_key(), b.oram_key());
+        let _ = &mut a;
+    }
+
+    #[test]
+    fn footprint_fits_ocm() {
+        let hv = hypervisor(3);
+        assert!(hv.footprint().total() <= 256 * 1024);
+    }
+}

@@ -1,0 +1,25 @@
+//! # tape-tee
+//!
+//! The TEE scaffolding of HarDTAPE (paper §IV-A, §IV-C):
+//!
+//! * [`attestation`] — the chain of trust: Manufacturer-certified
+//!   PUF-derived device keys, secure boot measurement, remote attestation
+//!   quotes bound to user nonces, and DHKE session keys.
+//! * [`channel`] — the AES-GCM secure channel with replay-proof sequence
+//!   numbers and per-bundle ECDSA signatures (the `-E`/`-ES` layers).
+//! * [`message`] — the 32-byte fixed message header and the
+//!   authenticated-encryption DMA that moves payloads without ever
+//!   buffering them in Hypervisor memory (the A3 defense).
+//! * [`hypervisor`] — HEVM slot management with exclusive per-bundle
+//!   assignment and a non-preemptive interrupt queue (the A2 defense).
+#![warn(missing_docs)]
+
+pub mod attestation;
+pub mod channel;
+pub mod hypervisor;
+pub mod message;
+
+pub use attestation::{AttestError, Attester, Manufacturer, Quote, Verifier};
+pub use channel::{Channel, ChannelError, SealedMessage};
+pub use hypervisor::{Hypervisor, SlotError, SlotState};
+pub use message::{AeDma, DmaError, MessageHeader, MessageType};

@@ -1,0 +1,23 @@
+//! # tape-workload
+//!
+//! Synthetic workload generation: the reproduction's stand-in for the
+//! paper's evaluation set (Ethereum Mainnet blocks #19145194–#19145293).
+//!
+//! * [`contracts`] — hand-assembled EVM contracts (ERC-20, swap router,
+//!   deep caller, memory stress, roll-up batcher) with Solidity-style
+//!   storage layouts.
+//! * [`evalset`] — the deterministic block/transaction generator,
+//!   calibrated to Table I's published marginals.
+//! * [`stats`] — the Table I collector ([`stats::TableOneCollector`])
+//!   that measures per-frame memory-like sizes, storage records, and
+//!   call depths from live execution.
+//! * [`microbench`] — Figure 5's per-operation benchmarks.
+#![warn(missing_docs)]
+
+pub mod contracts;
+pub mod evalset;
+pub mod microbench;
+pub mod stats;
+
+pub use evalset::{EvalSet, EvalSetConfig};
+pub use stats::{table_one, TableOne, TableOneCollector};

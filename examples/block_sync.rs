@@ -1,0 +1,83 @@
+//! Block synchronization (paper Fig. 3 step 11 and §IV-C): the untrusted
+//! Node produces blocks; HarDTAPE verifies the Merkle-proof-carrying
+//! state deltas against the block headers before admitting them into the
+//! ORAM — and rejects a forged delta outright.
+//!
+//! ```sh
+//! cargo run --release --example block_sync
+//! ```
+
+use hardtape::{Bundle, HarDTape, SecurityConfig, ServiceConfig, ServiceError};
+use tape_evm::{Env, Transaction};
+use tape_node::Node;
+use tape_primitives::{Address, U256};
+use tape_state::{Account, InMemoryState};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let whale = Address::from_low_u64(0x3A1E);
+    let exchange = Address::from_low_u64(0xE0C);
+
+    let mut genesis = InMemoryState::new();
+    genesis.put_account(whale, Account::with_balance(U256::from(u64::MAX)));
+
+    // The SP runs an ordinary full node...
+    let mut node = Node::new(genesis.clone(), Env::default());
+    // ...and a HarDTAPE device synchronized from the same genesis.
+    let config = ServiceConfig { oram_height: 12, ..ServiceConfig::at_level(SecurityConfig::Full) };
+    let mut device = HarDTape::new(config, Env::default(), &genesis);
+    let mut session = device.connect_user(b"sync watcher")?;
+
+    // Three blocks land on-chain.
+    for i in 1..=3u64 {
+        let block = node.produce_block(vec![Transaction::transfer(
+            whale,
+            exchange,
+            U256::from(i * 1_000_000u64),
+        )]);
+        let header = block.header.clone();
+        let delta = node.head_state_delta().expect("head delta");
+        println!(
+            "block #{}: {} accounts in delta, state root {}",
+            header.number,
+            delta.accounts.len(),
+            header.state_root
+        );
+        device.sync_block(&header, &delta)?;
+        println!("  proofs verified; synchronized into the ORAM");
+    }
+
+    // Pre-execution runs against the synchronized head state: the
+    // exchange's accumulated balance is visible.
+    let mut probe = Transaction::transfer(exchange, whale, U256::from(6_000_000u64));
+    probe.gas_price = U256::ZERO; // the exchange holds exactly the synced 6M wei
+    let report = device.pre_execute(&mut session, &Bundle::single(probe))?;
+    println!(
+        "\npre-execution against the synced head: exchange can send 6,000,000 wei -> success={}",
+        report.results[0].success
+    );
+    assert!(report.results[0].success);
+
+    // A dishonest node forges the next delta (A6).
+    node.produce_block(vec![Transaction::transfer(whale, exchange, U256::ONE)]);
+    let header = node.head().expect("head").header.clone();
+    let mut forged = node.head_state_delta().expect("delta");
+    forged
+        .accounts
+        .iter_mut()
+        .find(|a| a.address == exchange)
+        .expect("exchange touched")
+        .account
+        .balance = U256::MAX;
+    match device.sync_block(&header, &forged) {
+        Err(ServiceError::BadDelta(e)) => {
+            println!("\nforged delta rejected before touching the ORAM: {e}")
+        }
+        other => panic!("forgery accepted?! {other:?}"),
+    }
+
+    // The honest delta still applies.
+    let honest = node.head_state_delta().expect("delta");
+    device.sync_block(&header, &honest)?;
+    println!("honest delta for the same block accepted");
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Quickstart: boot a HarDTAPE device, attest, and pre-execute a small
+//! transaction bundle with every protection enabled.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hardtape::{Bundle, HarDTape, SecurityConfig, ServiceConfig};
+use tape_evm::{Env, Transaction};
+use tape_primitives::{Address, U256};
+use tape_sim::format_ns;
+use tape_state::{Account, InMemoryState};
+use tape_workload::contracts;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. A world state: one user, one ERC-20 token -------------------
+    let user_addr = Address::from_low_u64(0xA11CE);
+    let friend = Address::from_low_u64(0xB0B);
+    let token = Address::from_low_u64(0x70CE);
+
+    let mut genesis = InMemoryState::new();
+    genesis.put_account(user_addr, Account::with_balance(U256::from(u64::MAX)));
+    let mut t = Account::with_code(contracts::erc20_runtime());
+    t.storage.insert(contracts::balance_slot(&user_addr), U256::from(1_000_000u64));
+    genesis.put_account(token, t);
+
+    // --- 2. Boot the device at the -full security level ------------------
+    // (secure boot, attestation keys, ORAM built from the genesis state)
+    let config = ServiceConfig { oram_height: 12, ..ServiceConfig::at_level(SecurityConfig::Full) };
+    let mut device = HarDTape::new(config, Env::default(), &genesis);
+    println!("device booted at {} security", device.security());
+
+    // --- 3. Remote attestation + DHKE secure channel ---------------------
+    let mut session = device.connect_user(b"quickstart user seed")?;
+    println!("attestation verified; session {} established", session.session);
+
+    // --- 4. Pre-execute a bundle: ETH transfer + ERC-20 transfer ---------
+    let bundle = Bundle {
+        transactions: vec![
+            Transaction::transfer(user_addr, friend, U256::from(1_000u64)),
+            Transaction {
+                gas_limit: 300_000,
+                ..Transaction::call(
+                    user_addr,
+                    token,
+                    contracts::encode_call(
+                        contracts::sel::transfer(),
+                        &[friend.into_word(), U256::from(2_500u64)],
+                    ),
+                )
+            },
+        ],
+    };
+    let report = device.pre_execute(&mut session, &bundle)?;
+
+    // --- 5. The trace the user receives ----------------------------------
+    println!("\nbundle report:");
+    for (i, (result, ns)) in report.results.iter().zip(&report.per_tx_ns).enumerate() {
+        println!(
+            "  tx {i}: success={} gas={} logs={} time={}",
+            result.success,
+            result.gas_used,
+            result.logs.len(),
+            format_ns(*ns),
+        );
+    }
+    println!("  storage modifications: {}", report.changes.storage.len());
+    println!("  balance changes:       {}", report.changes.balances.len());
+    println!("  device signature:      {}", report.signature.is_some());
+    println!("  end-to-end:            {}", format_ns(report.total_ns));
+
+    // The world state itself is untouched: pre-execution is a simulation.
+    use tape_state::StateReader;
+    assert_eq!(genesis.account(&friend), None);
+    println!("\non-chain state untouched: pre-execution discards all modifications");
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! The paper's opening motivation (§I): scam contracts — phishing,
+//! Ponzi schemes, honeypots — defraud users who cannot quantify the risk
+//! of a transaction before sending it. Pre-execution simulates the whole
+//! bundle first, exposing the malicious behavior in the trace.
+//!
+//! Here a honeypot token accepts deposits from anyone but silently
+//! reverts withdrawals for everyone except its owner. The victim
+//! pre-executes a deposit + withdraw bundle and sees the withdrawal fail
+//! *before* risking funds on-chain.
+//!
+//! ```sh
+//! cargo run --release --example scam_detect
+//! ```
+
+use hardtape::{Bundle, HarDTape, SecurityConfig, ServiceConfig};
+use tape_evm::asm::Asm;
+use tape_evm::opcode::op;
+use tape_evm::{Env, Transaction};
+use tape_primitives::{Address, U256};
+use tape_state::{Account, InMemoryState};
+use tape_workload::contracts::selector;
+
+/// The honeypot: `deposit()` credits slot[caller]; `withdraw()` pays out
+/// only when `caller == owner` (slot 0) — and otherwise reverts deep in
+/// the payout path, invisible without simulating it.
+fn honeypot_runtime(owner: Address) -> Vec<u8> {
+    let deposit = selector("deposit()") as u64;
+    let withdraw = selector("withdraw()") as u64;
+    Asm::new()
+        .push(0u64)
+        .op(op::CALLDATALOAD)
+        .push(224u64)
+        .op(op::SHR)
+        .op(op::DUP1)
+        .push(deposit)
+        .op(op::EQ)
+        .jumpi("deposit")
+        .op(op::DUP1)
+        .push(withdraw)
+        .op(op::EQ)
+        .jumpi("withdraw")
+        .jump("reject")
+        // deposit(): balances[caller] += callvalue
+        .label("deposit")
+        .op(op::POP)
+        .op(op::CALLER)
+        .op(op::SLOAD) // slot keyed directly by caller address
+        .op(op::CALLVALUE)
+        .op(op::ADD)
+        .op(op::CALLER)
+        .op(op::SSTORE)
+        .push(1u64)
+        .ret_top()
+        // withdraw(): the trap — only the owner passes the hidden check.
+        .label("withdraw")
+        .op(op::POP)
+        .op(op::CALLER)
+        .push_address(owner)
+        .op(op::EQ)
+        .jumpi("payout")
+        .jump("reject") // everyone else reverts: the honeypot
+        .label("payout")
+        .op(op::CALLER)
+        .op(op::SLOAD) // amount
+        .push(0u64)
+        .push(0u64)
+        .push(0u64)
+        .push(0u64)
+        // stack: [amount, 0, 0, 0, 0] -> CALL(gas, caller, amount, ...)
+        .op(op::SWAP4) // [0, 0, 0, 0, amount]
+        .op(op::CALLER)
+        .op(op::GAS)
+        .op(op::CALL)
+        .ret_top()
+        .label("reject")
+        .push(0u64)
+        .push(0u64)
+        .op(op::REVERT)
+        .build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let victim = Address::from_low_u64(0x71C71);
+    let scammer = Address::from_low_u64(0x5CA4);
+    let honeypot = Address::from_low_u64(0x40EE);
+
+    let mut genesis = InMemoryState::new();
+    genesis.put_account(victim, Account::with_balance(U256::from(u64::MAX)));
+    let mut pot = Account::with_code(honeypot_runtime(scammer));
+    pot.balance = U256::from(50_000_000u64); // bait: "look, it pays out"
+    genesis.put_account(honeypot, pot);
+
+    let mut device = HarDTape::new(
+        ServiceConfig { oram_height: 12, ..ServiceConfig::at_level(SecurityConfig::Full) },
+        Env::default(),
+        &genesis,
+    );
+    let mut session = device.connect_user(b"cautious victim")?;
+
+    // The victim's plan: deposit 1,000,000 wei, then withdraw it back.
+    let deposit = Transaction {
+        value: U256::from(1_000_000u64),
+        gas_limit: 300_000,
+        ..Transaction::call(victim, honeypot, selector("deposit()").to_be_bytes().to_vec())
+    };
+    let withdraw = Transaction {
+        gas_limit: 300_000,
+        ..Transaction::call(victim, honeypot, selector("withdraw()").to_be_bytes().to_vec())
+    };
+    let bundle = Bundle { transactions: vec![deposit, withdraw] };
+
+    let report = device.pre_execute(&mut session, &bundle)?;
+    println!("pre-execution trace of the planned bundle:");
+    println!(
+        "  tx 0 deposit(1,000,000): success={} gas={}",
+        report.results[0].success, report.results[0].gas_used
+    );
+    println!(
+        "  tx 1 withdraw():         success={} gas={}",
+        report.results[1].success, report.results[1].gas_used
+    );
+
+    assert!(report.results[0].success, "the bait works: deposits are accepted");
+    assert!(!report.results[1].success, "the trap: withdrawal reverts");
+
+    println!(
+        "\nverdict: deposits enter but never come back out — HONEYPOT.\n\
+         The victim walks away without ever sending funds on-chain, and\n\
+         because the whole simulation ran inside the attested device over\n\
+         the ORAM, the scammer's SP learned neither the victim's interest\n\
+         in this contract nor the amount probed."
+    );
+    Ok(())
+}

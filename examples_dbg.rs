@@ -1,0 +1,13 @@
+use tape_evm::{Env, Evm, Transaction};
+use tape_primitives::{Address, U256};
+use tape_state::{Account, InMemoryState};
+
+fn main() {
+    let mut backend = InMemoryState::new();
+    let alice = Address::from_low_u64(1);
+    backend.put_account(alice, Account::with_balance(U256::from(10u64).wrapping_pow(U256::from(18u64))));
+    let mut evm = Evm::new(Env::default(), &backend);
+    let tx = Transaction::transfer(alice, Address::from_low_u64(2), U256::from(1_000u64));
+    let result = evm.transact(&tx).unwrap();
+    println!("{result:?}");
+}

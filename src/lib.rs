@@ -1,0 +1,18 @@
+//! Umbrella crate for the HarDTAPE reproduction workspace.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. The actual library surface
+//! lives in the `hardtape` crate and its substrate crates (`tape-*`).
+
+pub use hardtape;
+pub use tape_crypto as crypto;
+pub use tape_evm as evm;
+pub use tape_hevm as hevm;
+pub use tape_mpt as mpt;
+pub use tape_node as node;
+pub use tape_oram as oram;
+pub use tape_primitives as primitives;
+pub use tape_sim as sim;
+pub use tape_state as state;
+pub use tape_tee as tee;
+pub use tape_workload as workload;

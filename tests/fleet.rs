@@ -1,0 +1,138 @@
+//! Fleet-level tests: multiple HarDTAPE devices serving users in
+//! parallel (the §VI-D deployment: one device per ~18 tx/s, scaled
+//! horizontally), ORAM-key sharing between trusted Hypervisors, and
+//! end-to-end trace-signature verification by the user.
+
+use hardtape::{Bundle, HarDTape, SecurityConfig, ServiceConfig};
+use tape_evm::{Env, Transaction};
+use tape_primitives::{Address, U256};
+use tape_state::{Account, InMemoryState};
+use tape_tee::channel::verify_bundle;
+
+fn genesis() -> InMemoryState {
+    let mut state = InMemoryState::new();
+    for i in 0..8 {
+        state.put_account(
+            Address::from_low_u64(0x1000 + i),
+            Account::with_balance(U256::from(u64::MAX)),
+        );
+    }
+    state
+}
+
+#[test]
+fn three_devices_serve_bundles_in_parallel() {
+    let genesis = genesis();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for device_id in 0..3u64 {
+            let genesis = &genesis;
+            handles.push(scope.spawn(move |_| {
+                let config = ServiceConfig {
+                    oram_height: 10,
+                    seed: 0x1000 + device_id,
+                    ..ServiceConfig::at_level(SecurityConfig::Full)
+                };
+                let mut device = HarDTape::new(config, Env::default(), genesis);
+                let mut user = device
+                    .connect_user(format!("fleet user {device_id}").as_bytes())
+                    .expect("attestation");
+                let from = Address::from_low_u64(0x1000 + device_id);
+                let to = Address::from_low_u64(0x1000 + (device_id + 1) % 8);
+                let mut total = 0u64;
+                for i in 0..5u64 {
+                    let tx = Transaction::transfer(from, to, U256::from(i + 1));
+                    let report = device
+                        .pre_execute(&mut user, &Bundle::single(tx))
+                        .expect("bundle accepted");
+                    assert!(report.results[0].success);
+                    total += report.total_ns;
+                }
+                total
+            }));
+        }
+        for handle in handles {
+            let total = handle.join().expect("device thread");
+            assert!(total > 0);
+        }
+    })
+    .expect("scope");
+}
+
+#[test]
+fn user_verifies_the_device_trace_signature() {
+    let mut device = HarDTape::new(
+        ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(SecurityConfig::Es) },
+        Env::default(),
+        &genesis(),
+    );
+    let mut user = device.connect_user(b"verifying user").unwrap();
+    let tx = Transaction::transfer(
+        Address::from_low_u64(0x1000),
+        Address::from_low_u64(0x1001),
+        U256::ONE,
+    );
+    let report = device.pre_execute(&mut user, &Bundle::single(tx)).unwrap();
+
+    // The user verifies the trace against the attested device session key.
+    let signature = report.signature.expect("-ES signs traces");
+    let trace = report.encode();
+    verify_bundle(&user.device_key(), &trace, &signature).expect("honest trace verifies");
+
+    // A tampered trace (SP edits the reported gas) fails verification —
+    // attack "mislead the user with fake results" is detectable.
+    let mut forged = report.clone();
+    forged.results[0].gas_used += 1;
+    assert!(verify_bundle(&user.device_key(), &forged.encode(), &signature).is_err());
+
+    // A signature from a different session does not transfer.
+    let mut other_user = device.connect_user(b"other user").unwrap();
+    assert_ne!(user.device_key(), other_user.device_key());
+    let _ = &mut other_user;
+}
+
+#[test]
+fn oram_key_is_shared_across_the_fleet() {
+    use tape_crypto::SecureRng;
+    use tape_tee::attestation::{Attester, Manufacturer};
+    use tape_tee::hypervisor::Hypervisor;
+
+    let manufacturer = Manufacturer::new(b"fleet fab");
+    let boot = |id: u64| {
+        let mut rng = SecureRng::from_seed(&id.to_be_bytes());
+        let (puf, cert) = manufacturer.provision(id, &mut rng);
+        Hypervisor::boot(Attester::new(puf, cert, b"fw"), 3, rng)
+    };
+    let first = boot(1);
+    let mut second = boot(2);
+    // Distinct until the newcomer fetches the fleet key over the
+    // device-to-device channel (both ends trusted Hypervisors).
+    assert_ne!(first.oram_key(), second.oram_key());
+    second.share_oram_key(first.oram_key());
+    assert_eq!(first.oram_key(), second.oram_key());
+}
+
+#[test]
+fn sequential_sessions_reuse_devices_cleanly() {
+    // One device, many users in sequence: no state bleeds between
+    // sessions (each bundle sees the pristine backend).
+    let genesis = genesis();
+    let mut device = HarDTape::new(
+        ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(SecurityConfig::Full) },
+        Env::default(),
+        &genesis,
+    );
+    let from = Address::from_low_u64(0x1000);
+    let to = Address::from_low_u64(0x1001);
+    let mut first_report = None;
+    for i in 0..4 {
+        let mut user = device.connect_user(format!("serial user {i}").as_bytes()).unwrap();
+        let tx = Transaction::transfer(from, to, U256::from(100u64));
+        let report = device.pre_execute(&mut user, &Bundle::single(tx)).unwrap();
+        assert!(report.results[0].success);
+        match &first_report {
+            None => first_report = Some(report.results.clone()),
+            Some(expected) => assert_eq!(&report.results, expected, "session {i} saw leakage"),
+        }
+    }
+}

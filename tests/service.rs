@@ -1,0 +1,275 @@
+//! Full-service integration tests: the Fig. 3 lifecycle across every
+//! security configuration, bundle semantics, block synchronization, and
+//! the Fig. 4 cost ordering.
+
+use hardtape::{Bundle, HarDTape, SecurityConfig, ServiceConfig, ServiceError};
+use tape_evm::{Env, Transaction};
+use tape_primitives::{Address, U256};
+use tape_state::{Account, InMemoryState};
+use tape_workload::contracts;
+
+fn alice() -> Address {
+    Address::from_low_u64(0xA11CE)
+}
+
+fn bob() -> Address {
+    Address::from_low_u64(0xB0B)
+}
+
+fn token() -> Address {
+    Address::from_low_u64(0x70CE)
+}
+
+fn genesis() -> InMemoryState {
+    let mut state = InMemoryState::new();
+    state.put_account(alice(), Account::with_balance(U256::from(u64::MAX)));
+    state.put_account(bob(), Account::with_balance(U256::from(u64::MAX)));
+    let mut t = Account::with_code(contracts::erc20_runtime());
+    t.storage.insert(contracts::balance_slot(&alice()), U256::from(1_000_000u64));
+    state.put_account(token(), t);
+    state
+}
+
+fn erc20_transfer_bundle() -> Bundle {
+    Bundle::single(Transaction {
+        gas_limit: 300_000,
+        ..Transaction::call(
+            alice(),
+            token(),
+            contracts::encode_call(
+                contracts::sel::transfer(),
+                &[bob().into_word(), U256::from(250u64)],
+            ),
+        )
+    })
+}
+
+fn small_service(level: SecurityConfig) -> HarDTape {
+    let config = ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(level) };
+    HarDTape::new(config, Env::default(), &genesis())
+}
+
+#[test]
+fn all_security_levels_agree_on_results() {
+    let bundle = erc20_transfer_bundle();
+    let mut reference: Option<Vec<tape_evm::TxResult>> = None;
+    for level in SecurityConfig::ALL {
+        let mut device = small_service(level);
+        let mut user = device.connect_user(b"results user").unwrap();
+        let report = device.pre_execute(&mut user, &bundle).unwrap();
+        assert!(report.results[0].success, "{level}: tx failed");
+        match &reference {
+            None => reference = Some(report.results.clone()),
+            Some(expected) => assert_eq!(&report.results, expected, "{level} diverged"),
+        }
+        // Storage modifications reported in the trace.
+        assert_eq!(report.changes.storage.len(), 2, "{level}");
+    }
+}
+
+#[test]
+fn fig4_cost_ladder_is_monotonic() {
+    // Each added security feature strictly increases per-transaction
+    // virtual time — the shape of Fig. 4.
+    let bundle = erc20_transfer_bundle();
+    let mut times = Vec::new();
+    for level in SecurityConfig::ALL {
+        let mut device = small_service(level);
+        let mut user = device.connect_user(b"ladder user").unwrap();
+        let report = device.pre_execute(&mut user, &bundle).unwrap();
+        times.push((level, report.total_ns));
+    }
+    for pair in times.windows(2) {
+        assert!(
+            pair[0].1 < pair[1].1,
+            "{} ({} ns) should cost less than {} ({} ns)",
+            pair[0].0,
+            pair[0].1,
+            pair[1].0,
+            pair[1].1
+        );
+    }
+    // The ECDSA step dominates (paper: ~80 ms of the 164 ms total).
+    let es = times[2].1;
+    let e = times[1].1;
+    assert!(es - e > 50_000_000, "ECDSA step too small: {} ns", es - e);
+}
+
+#[test]
+fn signature_present_only_with_es_and_above() {
+    let bundle = erc20_transfer_bundle();
+    for level in SecurityConfig::ALL {
+        let mut device = small_service(level);
+        let mut user = device.connect_user(b"sig user").unwrap();
+        let report = device.pre_execute(&mut user, &bundle).unwrap();
+        assert_eq!(report.signature.is_some(), level.signature(), "{level}");
+    }
+}
+
+#[test]
+fn bundle_transactions_see_cumulative_state() {
+    // Three transfers in one bundle: each sees the previous one's
+    // effects; the backend stays untouched.
+    let mut device = small_service(SecurityConfig::Full);
+    let mut user = device.connect_user(b"bundle user").unwrap();
+    let tx = |amount: u64| Transaction {
+        gas_limit: 300_000,
+        ..Transaction::call(
+            alice(),
+            token(),
+            contracts::encode_call(
+                contracts::sel::transfer(),
+                &[bob().into_word(), U256::from(amount)],
+            ),
+        )
+    };
+    let bundle = Bundle { transactions: vec![tx(100), tx(200), tx(300)] };
+    let report = device.pre_execute(&mut user, &bundle).unwrap();
+    assert!(report.results.iter().all(|r| r.success));
+    assert_eq!(report.per_tx_ns.len(), 3);
+    // Bob's final balance change reflects all three transfers.
+    let bob_slot = contracts::balance_slot(&bob());
+    let (_, _, final_value) = report
+        .changes
+        .storage
+        .iter()
+        .find(|(_, key, _)| *key == bob_slot)
+        .expect("bob's balance changed");
+    assert_eq!(*final_value, U256::from(600u64));
+
+    // A second bundle starts from the clean backend again (pre-execution
+    // discards modifications, paper step 10).
+    let report2 = device.pre_execute(&mut user, &bundle).unwrap();
+    assert_eq!(report2.results, report.results);
+}
+
+#[test]
+fn hevm_slots_exhaust_and_recover() {
+    // hevm_count = 2: a third concurrent bundle must queue (Busy)...
+    let config = ServiceConfig {
+        hevm_count: 2,
+        oram_height: 10,
+        ..ServiceConfig::at_level(SecurityConfig::Raw)
+    };
+    let mut device = HarDTape::new(config, Env::default(), &genesis());
+    let mut u1 = device.connect_user(b"u1").unwrap();
+    let _u2 = device.connect_user(b"u2").unwrap();
+
+    // pre_execute assigns and releases internally, so sequential bundles
+    // reuse slots; verify by running more bundles than slots.
+    for _ in 0..5 {
+        let report = device.pre_execute(&mut u1, &erc20_transfer_bundle()).unwrap();
+        assert!(report.results[0].success);
+    }
+}
+
+#[test]
+fn block_sync_applies_verified_deltas() {
+    let mut node = tape_node::Node::new(genesis(), Env::default());
+    let mut device = small_service(SecurityConfig::Full);
+    let mut user = device.connect_user(b"sync user").unwrap();
+
+    // The chain moves: alice sends 500 to bob on-chain.
+    node.produce_block(vec![Transaction::transfer(alice(), bob(), U256::from(500u64))]);
+    let header = node.head().unwrap().header.clone();
+    let delta = node.head_state_delta().unwrap();
+    device.sync_block(&header, &delta).unwrap();
+    assert_eq!(device.head(), Some(header.hash()));
+
+    // Pre-execution now sees the post-block nonce of alice.
+    let mut tx = Transaction::transfer(alice(), bob(), U256::ONE);
+    tx.nonce = Some(1); // alice's nonce after the on-chain tx
+    let report = device.pre_execute(&mut user, &Bundle::single(tx)).unwrap();
+    assert!(report.results[0].success);
+}
+
+#[test]
+fn forged_block_sync_rejected_without_side_effects() {
+    let mut node = tape_node::Node::new(genesis(), Env::default());
+    let mut device = small_service(SecurityConfig::Full);
+
+    node.produce_block(vec![Transaction::transfer(alice(), bob(), U256::from(500u64))]);
+    let header = node.head().unwrap().header.clone();
+
+    // A6: the SP inflates bob's balance in the delta.
+    let mut forged = node.head_state_delta().unwrap();
+    let entry = forged.accounts.iter_mut().find(|a| a.address == bob()).unwrap();
+    entry.account.balance = U256::MAX;
+    match device.sync_block(&header, &forged) {
+        Err(ServiceError::BadDelta(_)) => {}
+        other => panic!("expected BadDelta, got {other:?}"),
+    }
+    assert_eq!(device.head(), None, "forged sync must not advance the head");
+
+    // Mismatched header is also rejected.
+    let honest = node.head_state_delta().unwrap();
+    let mut wrong_header = header.clone();
+    wrong_header.number += 1;
+    assert_eq!(
+        device.sync_block(&wrong_header, &honest),
+        Err(ServiceError::HeaderMismatch)
+    );
+
+    // The honest delta still applies afterwards.
+    device.sync_block(&header, &honest).unwrap();
+}
+
+#[test]
+fn distinct_users_get_isolated_sessions() {
+    let mut device = small_service(SecurityConfig::Full);
+    let u1 = device.connect_user(b"isolated 1").unwrap();
+    let u2 = device.connect_user(b"isolated 2").unwrap();
+    assert_ne!(u1.session, u2.session);
+    assert_ne!(u1.public_key(), u2.public_key());
+}
+
+#[test]
+fn oram_configs_issue_oram_queries() {
+    let bundle = erc20_transfer_bundle();
+    // Raw: no ORAM at all.
+    let device = small_service(SecurityConfig::Raw);
+    assert!(device.oram_stats().is_none());
+
+    // ESO: K-V queries only.
+    let mut device = small_service(SecurityConfig::Eso);
+    let mut user = device.connect_user(b"eso").unwrap();
+    let sync_stats = device.oram_stats().unwrap();
+    device.pre_execute(&mut user, &bundle).unwrap();
+    let stats = device.oram_stats().unwrap();
+    assert!(stats.kv_queries > sync_stats.kv_queries);
+    assert_eq!(stats.code_queries, sync_stats.code_queries, "ESO must not fetch code via ORAM");
+
+    // Full: code queries too.
+    let mut device = small_service(SecurityConfig::Full);
+    let mut user = device.connect_user(b"full").unwrap();
+    let sync_stats = device.oram_stats().unwrap();
+    device.pre_execute(&mut user, &bundle).unwrap();
+    let stats = device.oram_stats().unwrap();
+    assert!(stats.code_queries > sync_stats.code_queries);
+}
+
+#[test]
+fn memory_overflow_bundle_reported_as_attack() {
+    use tape_evm::asm::Asm;
+    use tape_evm::opcode::op;
+    let mut state = genesis();
+    let hog = Address::from_low_u64(0x406);
+    state.put_account(
+        hog,
+        Account::with_code(
+            Asm::new().push(1u64).push(600u64 * 1024).op(op::MSTORE).stop().build(),
+        ),
+    );
+    let config = ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(SecurityConfig::Raw) };
+    let mut device = HarDTape::new(config, Env::default(), &state);
+    let mut user = device.connect_user(b"attacker").unwrap();
+    let mut tx = Transaction::call(alice(), hog, vec![]);
+    tx.gas_limit = 10_000_000;
+    match device.pre_execute(&mut user, &Bundle::single(tx)) {
+        Err(ServiceError::Hevm(tape_hevm::HevmAbort::MemoryOverflow { .. })) => {}
+        other => panic!("expected MemoryOverflow, got {other:?}"),
+    }
+    // The device recovers: the slot was released despite the abort.
+    let report = device.pre_execute(&mut user, &erc20_transfer_bundle()).unwrap();
+    assert!(report.results[0].success);
+}
