@@ -1,10 +1,15 @@
-//! Criterion micro-benchmarks over every substrate: real wall-clock cost
-//! of the building blocks (the virtual-time figures are produced by the
+//! Micro-benchmarks over every substrate: real wall-clock cost of the
+//! building blocks (the virtual-time figures are produced by the
 //! `fig4`/`fig5` binaries; these benches characterize the implementation
 //! itself).
+//!
+//! This is a plain `harness = false` binary (no criterion — the
+//! workspace builds hermetically offline): each benchmark warms up,
+//! then reports mean ns/op over a fixed iteration count. Run with
+//! `cargo bench -p tape-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 use tape_crypto::{keccak256, AesGcm, SecretKey, SecureRng};
 use tape_evm::{Env, Evm, Transaction};
 use tape_hevm::{Hevm, HevmConfig};
@@ -15,76 +20,65 @@ use tape_sim::{Clock, CostModel};
 use tape_state::{Account, InMemoryState};
 use tape_workload::contracts;
 
-fn bench_crypto(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crypto");
-    let data_1k = vec![0xABu8; 1024];
+/// Times `f` over `iters` iterations (after `iters / 10 + 1` warm-up
+/// runs) and prints the mean wall-clock ns/op.
+fn bench<T>(name: &str, iters: u64, mut f: impl FnMut() -> T) {
+    for _ in 0..iters / 10 + 1 {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let per_op = elapsed.as_nanos() / iters as u128;
+    println!("{name:<40} {per_op:>12} ns/op   ({iters} iters)");
+}
 
-    group.throughput(Throughput::Bytes(1024));
-    group.bench_function("keccak256/1KiB", |b| {
-        b.iter(|| keccak256(black_box(&data_1k)));
-    });
+fn bench_crypto() {
+    let data_1k = vec![0xABu8; 1024];
+    bench("crypto/keccak256_1KiB", 2_000, || keccak256(black_box(&data_1k)));
 
     let gcm = AesGcm::new(&[7u8; 16]);
-    group.bench_function("aes_gcm_seal/1KiB", |b| {
-        b.iter(|| gcm.seal(black_box(&[0u8; 12]), b"", black_box(&data_1k)));
+    bench("crypto/aes_gcm_seal_1KiB", 2_000, || {
+        gcm.seal(black_box(&[0u8; 12]), b"", black_box(&data_1k))
     });
 
-    group.throughput(Throughput::Elements(1));
     let sk = SecretKey::from_seed(b"bench");
     let digest = keccak256(b"message");
-    group.bench_function("ecdsa_sign", |b| {
-        b.iter(|| sk.sign(black_box(&digest)));
-    });
+    bench("crypto/ecdsa_sign", 200, || sk.sign(black_box(&digest)));
     let pk = sk.public_key();
     let sig = sk.sign(&digest);
-    group.bench_function("ecdsa_verify", |b| {
-        b.iter(|| pk.verify(black_box(&digest), black_box(&sig)));
-    });
-    group.finish();
+    bench("crypto/ecdsa_verify", 200, || pk.verify(black_box(&digest), black_box(&sig)));
 }
 
-fn bench_u256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("u256");
+fn bench_u256() {
     let a = U256::from_limbs([0x1234, 0x5678, 0x9abc, 0xdef0]);
-    let b_ = U256::from_limbs([0x1111, 0x2222, 0x3333, 0x4444]);
-    group.bench_function("mul", |b| b.iter(|| black_box(a).wrapping_mul(black_box(b_))));
-    group.bench_function("div", |b| {
-        b.iter(|| black_box(a).checked_div_rem(black_box(b_)))
+    let b = U256::from_limbs([0x1111, 0x2222, 0x3333, 0x4444]);
+    bench("u256/mul", 1_000_000, || black_box(a).wrapping_mul(black_box(b)));
+    bench("u256/div", 1_000_000, || black_box(a).checked_div_rem(black_box(b)));
+    bench("u256/mulmod", 500_000, || {
+        black_box(a).mul_mod(black_box(b), black_box(U256::MAX))
     });
-    group.bench_function("mulmod", |b| {
-        b.iter(|| black_box(a).mul_mod(black_box(b_), black_box(U256::MAX)))
-    });
-    group.finish();
 }
 
-fn bench_mpt(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mpt");
-    group.bench_function("insert_1000_and_root", |b| {
-        b.iter_batched(
-            MerkleTrie::new,
-            |mut trie| {
-                for i in 0u32..1000 {
-                    trie.insert(&i.to_be_bytes(), b"value");
-                }
-                trie.root_hash()
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_mpt() {
+    bench("mpt/insert_1000_and_root", 50, || {
+        let mut trie = MerkleTrie::new();
+        for i in 0u32..1000 {
+            trie.insert(&i.to_be_bytes(), b"value");
+        }
+        trie.root_hash()
     });
 
     let mut trie = MerkleTrie::new();
     for i in 0u32..1000 {
         trie.insert(&i.to_be_bytes(), b"value");
     }
-    group.bench_function("prove", |b| {
-        b.iter(|| trie.prove(black_box(&500u32.to_be_bytes())));
-    });
-    group.finish();
+    bench("mpt/prove", 5_000, || trie.prove(black_box(&500u32.to_be_bytes())));
 }
 
-fn bench_oram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("oram");
-    group.sample_size(20);
+fn bench_oram() {
     let config = OramConfig { block_size: 1024, bucket_capacity: 4, height: 12 };
     let mut server = OramServer::new(config.clone());
     let mut client = OramClient::new(config, &[1u8; 16], SecureRng::from_seed(b"bench"));
@@ -96,15 +90,12 @@ fn bench_oram(c: &mut Criterion) {
             .unwrap();
     }
     let mut i = 0u64;
-    group.bench_function("access/height12_1KiB", |b| {
-        b.iter(|| {
-            i = (i + 1) % 256;
-            client
-                .read(&mut server, &clock, &cost, &keccak256(i.to_be_bytes()))
-                .unwrap()
-        });
+    bench("oram/access_height12_1KiB", 200, || {
+        i = (i + 1) % 256;
+        client
+            .read(&mut server, &clock, &cost, &keccak256(i.to_be_bytes()))
+            .unwrap()
     });
-    group.finish();
 }
 
 fn erc20_fixture() -> (InMemoryState, Transaction) {
@@ -116,8 +107,8 @@ fn erc20_fixture() -> (InMemoryState, Transaction) {
     t.storage
         .insert(contracts::balance_slot(&sender), U256::from(u64::MAX));
     state.put_account(token, t);
-    // Zero gas price: criterion runs millions of iterations and a real
-    // gas price would drain the sender's balance mid-benchmark.
+    // Zero gas price: many iterations with a real gas price would drain
+    // the sender's balance mid-benchmark.
     let tx = Transaction {
         gas_limit: 300_000,
         gas_price: tape_primitives::U256::ZERO,
@@ -133,21 +124,26 @@ fn erc20_fixture() -> (InMemoryState, Transaction) {
     (state, tx)
 }
 
-fn bench_engines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engines");
+fn bench_engines() {
     let (state, tx) = erc20_fixture();
 
-    group.bench_function("reference_evm/erc20_transfer", |b| {
-        let mut evm = Evm::new(Env::default(), &state);
-        b.iter(|| evm.transact(black_box(&tx)).unwrap());
+    let mut evm = Evm::new(Env::default(), &state);
+    bench("engines/reference_evm_erc20_transfer", 2_000, || {
+        evm.transact(black_box(&tx)).unwrap()
     });
 
-    group.bench_function("hevm/erc20_transfer", |b| {
-        let mut hevm = Hevm::new(HevmConfig::default(), Env::default(), &state, Clock::new());
-        b.iter(|| hevm.transact(black_box(&tx)).unwrap());
+    let mut hevm = Hevm::new(HevmConfig::default(), Env::default(), &state, Clock::new());
+    bench("engines/hevm_erc20_transfer", 500, || {
+        hevm.transact(black_box(&tx)).unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_crypto, bench_u256, bench_mpt, bench_oram, bench_engines);
-criterion_main!(benches);
+fn main() {
+    println!("{:-<72}", "");
+    bench_crypto();
+    bench_u256();
+    bench_mpt();
+    bench_oram();
+    bench_engines();
+    println!("{:-<72}", "");
+}

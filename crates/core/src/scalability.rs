@@ -37,7 +37,7 @@ pub fn estimate(
     query_gap_ns: Nanos,
 ) -> ScalabilityReport {
     let chip_tps = hevm_count as f64 / (per_tx_ns as f64 / 1e9);
-    let max_hevms_per_server = if server_op_ns == 0 { u64::MAX } else { query_gap_ns / server_op_ns };
+    let max_hevms_per_server = query_gap_ns.checked_div(server_op_ns).unwrap_or(u64::MAX);
     ScalabilityReport {
         per_tx_ns,
         hevm_count,

@@ -7,14 +7,15 @@ use crate::reader::HybridState;
 use tape_crypto::{PublicKey, SecretKey, SecureRng, Signature};
 use tape_evm::{Env, Transaction, TxResult};
 use tape_hevm::{Hevm, HevmAbort, HevmConfig, HevmStats};
-use tape_node::{BlockHeader, StateDelta};
-use tape_oram::{ObliviousState, OramClient, OramConfig, OramServer};
+use tape_node::{BlockFeed, BlockHeader, FeedError, StateDelta};
+use tape_oram::{ObliviousState, OramClient, OramConfig, OramError, OramServer};
 use tape_primitives::{rlp, B256};
+use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
 use tape_sim::{Clock, CostModel, Nanos};
 use tape_state::{InMemoryState, StateChanges};
 use tape_tee::attestation::{session_key, Attester, Manufacturer, Verifier};
 use tape_tee::channel::{sign_bundle, verify_bundle, Channel};
-use tape_tee::hypervisor::Hypervisor;
+use tape_tee::hypervisor::{Hypervisor, SlotError};
 
 /// Service deployment parameters.
 #[derive(Debug, Clone)]
@@ -33,9 +34,14 @@ pub struct ServiceConfig {
 
 impl Default for ServiceConfig {
     fn default() -> Self {
+        // Per-bundle watchdog: honest bundles finish in well under 30
+        // virtual seconds; anything longer is a runaway execution and
+        // gets aborted so the core returns to the pool.
+        let hevm =
+            HevmConfig { watchdog_ns: Some(30_000_000_000), ..HevmConfig::default() };
         ServiceConfig {
             security: SecurityConfig::Full,
-            hevm: HevmConfig::default(),
+            hevm,
             oram_height: 14,
             hevm_count: 3,
             seed: 0x7A9E,
@@ -160,6 +166,17 @@ pub enum ServiceError {
     BadDelta(tape_node::DeltaError),
     /// Delta/header mismatch.
     HeaderMismatch,
+    /// An ORAM integrity violation (tampered bucket, wrong path served,
+    /// dropped write-back — attacks A5/A6 on the storage side).
+    Oram(OramError),
+    /// The session was revoked after an integrity failure; the user must
+    /// re-attest (a fresh [`HarDTape::connect_user`]) before submitting
+    /// further bundles.
+    ReattestationRequired,
+    /// The full node stayed unreachable through every retry.
+    NodeUnavailable,
+    /// Every HEVM core is quarantined; the device cannot serve bundles.
+    AllCoresQuarantined,
 }
 
 impl core::fmt::Display for ServiceError {
@@ -171,6 +188,14 @@ impl core::fmt::Display for ServiceError {
             ServiceError::Hevm(e) => write!(f, "hevm: {e}"),
             ServiceError::BadDelta(e) => write!(f, "block sync: {e}"),
             ServiceError::HeaderMismatch => write!(f, "delta does not match block header"),
+            ServiceError::Oram(e) => write!(f, "oram integrity: {e}"),
+            ServiceError::ReattestationRequired => {
+                write!(f, "session revoked; re-attestation required")
+            }
+            ServiceError::NodeUnavailable => write!(f, "full node unavailable after retries"),
+            ServiceError::AllCoresQuarantined => {
+                write!(f, "every HEVM core is quarantined; device needs service")
+            }
         }
     }
 }
@@ -232,6 +257,11 @@ pub struct HarDTape {
     local: InMemoryState,
     oram: Option<ObliviousState>,
     expected_head: Option<B256>,
+    /// Deterministic adversary schedule, when armed (see [`FaultPlan`]).
+    faults: Option<FaultPlan>,
+    /// Sessions revoked after an integrity failure: their bundles are
+    /// refused until the user re-attests.
+    revoked: std::collections::HashSet<u64>,
 }
 
 impl core::fmt::Debug for HarDTape {
@@ -298,7 +328,22 @@ impl HarDTape {
             local: genesis.clone(),
             oram,
             expected_head: None,
+            faults: None,
+            revoked: std::collections::HashSet::new(),
         }
+    }
+
+    /// Arms a deterministic fault plan across the device's untrusted
+    /// boundaries: the ORAM server starts misbehaving per the plan, the
+    /// secure channel starts suffering injected replay/drop/tamper, and
+    /// every HEVM's layer-3 page store turns adversarial. (The node feed
+    /// is armed separately via [`BlockFeed::arm_faults`] — it lives
+    /// outside the device.)
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        if let Some(oram) = &self.oram {
+            oram.arm_faults(plan.clone());
+        }
+        self.faults = Some(plan);
     }
 
     /// The security configuration.
@@ -373,16 +418,19 @@ impl HarDTape {
         user: &mut UserHandle,
         bundle: &Bundle,
     ) -> Result<BundleReport, ServiceError> {
+        if self.revoked.contains(&user.session) {
+            return Err(ServiceError::ReattestationRequired);
+        }
         let started = self.clock.now();
         let security = self.config.security;
         let payload = bundle.encode();
 
-        // User → device: sign and seal the bundle.
+        // User → device: sign and seal the bundle. The wire between the
+        // two is untrusted — an armed fault plan may tamper, drop, or
+        // replay the sealed message in transit.
         let signature = security.signature().then(|| sign_bundle(&user.user_key, &payload));
         if security.encryption() {
-            let sealed = user.to_device.seal(&payload);
-            self.clock.advance(self.cost.protected_message_ns(sealed.sealed.len()));
-            let opened = user.device_rx.open(&sealed).map_err(ServiceError::Channel)?;
+            let opened = self.deliver_to_device(user, &payload)?;
             debug_assert_eq!(opened, payload);
         }
         if let Some(sig) = &signature {
@@ -392,19 +440,42 @@ impl HarDTape {
         }
 
         // Exclusive HEVM assignment.
-        let slot = self
-            .hypervisor
-            .assign(user.session)
-            .map_err(|_| ServiceError::Busy)?;
+        let slot = self.hypervisor.assign(user.session).map_err(|e| match e {
+            SlotError::AllQuarantined => ServiceError::AllCoresQuarantined,
+            _ => ServiceError::Busy,
+        })?;
 
         let outcome = self.run_bundle(bundle);
 
-        // Always release the slot, then propagate any abort.
-        self.hypervisor
-            .release(slot, user.session)
-            .expect("slot was assigned above");
+        // Hardware-level failures (layer-3 integrity violations, watchdog
+        // trips) count against the core; three in a row quarantine it —
+        // a quarantined core is pulled from rotation instead of released.
+        let core_failure = matches!(
+            &outcome,
+            Err(ServiceError::Hevm(HevmAbort::Layer3Tampered | HevmAbort::Watchdog { .. }))
+        );
+        if core_failure {
+            if !self.hypervisor.record_failure(slot) {
+                self.hypervisor
+                    .release(slot, user.session)
+                    .expect("slot was assigned above");
+            }
+        } else {
+            self.hypervisor.record_success(slot);
+            self.hypervisor
+                .release(slot, user.session)
+                .expect("slot was assigned above");
+        }
         if let Some(oram) = &self.oram {
             oram.clear_cache(); // bundle-end: on-chip caches cleared
+        }
+        // Integrity failures revoke the session: the bundle is aborted
+        // and the user must re-attest before submitting another one.
+        if matches!(
+            &outcome,
+            Err(ServiceError::Oram(_)) | Err(ServiceError::Hevm(HevmAbort::Layer3Tampered))
+        ) {
+            self.revoked.insert(user.session);
         }
         let (results, changes, per_tx_ns, hevm_stats) = outcome?;
 
@@ -436,6 +507,67 @@ impl HarDTape {
         Ok(report)
     }
 
+    /// Carries one sealed user→device message across the untrusted wire,
+    /// applying any armed channel fault. Detected attacks (tamper,
+    /// replay) revoke the session; a dropped message is recovered
+    /// transparently by retransmission.
+    fn deliver_to_device(
+        &mut self,
+        user: &mut UserHandle,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, ServiceError> {
+        let sealed = user.to_device.seal(payload);
+        self.clock.advance(self.cost.protected_message_ns(sealed.sealed.len()));
+
+        let fault = self.faults.as_ref().and_then(|plan| {
+            plan.decide_for(
+                FaultSite::Channel,
+                &[FaultKind::ChannelTamper, FaultKind::ChannelDrop, FaultKind::ChannelReplay],
+            )
+        });
+        match fault {
+            Some(decision) if decision.kind == FaultKind::ChannelTamper => {
+                // A3: ciphertext flipped in transit. GCM authentication
+                // fails; the device treats the channel as compromised.
+                let mut tampered = sealed.clone();
+                let len = tampered.sealed.len() as u64;
+                tampered.sealed[(decision.param % len) as usize] ^= 0x01;
+                match user.device_rx.open(&tampered) {
+                    Ok(opened) => Ok(opened),
+                    Err(err) => {
+                        self.revoked.insert(user.session);
+                        Err(ServiceError::Channel(err))
+                    }
+                }
+            }
+            Some(decision) if decision.kind == FaultKind::ChannelDrop => {
+                // The message is lost in transit; the user times out and
+                // retransmits the identical sealed message. The sequence
+                // number was never consumed, so the retry opens cleanly —
+                // recovery is transparent, only (virtual) time is lost.
+                self.clock
+                    .advance(self.cost.protected_message_ns(sealed.sealed.len()));
+                user.device_rx.open(&sealed).map_err(ServiceError::Channel)
+            }
+            Some(_) => {
+                // ChannelReplay: the message is delivered once, then the
+                // adversary re-sends the captured ciphertext. The second
+                // open trips the sequence check — a detected replay
+                // attack aborts the bundle and revokes the session (A3).
+                user.device_rx.open(&sealed).map_err(ServiceError::Channel)?;
+                let err = match user.device_rx.open(&sealed) {
+                    Err(err) => err,
+                    // A replay that opens means the sequence check is
+                    // broken — fail loudly rather than proceed.
+                    Ok(_) => tape_tee::ChannelError::Sealed,
+                };
+                self.revoked.insert(user.session);
+                Err(ServiceError::Channel(err))
+            }
+            None => user.device_rx.open(&sealed).map_err(ServiceError::Channel),
+        }
+    }
+
     /// Executes the transactions of a bundle against a fresh overlay.
     #[allow(clippy::type_complexity)]
     fn run_bundle(
@@ -456,13 +588,24 @@ impl HarDTape {
         self.rng.fill_bytes(&mut layer3_key);
         hevm_config.layer3_key = layer3_key;
         hevm_config.layer3_noise_seed = self.rng.next_u64();
+        hevm_config.faults = self.faults.clone();
         let mut hevm = Hevm::new(hevm_config, self.env.clone(), reader, self.clock.clone());
 
         let mut results = Vec::with_capacity(bundle.transactions.len());
         let mut per_tx = Vec::with_capacity(bundle.transactions.len());
         for tx in &bundle.transactions {
             let before = self.clock.now();
-            let result = hevm.transact(tx)?;
+            let result = hevm.transact(tx);
+            // The StateReader interface cannot propagate ORAM failures,
+            // so the pagestore parks the first one; collect it here. An
+            // ORAM integrity violation is the root cause of whatever the
+            // HEVM observed, so it outranks any secondary abort.
+            if let Some(oram) = &self.oram {
+                if let Some(err) = oram.take_fault() {
+                    return Err(ServiceError::Oram(err));
+                }
+            }
+            let result = result?;
             per_tx.push(self.clock.now() - before);
             results.push(result);
         }
@@ -492,19 +635,49 @@ impl HarDTape {
             self.local.put_account(entry.address, entry.account.clone());
             if let Some(oram) = &self.oram {
                 oram.sync_account(&entry.address, &entry.account)
-                    .expect("ORAM sync of verified delta");
+                    .map_err(ServiceError::Oram)?;
             }
         }
         for entry in &delta.deleted {
             self.local.remove_account(&entry.address);
             if let Some(oram) = &self.oram {
-                oram.remove_account(&entry.address)
-                    .expect("ORAM removal of verified deletion");
+                oram.remove_account(&entry.address).map_err(ServiceError::Oram)?;
             }
         }
         self.local.put_block_hash(header.number, header.hash());
         self.expected_head = Some(header.hash());
         Ok(())
+    }
+
+    /// Pulls the head block from a (possibly adversarial, possibly
+    /// flaky) [`BlockFeed`] and synchronizes it. Transient
+    /// unavailability is retried with capped exponential backoff on the
+    /// virtual clock; forged responses are rejected by [`Self::sync_block`]
+    /// without retrying — a forgery is an attack, not noise.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NodeUnavailable`] when the feed stays down
+    /// through every retry (or has no block); any [`Self::sync_block`]
+    /// error for forged responses.
+    pub fn sync_from_feed(&mut self, feed: &mut BlockFeed) -> Result<(), ServiceError> {
+        const MAX_ATTEMPTS: u32 = 5;
+        const BASE_BACKOFF_NS: Nanos = 2_000_000; // 2 ms virtual
+        const MAX_BACKOFF_NS: Nanos = 16_000_000;
+
+        let mut backoff = BASE_BACKOFF_NS;
+        for attempt in 1..=MAX_ATTEMPTS {
+            match feed.fetch_head() {
+                Ok((header, delta)) => return self.sync_block(&header, &delta),
+                Err(FeedError::NoBlock) => return Err(ServiceError::NodeUnavailable),
+                Err(FeedError::Unavailable) if attempt < MAX_ATTEMPTS => {
+                    self.clock.advance(backoff);
+                    backoff = (backoff * 2).min(MAX_BACKOFF_NS);
+                }
+                Err(FeedError::Unavailable) => return Err(ServiceError::NodeUnavailable),
+            }
+        }
+        Err(ServiceError::NodeUnavailable)
     }
 
     /// The most recently synchronized block hash.

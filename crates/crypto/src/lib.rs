@@ -39,6 +39,7 @@
 
 mod aes;
 mod keccak;
+pub mod prop;
 mod rng;
 pub mod secp;
 mod sha256;

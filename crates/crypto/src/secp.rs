@@ -213,6 +213,9 @@ impl Point {
     }
 
     /// Scalar multiplication `k·self`.
+    // Not `impl Mul`: the operand is a scalar, not another Point, and
+    // group operations reading as method calls matches the EC literature.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, k: U256) -> Point {
         let k = k.rem_evm(N);
         if k.is_zero() {
@@ -222,6 +225,8 @@ impl Point {
     }
 
     /// Point addition.
+    // Kept as an inherent method alongside `mul` (see above).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Point) -> Point {
         Jacobian::from_affine(self)
             .add(Jacobian::from_affine(other))

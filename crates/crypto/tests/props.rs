@@ -1,123 +1,147 @@
 //! Property-based tests for the cryptographic substrates.
 
-use proptest::prelude::*;
+use tape_crypto::prop::{check, Gen};
 use tape_crypto::{keccak256, secp, AesGcm, Keccak256, SecretKey, SecureRng};
 use tape_primitives::{B256, U256};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u32 = 32;
 
-    #[test]
-    fn keccak_incremental_matches_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..600),
-        split in 0usize..600,
-    ) {
-        let split = split.min(data.len());
+#[test]
+fn keccak_incremental_matches_oneshot() {
+    check("keccak_incremental_matches_oneshot", CASES, |g| {
+        let data = g.bytes(0, 600);
+        let split = g.index(600).min(data.len());
         let mut h = Keccak256::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), keccak256(&data));
-    }
+        assert_eq!(h.finalize(), keccak256(&data));
+    });
+}
 
-    #[test]
-    fn keccak_collision_resistance_smoke(a in any::<Vec<u8>>(), b in any::<Vec<u8>>()) {
+#[test]
+fn keccak_collision_resistance_smoke() {
+    check("keccak_collision_resistance_smoke", CASES, |g| {
+        let a = g.bytes(0, 128);
+        let b = g.bytes(0, 128);
         if a != b {
-            prop_assert_ne!(keccak256(&a), keccak256(&b));
+            assert_ne!(keccak256(&a), keccak256(&b));
         }
-    }
+    });
+}
 
-    #[test]
-    fn gcm_roundtrip(
-        key in any::<[u8; 16]>(),
-        nonce in any::<[u8; 12]>(),
-        aad in proptest::collection::vec(any::<u8>(), 0..64),
-        plaintext in proptest::collection::vec(any::<u8>(), 0..300),
-    ) {
+#[test]
+fn gcm_roundtrip() {
+    check("gcm_roundtrip", CASES, |g| {
+        let key: [u8; 16] = g.array();
+        let nonce: [u8; 12] = g.array();
+        let aad = g.bytes(0, 64);
+        let plaintext = g.bytes(0, 300);
         let gcm = AesGcm::new(&key);
         let sealed = gcm.seal(&nonce, &aad, &plaintext);
-        prop_assert_eq!(gcm.open(&nonce, &aad, &sealed).unwrap(), plaintext);
-    }
+        assert_eq!(gcm.open(&nonce, &aad, &sealed).unwrap(), plaintext);
+    });
+}
 
-    #[test]
-    fn gcm_any_bitflip_detected(
-        key in any::<[u8; 16]>(),
-        nonce in any::<[u8; 12]>(),
-        plaintext in proptest::collection::vec(any::<u8>(), 1..100),
-        flip_byte in any::<prop::sample::Index>(),
-        flip_bit in 0u8..8,
-    ) {
+#[test]
+fn gcm_any_bitflip_detected() {
+    check("gcm_any_bitflip_detected", CASES, |g| {
+        let key: [u8; 16] = g.array();
+        let nonce: [u8; 12] = g.array();
+        let plaintext = g.bytes(1, 100);
         let gcm = AesGcm::new(&key);
         let mut sealed = gcm.seal(&nonce, b"", &plaintext);
-        let idx = flip_byte.index(sealed.len());
-        sealed[idx] ^= 1 << flip_bit;
-        prop_assert!(gcm.open(&nonce, b"", &sealed).is_err());
-    }
+        let idx = g.index(sealed.len());
+        sealed[idx] ^= 1 << g.below(8);
+        assert!(gcm.open(&nonce, b"", &sealed).is_err());
+    });
+}
 
-    #[test]
-    fn gcm_wrong_key_rejected(
-        key in any::<[u8; 16]>(),
-        nonce in any::<[u8; 12]>(),
-        plaintext in proptest::collection::vec(any::<u8>(), 0..100),
-    ) {
+#[test]
+fn gcm_wrong_key_rejected() {
+    check("gcm_wrong_key_rejected", CASES, |g| {
+        let key: [u8; 16] = g.array();
+        let nonce: [u8; 12] = g.array();
+        let plaintext = g.bytes(0, 100);
         let gcm = AesGcm::new(&key);
         let mut other_key = key;
         other_key[0] ^= 1;
         let other = AesGcm::new(&other_key);
         let sealed = gcm.seal(&nonce, b"", &plaintext);
-        prop_assert!(other.open(&nonce, b"", &sealed).is_err());
-    }
+        assert!(other.open(&nonce, b"", &sealed).is_err());
+    });
+}
 
-    #[test]
-    fn ecdsa_sign_verify_recover(seed in any::<[u8; 16]>(), msg in any::<Vec<u8>>()) {
+#[test]
+fn ecdsa_sign_verify_recover() {
+    check("ecdsa_sign_verify_recover", CASES, |g| {
+        let seed: [u8; 16] = g.array();
+        let msg = g.bytes(0, 128);
         let sk = SecretKey::from_seed(&seed);
         let pk = sk.public_key();
         let digest = keccak256(&msg);
         let sig = sk.sign(&digest);
-        prop_assert!(pk.verify(&digest, &sig).is_ok());
-        prop_assert_eq!(secp::recover(&digest, &sig).unwrap(), pk);
-    }
+        assert!(pk.verify(&digest, &sig).is_ok());
+        assert_eq!(secp::recover(&digest, &sig).unwrap(), pk);
+    });
+}
 
-    #[test]
-    fn ecdsa_cross_key_rejection(seed1 in any::<[u8; 8]>(), seed2 in any::<[u8; 8]>()) {
-        prop_assume!(seed1 != seed2);
+#[test]
+fn ecdsa_cross_key_rejection() {
+    check("ecdsa_cross_key_rejection", CASES, |g| {
+        let seed1: [u8; 8] = g.array();
+        let seed2: [u8; 8] = g.array();
+        if seed1 == seed2 {
+            return;
+        }
         let sk1 = SecretKey::from_seed(&seed1);
         let sk2 = SecretKey::from_seed(&seed2);
         let digest = keccak256(b"fixed message");
         let sig = sk1.sign(&digest);
-        prop_assert!(sk2.public_key().verify(&digest, &sig).is_err());
-    }
+        assert!(sk2.public_key().verify(&digest, &sig).is_err());
+    });
+}
 
-    #[test]
-    fn ecdh_symmetric(seed1 in any::<[u8; 8]>(), seed2 in any::<[u8; 8]>()) {
-        let a = SecretKey::from_seed(&seed1);
-        let b = SecretKey::from_seed(&seed2);
-        prop_assert_eq!(
+#[test]
+fn ecdh_symmetric() {
+    check("ecdh_symmetric", CASES, |g| {
+        let a = SecretKey::from_seed(&g.array::<8>());
+        let b = SecretKey::from_seed(&g.array::<8>());
+        assert_eq!(
             secp::ecdh(&a, &b.public_key()).unwrap(),
             secp::ecdh(&b, &a.public_key()).unwrap()
         );
-    }
+    });
+}
 
-    #[test]
-    fn scalar_mult_distributes(k1 in any::<u64>(), k2 in any::<u64>()) {
+#[test]
+fn scalar_mult_distributes() {
+    check("scalar_mult_distributes", CASES, |g| {
+        let (k1, k2) = (g.u64(), g.u64());
         // (k1 + k2)·G == k1·G + k2·G
-        let g = secp::Point::GENERATOR;
-        let lhs = g.mul(U256::from(k1).wrapping_add(U256::from(k2)));
-        let rhs = g.mul(U256::from(k1)).add(g.mul(U256::from(k2)));
-        prop_assert_eq!(lhs, rhs);
-    }
+        let gen = secp::Point::GENERATOR;
+        let lhs = gen.mul(U256::from(k1).wrapping_add(U256::from(k2)));
+        let rhs = gen.mul(U256::from(k1)).add(gen.mul(U256::from(k2)));
+        assert_eq!(lhs, rhs);
+    });
+}
 
-    #[test]
-    fn rng_streams_disjoint(seed in any::<[u8; 8]>()) {
+#[test]
+fn rng_streams_disjoint() {
+    check("rng_streams_disjoint", CASES, |g| {
+        let seed: [u8; 8] = g.array();
         let mut rng = SecureRng::from_seed(&seed);
         let first: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
         let second: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
-        prop_assert_ne!(first, second);
-    }
+        assert_ne!(first, second);
+    });
+}
 
-    #[test]
-    fn sha256_deterministic(data in any::<Vec<u8>>()) {
-        prop_assert_eq!(tape_crypto::sha256(&data), tape_crypto::sha256(&data));
-    }
+#[test]
+fn sha256_deterministic() {
+    check("sha256_deterministic", CASES, |g| {
+        let data = g.bytes(0, 128);
+        assert_eq!(tape_crypto::sha256(&data), tape_crypto::sha256(&data));
+    });
 }
 
 #[test]

@@ -50,6 +50,14 @@ pub struct HevmConfig {
     pub layer3_key: [u8; 16],
     /// Seed for the pager's pre-evict/pre-load noise RNG.
     pub layer3_noise_seed: u64,
+    /// Per-transaction virtual-time watchdog: if a single `transact`
+    /// burns more than this many virtual nanoseconds, execution aborts
+    /// with [`HevmAbort::Watchdog`] instead of spinning until the gas
+    /// limit. `None` disables the watchdog.
+    pub watchdog_ns: Option<tape_sim::Nanos>,
+    /// Adversarial fault plan armed on the layer-3 page store
+    /// (`FaultSite::PageStore`); `None` leaves the store honest.
+    pub faults: Option<tape_sim::fault::FaultPlan>,
 }
 
 impl Default for HevmConfig {
@@ -61,6 +69,8 @@ impl Default for HevmConfig {
             charge_local_code: true,
             layer3_key: [0x4C; 16],
             layer3_noise_seed: 0x4C4C,
+            watchdog_ns: None,
+            faults: None,
         }
     }
 }
@@ -80,6 +90,12 @@ pub enum HevmAbort {
     },
     /// Layer-3 contents failed authentication on reload (attack A4).
     Layer3Tampered,
+    /// The per-transaction virtual-time watchdog fired: execution burned
+    /// more than the configured budget without completing.
+    Watchdog {
+        /// The configured budget in virtual nanoseconds.
+        budget_ns: tape_sim::Nanos,
+    },
 }
 
 impl From<TxError> for HevmAbort {
@@ -96,6 +112,9 @@ impl core::fmt::Display for HevmAbort {
                 write!(f, "Memory Overflow Error: frame needs {frame_pages} pages, limit {limit_pages}")
             }
             HevmAbort::Layer3Tampered => write!(f, "layer-3 memory failed authentication"),
+            HevmAbort::Watchdog { budget_ns } => {
+                write!(f, "watchdog fired: execution exceeded {budget_ns} virtual ns")
+            }
         }
     }
 }
@@ -302,6 +321,9 @@ pub struct Hevm<R, I = NoopInspector> {
     /// Cumulative miss count of the current top frame at the last step
     /// (for delta-based accumulation into `stats.l1_misses`).
     frame_misses_seen: u64,
+    /// Virtual-clock deadline of the current transaction (set by
+    /// `transact` from `config.watchdog_ns`).
+    watchdog_deadline: Option<tape_sim::Nanos>,
 }
 
 impl<R: StateReader> Hevm<R> {
@@ -321,12 +343,15 @@ impl<R: StateReader, I: Inspector> Hevm<R, I> {
         inspector: I,
     ) -> Self {
         let page = config.mem.page_size;
-        let pager = Layer3Pager::new(
+        let mut pager = Layer3Pager::new(
             &config.layer3_key,
             SecureRng::from_seed(&config.layer3_noise_seed.to_be_bytes()),
             page,
             6,
         );
+        if let Some(plan) = &config.faults {
+            pager.arm_faults(plan.clone());
+        }
         Hevm {
             config,
             env,
@@ -342,6 +367,7 @@ impl<R: StateReader, I: Inspector> Hevm<R, I> {
             tamper_on_swap: None,
             swap_outs: 0,
             frame_misses_seen: 0,
+            watchdog_deadline: None,
         }
     }
 
@@ -434,6 +460,7 @@ impl<R: StateReader, I: Inspector> Hevm<R, I> {
         self.origin = tx.from;
         self.gas_price = tx.gas_price;
         self.slots.clear();
+        self.watchdog_deadline = self.config.watchdog_ns.map(|w| self.clock.now() + w);
 
         let (sender, _) = self.state.load_account(tx.from);
         self.inspector.state_access(&StateAccess::Account(tx.from));
@@ -1004,6 +1031,16 @@ impl<R: StateReader, I: Inspector> Hevm<R, I> {
     fn execute_top(&mut self) -> Result<Next, HevmAbort> {
         self.ensure_top_resident()?;
         loop {
+            // A runaway execution (adversarial bytecode, a huge honest
+            // loop, or an engine defect) must not stall the core: the
+            // watchdog bounds each transaction in virtual time.
+            if let Some(deadline) = self.watchdog_deadline {
+                if self.clock.now() > deadline {
+                    return Err(HevmAbort::Watchdog {
+                        budget_ns: self.config.watchdog_ns.unwrap_or(0),
+                    });
+                }
+            }
             // Temporarily detach the top slot to satisfy the borrow
             // checker; the stepper needs &mut self for state access.
             let Some(Slot::Resident { mut meta, mut data }) = self.slots.pop() else {

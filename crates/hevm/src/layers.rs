@@ -7,6 +7,7 @@
 //! authentication tag and a strictly monotonic version to stop replays.
 
 use tape_crypto::{AesGcm, SecureRng};
+use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
 use tape_sim::{Clock, CostModel, Nanos};
 
 /// A swap event as *observed by the adversary* (sizes include noise).
@@ -43,6 +44,9 @@ pub struct Layer3Pager {
     /// Maximum extra pages of noise per swap.
     max_noise: usize,
     page_size: usize,
+    /// When armed, stored ciphertexts are corrupted per the plan's
+    /// schedule — the untrusted memory acting as the adversary.
+    faults: Option<FaultPlan>,
 }
 
 impl core::fmt::Debug for Layer3Pager {
@@ -73,7 +77,17 @@ impl Layer3Pager {
             nonce_counter: 0,
             max_noise,
             page_size,
+            faults: None,
         }
+    }
+
+    /// Makes the layer-3 store adversarial: after every swap-out the
+    /// plan may corrupt the stored ciphertext ([`FaultSite::PageStore`]
+    /// with [`FaultKind::BitFlip`] / [`FaultKind::Truncate`] /
+    /// [`FaultKind::Replay`]); the tamper surfaces as
+    /// [`Layer3Tampered`] on the later swap-in.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
     }
 
     /// Seals a serialized frame out to untrusted memory, logging a
@@ -96,6 +110,41 @@ impl Layer3Pager {
         };
         let index = self.store.len();
         self.store.push(sealed);
+
+        if let Some(plan) = &self.faults {
+            if let Some(decision) = plan.decide_for(
+                FaultSite::PageStore,
+                &[FaultKind::BitFlip, FaultKind::Truncate, FaultKind::Replay],
+            ) {
+                match decision.kind {
+                    FaultKind::BitFlip => {
+                        let sealed = &mut self.store[index];
+                        let byte = (decision.param % sealed.len() as u64) as usize;
+                        sealed[byte] ^= 1 << ((decision.param >> 16) % 8);
+                    }
+                    FaultKind::Truncate => {
+                        let sealed = &mut self.store[index];
+                        let keep = (decision.param % 12) as usize;
+                        sealed.truncate(keep);
+                    }
+                    // Replay: overwrite this slot with an earlier
+                    // ciphertext (stale-page replay); the slot-index AAD
+                    // makes the GCM open fail.
+                    _ => {
+                        if index > 0 {
+                            let from = (decision.param % index as u64) as usize;
+                            self.store[index] = self.store[from].clone();
+                        } else {
+                            // No earlier frame to replay; flip a bit
+                            // instead so the armed fault still lands.
+                            let sealed = &mut self.store[index];
+                            let byte = (decision.param % sealed.len() as u64) as usize;
+                            sealed[byte] ^= 0x01;
+                        }
+                    }
+                }
+            }
+        }
 
         // Pre-evict noise: dump extra dummy pages.
         let noise = self.rng.next_below(self.max_noise as u64 + 1) as usize;

@@ -4,7 +4,7 @@
 //! and structured trace. This is §VI-B pushed past the curated
 //! evaluation set into the adversarial corner cases.
 
-use proptest::prelude::*;
+use tape_crypto::prop::check;
 use tape_evm::asm::Asm;
 use tape_evm::opcode::op;
 use tape_evm::{Env, Evm, StructTracer, Transaction};
@@ -12,6 +12,8 @@ use tape_hevm::{Hevm, HevmConfig};
 use tape_primitives::{Address, U256};
 use tape_sim::Clock;
 use tape_state::{Account, InMemoryState};
+
+const CASES: u32 = 96;
 
 fn sender() -> Address {
     Address::from_low_u64(0xAA)
@@ -63,45 +65,59 @@ fn run_both(code: Vec<u8>, helper_code: Vec<u8>, input: Vec<u8>, gas: u64) {
     assert_eq!(reference.state().changes(), hevm.state().changes(), "state changes");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Pure byte soup: whatever it does — halt, revert, run off the end —
-    /// both engines must agree exactly.
-    #[test]
-    fn random_bytes_agree(
-        code in proptest::collection::vec(any::<u8>(), 0..200),
-        input in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
+/// Pure byte soup: whatever it does — halt, revert, run off the end —
+/// both engines must agree exactly.
+#[test]
+fn random_bytes_agree() {
+    check("random_bytes_agree", CASES, |g| {
+        let code = g.bytes(0, 200);
+        let input = g.bytes(0, 64);
         run_both(code, vec![], input, 300_000);
-    }
+    });
+}
 
-    /// Byte soup biased toward defined opcodes (higher chance of real
-    /// execution paths than uniform bytes).
-    #[test]
-    fn biased_opcode_soup_agrees(
-        ops in proptest::collection::vec(0u8..0xA5, 1..150),
-        input in proptest::collection::vec(any::<u8>(), 0..32),
-    ) {
+/// Byte soup biased toward defined opcodes (higher chance of real
+/// execution paths than uniform bytes).
+#[test]
+fn biased_opcode_soup_agrees() {
+    check("biased_opcode_soup_agrees", CASES, |g| {
+        let ops = g.vec_of(1, 150, |g| g.below(0xA5) as u8);
+        let input = g.bytes(0, 32);
         run_both(ops, vec![], input, 300_000);
-    }
+    });
+}
 
-    /// Structured programs: random straight-line stack/ALU/memory work
-    /// with a proper epilogue, so deep execution paths are exercised
-    /// (not just early halts).
-    #[test]
-    fn structured_programs_agree(
-        words in proptest::collection::vec(any::<u64>(), 1..20),
-        alu in proptest::collection::vec(
-            prop::sample::select(vec![
-                op::ADD, op::MUL, op::SUB, op::DIV, op::SDIV, op::MOD, op::SMOD,
-                op::AND, op::OR, op::XOR, op::LT, op::GT, op::SLT, op::SGT, op::EQ,
-                op::SHL, op::SHR, op::SAR, op::BYTE, op::SIGNEXTEND,
-            ]),
-            0..30,
-        ),
-        store_slot in any::<u8>(),
-    ) {
+/// Structured programs: random straight-line stack/ALU/memory work
+/// with a proper epilogue, so deep execution paths are exercised
+/// (not just early halts).
+#[test]
+fn structured_programs_agree() {
+    const ALU: &[u8] = &[
+        op::ADD,
+        op::MUL,
+        op::SUB,
+        op::DIV,
+        op::SDIV,
+        op::MOD,
+        op::SMOD,
+        op::AND,
+        op::OR,
+        op::XOR,
+        op::LT,
+        op::GT,
+        op::SLT,
+        op::SGT,
+        op::EQ,
+        op::SHL,
+        op::SHR,
+        op::SAR,
+        op::BYTE,
+        op::SIGNEXTEND,
+    ];
+    check("structured_programs_agree", CASES, |g| {
+        let words = g.vec_of(1, 20, |g| g.u64());
+        let alu = g.vec_of(0, 30, |g| *g.choose(ALU));
+        let store_slot = g.u8();
         let mut asm = Asm::new();
         for w in &words {
             asm = asm.push(*w);
@@ -117,18 +133,19 @@ proptest! {
             .ret_top()
             .build();
         run_both(code, vec![], vec![], 500_000);
-    }
+    });
+}
 
-    /// Random cross-contract calls: the helper runs random (possibly
-    /// crashing) code; the caller forwards random gas and input, then
-    /// stores the success flag.
-    #[test]
-    fn random_subcalls_agree(
-        helper_code in proptest::collection::vec(any::<u8>(), 0..100),
-        call_gas in 0u64..200_000,
-        value in 0u64..2_000,
-        out_len in 0u64..64,
-    ) {
+/// Random cross-contract calls: the helper runs random (possibly
+/// crashing) code; the caller forwards random gas and input, then
+/// stores the success flag.
+#[test]
+fn random_subcalls_agree() {
+    check("random_subcalls_agree", CASES, |g| {
+        let helper_code = g.bytes(0, 100);
+        let call_gas = g.below(200_000);
+        let value = g.below(2_000);
+        let out_len = g.below(64);
         let code = Asm::new()
             .push(out_len)
             .push(0u64)
@@ -144,14 +161,15 @@ proptest! {
             .ret_top()
             .build();
         run_both(code, helper_code, vec![0xAB; 4], 400_000);
-    }
+    });
+}
 
-    /// Random memory traffic: MSTORE/MLOAD/MCOPY/KECCAK over arbitrary
-    /// (bounded) offsets, exercising expansion metering in both engines.
-    #[test]
-    fn random_memory_traffic_agrees(
-        ops in proptest::collection::vec((0u8..5, 0u64..4096, 0u64..4096), 1..25),
-    ) {
+/// Random memory traffic: MSTORE/MLOAD/MCOPY/KECCAK over arbitrary
+/// (bounded) offsets, exercising expansion metering in both engines.
+#[test]
+fn random_memory_traffic_agrees() {
+    check("random_memory_traffic_agrees", CASES, |g| {
+        let ops = g.vec_of(1, 25, |g| (g.below(5) as u8, g.below(4096), g.below(4096)));
         let mut asm = Asm::new();
         for (kind, a, b) in &ops {
             asm = match kind {
@@ -163,15 +181,16 @@ proptest! {
             };
         }
         run_both(asm.op(op::MSIZE).ret_top().build(), vec![], vec![], 2_000_000);
-    }
+    });
+}
 
-    /// Tight gas limits: out-of-gas must strike at the same instruction
-    /// in both engines (verified via identical traces and gas_used).
-    #[test]
-    fn gas_exhaustion_agrees(
-        gas in 21_000u64..40_000,
-        spin in prop::bool::ANY,
-    ) {
+/// Tight gas limits: out-of-gas must strike at the same instruction
+/// in both engines (verified via identical traces and gas_used).
+#[test]
+fn gas_exhaustion_agrees() {
+    check("gas_exhaustion_agrees", CASES, |g| {
+        let gas = g.range(21_000, 40_000);
+        let spin = g.bool();
         let code = if spin {
             Asm::new().label("top").push(1u64).op(op::POP).jump("top").build()
         } else {
@@ -183,5 +202,5 @@ proptest! {
             asm.stop().build()
         };
         run_both(code, vec![], vec![], gas);
-    }
+    });
 }

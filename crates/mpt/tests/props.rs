@@ -1,9 +1,11 @@
 //! Property tests: the trie must behave exactly like a HashMap while
 //! producing order-independent roots and sound proofs.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
+use tape_crypto::prop::{check, Gen};
 use tape_mpt::{verify_proof, MerkleTrie, EMPTY_ROOT};
+
+const CASES: u32 = 64;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -11,49 +13,61 @@ enum Op {
     Remove(Vec<u8>),
 }
 
-fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+fn arb_key(g: &mut Gen) -> Vec<u8> {
     // Short keys collide on prefixes often, exercising branch/ext splits.
-    proptest::collection::vec(0u8..4, 1..6)
+    g.vec_of(1, 6, |g| g.below(4) as u8)
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (arb_key(), proptest::collection::vec(any::<u8>(), 1..20))
-            .prop_map(|(k, v)| Op::Insert(k, v)),
-        arb_key().prop_map(Op::Remove),
-    ]
+fn arb_op(g: &mut Gen) -> Op {
+    if g.bool() {
+        Op::Insert(arb_key(g), g.bytes(1, 20))
+    } else {
+        Op::Remove(arb_key(g))
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_entries(g: &mut Gen, min: usize, max: usize) -> HashMap<Vec<u8>, Vec<u8>> {
+    let target = g.range(min as u64, max as u64) as usize;
+    let mut entries = HashMap::new();
+    // Duplicate keys collapse, so loop until the map reaches the target.
+    while entries.len() < target {
+        entries.insert(arb_key(g), g.bytes(1, 10));
+    }
+    entries
+}
 
-    #[test]
-    fn trie_matches_hashmap(ops in proptest::collection::vec(arb_op(), 0..120)) {
+#[test]
+fn trie_matches_hashmap() {
+    check("trie_matches_hashmap", CASES, |g| {
+        let ops = g.vec_of(0, 120, arb_op);
         let mut trie = MerkleTrie::new();
         let mut map: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
         for op in &ops {
             match op {
                 Op::Insert(k, v) => {
-                    prop_assert_eq!(trie.insert(k, v), map.insert(k.clone(), v.clone()));
+                    assert_eq!(trie.insert(k, v), map.insert(k.clone(), v.clone()));
                 }
                 Op::Remove(k) => {
-                    prop_assert_eq!(trie.remove(k), map.remove(k));
+                    assert_eq!(trie.remove(k), map.remove(k));
                 }
             }
         }
-        prop_assert_eq!(trie.len(), map.len());
+        assert_eq!(trie.len(), map.len());
         for (k, v) in &map {
-            prop_assert_eq!(trie.get(k), Some(v.as_slice()));
+            assert_eq!(trie.get(k), Some(v.as_slice()));
         }
         if map.is_empty() {
-            prop_assert_eq!(trie.root_hash(), EMPTY_ROOT);
+            assert_eq!(trie.root_hash(), EMPTY_ROOT);
         }
-    }
+    });
+}
 
-    #[test]
-    fn root_is_content_addressed(ops in proptest::collection::vec(arb_op(), 0..80)) {
+#[test]
+fn root_is_content_addressed() {
+    check("root_is_content_addressed", CASES, |g| {
         // Applying the ops and then rebuilding from the final map in a
         // different order must give the same root.
+        let ops = g.vec_of(0, 80, arb_op);
         let mut trie = MerkleTrie::new();
         let mut map: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
         for op in &ops {
@@ -75,14 +89,15 @@ proptest! {
         for (k, v) in entries {
             rebuilt.insert(&k, &v);
         }
-        prop_assert_eq!(trie.root_hash(), rebuilt.root_hash());
-    }
+        assert_eq!(trie.root_hash(), rebuilt.root_hash());
+    });
+}
 
-    #[test]
-    fn proofs_sound_for_all_keys(
-        entries in proptest::collection::hash_map(arb_key(), proptest::collection::vec(any::<u8>(), 1..10), 1..40),
-        probe in arb_key(),
-    ) {
+#[test]
+fn proofs_sound_for_all_keys() {
+    check("proofs_sound_for_all_keys", CASES, |g| {
+        let entries = arb_entries(g, 1, 40);
+        let probe = arb_key(g);
         let mut trie = MerkleTrie::new();
         for (k, v) in &entries {
             trie.insert(k, v);
@@ -92,21 +107,22 @@ proptest! {
         // Every present key verifies to its value.
         for (k, v) in &entries {
             let proof = trie.prove(k);
-            prop_assert_eq!(verify_proof(root, k, &proof).unwrap(), Some(v.clone()));
+            assert_eq!(verify_proof(root, k, &proof).unwrap(), Some(v.clone()));
         }
 
         // A probe key verifies to its map content (present or absent).
         let proof = trie.prove(&probe);
-        prop_assert_eq!(
+        assert_eq!(
             verify_proof(root, &probe, &proof).unwrap(),
             entries.get(&probe).cloned()
         );
-    }
+    });
+}
 
-    #[test]
-    fn proof_bound_to_root(
-        entries in proptest::collection::hash_map(arb_key(), proptest::collection::vec(any::<u8>(), 1..10), 2..30),
-    ) {
+#[test]
+fn proof_bound_to_root() {
+    check("proof_bound_to_root", CASES, |g| {
+        let entries = arb_entries(g, 2, 30);
         let mut trie = MerkleTrie::new();
         for (k, v) in &entries {
             trie.insert(k, v);
@@ -118,13 +134,15 @@ proptest! {
         // Mutate the trie: the old proof must not verify against the new root.
         trie.insert(&key, b"changed value xyz");
         let new_root = trie.root_hash();
-        prop_assume!(new_root != root);
+        if new_root == root {
+            return;
+        }
         let result = verify_proof(new_root, &key, &proof);
         // Either an error (missing/mismatched node) or the proof simply
         // cannot produce the new value.
         match result {
-            Ok(Some(v)) => prop_assert_ne!(v, b"changed value xyz".to_vec()),
+            Ok(Some(v)) => assert_ne!(v, b"changed value xyz".to_vec()),
             Ok(None) | Err(_) => {}
         }
-    }
+    });
 }

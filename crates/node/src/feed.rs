@@ -1,0 +1,217 @@
+//! The block feed: the untrusted wire between the SP's full node and
+//! the device (paper step 11 delivery path, threats A1/A6).
+//!
+//! [`BlockFeed`] wraps a [`Node`] and serves `(header, delta)` pairs for
+//! synchronization. When armed with a [`FaultPlan`] it *becomes* the
+//! adversary: forging Merkle proofs, lying about account contents,
+//! mismatching header and delta, or going transiently unavailable —
+//! per the plan's deterministic schedule.
+
+use crate::{BlockHeader, Node, StateDelta};
+use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
+
+/// Failure fetching from the feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedError {
+    /// The node produced no block yet.
+    NoBlock,
+    /// The node is transiently unreachable; the caller should retry.
+    Unavailable,
+}
+
+impl core::fmt::Display for FeedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FeedError::NoBlock => write!(f, "the node has no block to serve"),
+            FeedError::Unavailable => write!(f, "the node is transiently unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for FeedError {}
+
+/// The SP-controlled delivery path for block headers and state deltas.
+pub struct BlockFeed {
+    node: Node,
+    faults: Option<FaultPlan>,
+}
+
+impl core::fmt::Debug for BlockFeed {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BlockFeed")
+            .field("height", &self.node.height())
+            .field("armed", &self.faults.is_some())
+            .finish()
+    }
+}
+
+impl BlockFeed {
+    /// Wraps a node in an (initially honest) feed.
+    pub fn new(node: Node) -> Self {
+        BlockFeed { node, faults: None }
+    }
+
+    /// Makes the feed adversarial: fetches consult the plan at
+    /// [`FaultSite::NodeFeed`] and may forge proofs
+    /// ([`FaultKind::BadProof`]), lie about account contents
+    /// ([`FaultKind::ContentLie`]), serve a delta that does not match
+    /// the header ([`FaultKind::HeaderMismatch`]), or fail transiently
+    /// ([`FaultKind::Unavailable`]).
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The wrapped node.
+    pub fn node(&self) -> &Node {
+        &self.node
+    }
+
+    /// Mutable node access (block production).
+    pub fn node_mut(&mut self) -> &mut Node {
+        &mut self.node
+    }
+
+    /// Serves the head block's header and proof-carrying state delta.
+    ///
+    /// # Errors
+    ///
+    /// [`FeedError::NoBlock`] before the first block,
+    /// [`FeedError::Unavailable`] when an armed fault drops the request.
+    pub fn fetch_head(&mut self) -> Result<(BlockHeader, StateDelta), FeedError> {
+        let header = self.node.head().ok_or(FeedError::NoBlock)?.header.clone();
+        let mut delta = self.node.head_state_delta().ok_or(FeedError::NoBlock)?;
+
+        if let Some(plan) = &self.faults {
+            if let Some(decision) = plan.decide_for(
+                FaultSite::NodeFeed,
+                &[
+                    FaultKind::BadProof,
+                    FaultKind::ContentLie,
+                    FaultKind::HeaderMismatch,
+                    FaultKind::Unavailable,
+                ],
+            ) {
+                match decision.kind {
+                    FaultKind::Unavailable => return Err(FeedError::Unavailable),
+                    FaultKind::BadProof => forge_proof(&mut delta, decision.param),
+                    FaultKind::ContentLie => lie_about_content(&mut delta, decision.param),
+                    // HeaderMismatch: serve a delta claiming a different
+                    // block — the device must notice before verifying any
+                    // proof.
+                    _ => {
+                        delta.block_hash.0[0] ^= 0x01;
+                    }
+                }
+            }
+        }
+        Ok((header, delta))
+    }
+}
+
+/// Truncates (or, for very short proofs, corrupts) one account's Merkle
+/// proof — attack A6 on the proof itself.
+fn forge_proof(delta: &mut StateDelta, param: u64) {
+    if delta.accounts.is_empty() {
+        delta.block_hash.0[1] ^= 0x01;
+        return;
+    }
+    let victim = (param % delta.accounts.len() as u64) as usize;
+    let proof = &mut delta.accounts[victim].proof;
+    if proof.len() > 1 {
+        proof.pop();
+    } else if let Some(first) = proof.first_mut() {
+        if let Some(byte) = first.first_mut() {
+            *byte ^= 0xFF;
+        }
+    }
+}
+
+/// Inflates one account's balance while keeping the (now stale) proof —
+/// attack A6 on the content.
+fn lie_about_content(delta: &mut StateDelta, param: u64) {
+    if delta.accounts.is_empty() {
+        delta.block_hash.0[1] ^= 0x01;
+        return;
+    }
+    let victim = (param % delta.accounts.len() as u64) as usize;
+    let account = &mut delta.accounts[victim].account;
+    account.balance = account.balance.wrapping_add(tape_primitives::U256::ONE);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tape_evm::{Env, Transaction};
+    use tape_primitives::{Address, U256};
+    use tape_sim::Clock;
+    use tape_state::{Account, InMemoryState};
+
+    fn feed_with_block() -> BlockFeed {
+        let mut state = InMemoryState::new();
+        let alice = Address::from_low_u64(0xA11CE);
+        let bob = Address::from_low_u64(0xB0B);
+        state.put_account(alice, Account::with_balance(U256::from(u64::MAX)));
+        state.put_account(bob, Account::with_balance(U256::from(1_000u64)));
+        let mut feed = BlockFeed::new(Node::new(state, Env::default()));
+        feed.node_mut()
+            .produce_block(vec![Transaction::transfer(alice, bob, U256::from(7u64))]);
+        feed
+    }
+
+    #[test]
+    fn honest_feed_serves_verifiable_deltas() {
+        let mut feed = feed_with_block();
+        let (header, delta) = feed.fetch_head().unwrap();
+        assert_eq!(delta.block_hash, header.hash());
+        delta.verify().unwrap();
+    }
+
+    #[test]
+    fn empty_feed_reports_no_block() {
+        let mut feed = BlockFeed::new(Node::new(InMemoryState::new(), Env::default()));
+        assert_eq!(feed.fetch_head().unwrap_err(), FeedError::NoBlock);
+    }
+
+    #[test]
+    fn armed_feed_eventually_forges() {
+        let clock = Clock::new();
+        let plan = FaultPlan::new(7, &clock);
+        // every = 1: every fetch is attacked until the budget runs out.
+        plan.arm(
+            FaultSite::NodeFeed,
+            &[
+                FaultKind::BadProof,
+                FaultKind::ContentLie,
+                FaultKind::HeaderMismatch,
+                FaultKind::Unavailable,
+            ],
+            1,
+            16,
+        );
+        let mut feed = feed_with_block();
+        feed.arm_faults(plan.clone());
+
+        let mut rejected = 0;
+        let mut unavailable = 0;
+        for _ in 0..16 {
+            match feed.fetch_head() {
+                Err(FeedError::Unavailable) => unavailable += 1,
+                Err(FeedError::NoBlock) => unreachable!("a block exists"),
+                Ok((header, delta)) => {
+                    let bad = delta.block_hash != header.hash()
+                        || delta.state_root != header.state_root
+                        || delta.verify().is_err();
+                    assert!(bad, "armed fetch served an honest delta");
+                    rejected += 1;
+                }
+            }
+        }
+        assert_eq!(rejected + unavailable, 16);
+        assert_eq!(plan.injected(), 16);
+
+        // Budget exhausted: the feed is honest again.
+        let (header, delta) = feed.fetch_head().unwrap();
+        assert_eq!(delta.block_hash, header.hash());
+        delta.verify().unwrap();
+    }
+}

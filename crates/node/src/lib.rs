@@ -11,6 +11,9 @@
 //! the Merkle proofs it attaches against block state roots.
 #![warn(missing_docs)]
 
+pub mod feed;
+pub use feed::{BlockFeed, FeedError};
+
 use std::collections::BTreeSet;
 use tape_crypto::keccak256;
 use tape_evm::{Env, Evm, StructTracer, Transaction, TxResult};

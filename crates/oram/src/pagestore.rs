@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use tape_crypto::Keccak256;
 use tape_primitives::{Address, B256, U256};
+use tape_sim::fault::FaultPlan;
 use tape_sim::{Clock, CostModel};
 use tape_state::{Account, AccountInfo, StateReader};
 
@@ -136,6 +137,14 @@ struct Inner {
     synced_groups: std::collections::BTreeMap<Address, std::collections::BTreeSet<U256>>,
     stats: QueryStats,
     page_size: usize,
+    /// First integrity failure observed during the current bundle.
+    ///
+    /// [`StateReader`] returns plain values, so a mid-execution ORAM
+    /// integrity violation cannot propagate as a `Result`; it is
+    /// captured here (reads degrade to "absent page") and the service
+    /// collects it via [`ObliviousState::take_fault`] to abort the
+    /// bundle with a typed error instead of panicking.
+    fault: Option<OramError>,
 }
 
 impl core::fmt::Debug for ObliviousState {
@@ -162,8 +171,23 @@ impl ObliviousState {
                 synced_groups: std::collections::BTreeMap::new(),
                 stats: QueryStats::default(),
                 page_size,
+                fault: None,
             }),
         }
+    }
+
+    /// Arms the underlying (untrusted) ORAM server with an adversarial
+    /// fault plan; see [`OramServer::arm_faults`].
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        self.inner.borrow_mut().server.arm_faults(plan);
+    }
+
+    /// Takes the first ORAM integrity failure captured since the last
+    /// call, if any. The service checks this after every bundle: a
+    /// `Some` means reads were served degraded (as absent pages) and the
+    /// bundle's outcome must be discarded.
+    pub fn take_fault(&self) -> Option<OramError> {
+        self.inner.borrow_mut().fault.take()
     }
 
     /// Builds the ORAM content from a full world state — the paper's
@@ -300,9 +324,14 @@ impl Inner {
     }
 
     fn fetch_raw(&mut self, id: &BlockId) -> Option<Vec<u8>> {
-        self.client
-            .read(&mut self.server, &self.clock, &self.cost, id)
-            .expect("ORAM integrity violated: aborting pre-execution")
+        match self.client.read(&mut self.server, &self.clock, &self.cost, id) {
+            Ok(page) => page,
+            Err(err) => {
+                // Keep the *first* failure: it names the root cause.
+                self.fault.get_or_insert(err);
+                None
+            }
+        }
     }
 
     fn fetch_page_uncached(&mut self, key: PageKey) -> Option<Vec<u8>> {

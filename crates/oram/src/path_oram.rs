@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use tape_crypto::{AesGcm, SecureRng};
 use tape_primitives::B256;
+use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
 use tape_sim::{Clock, CostModel};
 
 /// Logical block identifier (a hash of the page key).
@@ -86,6 +87,9 @@ pub struct OramServer {
     buckets: Vec<Vec<Vec<u8>>>,
     log: Vec<ObservedAccess>,
     queries: u64,
+    /// When armed, the server misbehaves per the plan's schedule —
+    /// wrong paths, dropped write-backs, tampered ciphertexts.
+    faults: Option<FaultPlan>,
 }
 
 impl OramServer {
@@ -95,7 +99,7 @@ impl OramServer {
         let buckets = (0..config.buckets())
             .map(|_| vec![Vec::new(); config.bucket_capacity])
             .collect();
-        OramServer { config, buckets, log: Vec::new(), queries: 0 }
+        OramServer { config, buckets, log: Vec::new(), queries: 0, faults: None }
     }
 
     /// The server's geometry.
@@ -103,15 +107,51 @@ impl OramServer {
         &self.config
     }
 
+    /// Makes the server adversarial: it consults `plan` at
+    /// [`FaultSite::OramServer`] on every path read and write.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
     /// Reads all ciphertexts on the path to `leaf`, logging the access.
+    ///
+    /// An armed adversarial server may serve a *different* path
+    /// ([`FaultKind::WrongPath`]) or flip a bit in one returned
+    /// ciphertext ([`FaultKind::BitFlip`]) — the access log still
+    /// records the leaf the client asked for, exactly as a dishonest
+    /// provider would report it.
     pub fn read_path(&mut self, leaf: u64, at: tape_sim::Nanos) -> Vec<Vec<u8>> {
         self.queries += 1;
         self.log.push(ObservedAccess { at, leaf });
+        let mut served_leaf = leaf;
+        let mut flip: Option<u64> = None;
+        if let Some(plan) = &self.faults {
+            if let Some(decision) =
+                plan.decide_for(FaultSite::OramServer, &[FaultKind::WrongPath, FaultKind::BitFlip])
+            {
+                match decision.kind {
+                    FaultKind::WrongPath => {
+                        // Serve some other path; skew by 1 so the fault
+                        // never degenerates into the honest answer.
+                        served_leaf = (leaf + 1 + decision.param % (self.config.leaves() - 1))
+                            % self.config.leaves();
+                    }
+                    _ => flip = Some(decision.param),
+                }
+            }
+        }
         let mut out = Vec::with_capacity(self.config.blocks_per_access() as usize);
         for level in 0..=self.config.height {
-            let idx = self.config.bucket_index(leaf, level);
+            let idx = self.config.bucket_index(served_leaf, level);
             for slot in &self.buckets[idx] {
                 out.push(slot.clone());
+            }
+        }
+        if let Some(param) = flip {
+            let slot = (param % out.len() as u64) as usize;
+            if !out[slot].is_empty() {
+                let byte = ((param >> 16) % out[slot].len() as u64) as usize;
+                out[slot][byte] ^= 1 << ((param >> 32) % 8);
             }
         }
         out
@@ -119,15 +159,38 @@ impl OramServer {
 
     /// Overwrites the path to `leaf` with fresh ciphertexts
     /// (`blocks.len()` must equal [`OramConfig::blocks_per_access`]).
-    pub fn write_path(&mut self, leaf: u64, blocks: Vec<Vec<u8>>) {
-        assert_eq!(blocks.len() as u64, self.config.blocks_per_access());
+    ///
+    /// An armed adversarial server may silently discard the write-back
+    /// ([`FaultKind::DropWrite`]) while still reporting success.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::BadPathLength`] when the block count does not match
+    /// the path geometry.
+    pub fn write_path(&mut self, leaf: u64, blocks: Vec<Vec<u8>>) -> Result<(), OramError> {
+        if blocks.len() as u64 != self.config.blocks_per_access() {
+            return Err(OramError::BadPathLength {
+                expected: self.config.blocks_per_access(),
+                actual: blocks.len() as u64,
+            });
+        }
+        if let Some(plan) = &self.faults {
+            if plan.decide_for(FaultSite::OramServer, &[FaultKind::DropWrite]).is_some() {
+                // The dishonest server acknowledges but stores nothing.
+                return Ok(());
+            }
+        }
         let mut it = blocks.into_iter();
         for level in 0..=self.config.height {
             let idx = self.config.bucket_index(leaf, level);
             for slot in self.buckets[idx].iter_mut() {
-                *slot = it.next().expect("length asserted");
+                *slot = it.next().ok_or(OramError::BadPathLength {
+                    expected: self.config.blocks_per_access(),
+                    actual: 0,
+                })?;
             }
         }
+        Ok(())
     }
 
     /// Every access the server has observed — the adversary's view.
@@ -154,6 +217,25 @@ pub enum OramError {
         /// The payload length supplied.
         actual: usize,
     },
+    /// A block the position map says exists was not found on its path —
+    /// the server served a wrong path or dropped a write-back (attack
+    /// A5: dishonest path service).
+    MissingBlock(BlockId),
+    /// A path write-back carried the wrong number of blocks.
+    BadPathLength {
+        /// Blocks one path must carry ([`OramConfig::blocks_per_access`]).
+        expected: u64,
+        /// Blocks actually supplied.
+        actual: u64,
+    },
+    /// A recursive-ORAM access targeted an index beyond the capacity
+    /// fixed at construction.
+    IndexOutOfRange {
+        /// The requested index.
+        index: u64,
+        /// The configured capacity.
+        capacity: u64,
+    },
 }
 
 impl core::fmt::Display for OramError {
@@ -162,6 +244,15 @@ impl core::fmt::Display for OramError {
             OramError::Tampered => write!(f, "ORAM block failed authentication"),
             OramError::BadBlockSize { expected, actual } => {
                 write!(f, "bad block size: expected {expected}, got {actual}")
+            }
+            OramError::MissingBlock(id) => {
+                write!(f, "mapped ORAM block {id} missing from its path")
+            }
+            OramError::BadPathLength { expected, actual } => {
+                write!(f, "bad path length: expected {expected} blocks, got {actual}")
+            }
+            OramError::IndexOutOfRange { index, capacity } => {
+                write!(f, "recursive ORAM index {index} out of range (capacity {capacity})")
             }
         }
     }
@@ -364,6 +455,13 @@ impl OramClient {
             }
         })?;
 
+        // An honest server always returns a mapped block: it is either
+        // on its path or already in the stash. A miss means the server
+        // served the wrong path or dropped an earlier write-back.
+        if known && old.is_none() {
+            return Err(OramError::MissingBlock(*id));
+        }
+
         // Maintain the map: real blocks get the fresh leaf; a read miss
         // leaves no mapping behind.
         if is_write || old.is_some() || known {
@@ -428,8 +526,9 @@ impl OramClient {
                 // passes through the same bucket.
                 let shift = self.config.height - level;
                 if entry.leaf >> shift == old_leaf >> shift {
-                    let entry = self.stash.remove(sid).expect("checked above");
-                    path_buckets[level as usize].push((*sid, entry.leaf, entry.data));
+                    if let Some(entry) = self.stash.remove(sid) {
+                        path_buckets[level as usize].push((*sid, entry.leaf, entry.data));
+                    }
                 }
             }
         }
@@ -446,7 +545,7 @@ impl OramClient {
                 out.push(self.encrypt_slot(None));
             }
         }
-        server.write_path(old_leaf, out);
+        server.write_path(old_leaf, out)?;
 
         self.max_stash = self.max_stash.max(self.stash.len());
         clock.advance(cost.oram_query_ns(self.config.blocks_per_access()));

@@ -149,11 +149,7 @@ impl RecursiveOram {
     ///
     /// # Errors
     ///
-    /// [`OramError`] on tampering.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= capacity`.
+    /// [`OramError`] on tampering or an out-of-range index.
     pub fn read(
         &mut self,
         clock: &Clock,
@@ -167,11 +163,8 @@ impl RecursiveOram {
     ///
     /// # Errors
     ///
-    /// [`OramError`] on tampering or wrong block size.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= capacity`.
+    /// [`OramError`] on tampering, a wrong block size, or an
+    /// out-of-range index.
     pub fn write(
         &mut self,
         clock: &Clock,
@@ -193,7 +186,9 @@ impl RecursiveOram {
         index: u64,
         new_data: Option<Vec<u8>>,
     ) -> Result<Option<Vec<u8>>, OramError> {
-        assert!(index < self.capacity, "index {index} out of capacity {}", self.capacity);
+        if index >= self.capacity {
+            return Err(OramError::IndexOutOfRange { index, capacity: self.capacity });
+        }
         let depth = self.levels.len();
         let packing = entries_per_block(self.levels[0].client.config());
 

@@ -71,7 +71,7 @@ pub fn encode(bytes: impl AsRef<[u8]>) -> String {
 /// # Ok::<(), tape_primitives::hex::FromHexError>(())
 /// ```
 pub fn decode(s: &str) -> Result<Vec<u8>, FromHexError> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(FromHexError::InvalidLength { expected: s.len() + 1, actual: s.len() });
     }
     let mut out = Vec::with_capacity(s.len() / 2);

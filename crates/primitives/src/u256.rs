@@ -177,10 +177,10 @@ impl U256 {
     pub fn overflowing_add(self, rhs: Self) -> (Self, bool) {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *limb = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         (U256 { limbs: out }, carry != 0)
@@ -191,10 +191,10 @@ impl U256 {
     pub fn overflowing_sub(self, rhs: Self) -> (Self, bool) {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *limb = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         (U256 { limbs: out }, borrow != 0)
@@ -371,10 +371,10 @@ impl U256 {
         let limb_shift = (shift / 64) as usize;
         let bit_shift = shift % 64;
         let mut out = [0u64; 4];
-        for i in 0..4 - limb_shift {
-            out[i] = self.limbs[i + limb_shift] >> bit_shift;
+        for (i, limb) in out.iter_mut().enumerate().take(4 - limb_shift) {
+            *limb = self.limbs[i + limb_shift] >> bit_shift;
             if bit_shift > 0 && i + limb_shift + 1 < 4 {
-                out[i] |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
+                *limb |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
             }
         }
         U256 { limbs: out }

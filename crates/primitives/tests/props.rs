@@ -1,176 +1,249 @@
 //! Property-based tests for U256 arithmetic and RLP round-trips.
 
-use proptest::prelude::*;
+use tape_crypto::prop::{check, Gen};
 use tape_primitives::{rlp, U256};
 
-fn arb_u256() -> impl Strategy<Value = U256> {
-    any::<[u64; 4]>().prop_map(U256::from_limbs)
+const CASES: u32 = 256;
+
+fn arb_u256(g: &mut Gen) -> U256 {
+    U256::from_limbs([g.u64(), g.u64(), g.u64(), g.u64()])
 }
 
-/// Small values exercise carry-free paths; mixing them in improves shrink
-/// quality.
-fn arb_u256_mixed() -> impl Strategy<Value = U256> {
-    prop_oneof![
-        arb_u256(),
-        any::<u64>().prop_map(U256::from),
-        Just(U256::ZERO),
-        Just(U256::ONE),
-        Just(U256::MAX),
-        Just(U256::SIGN_BIT),
-    ]
+/// Small values exercise carry-free paths; mixing them in improves
+/// coverage of edge cases.
+fn arb_u256_mixed(g: &mut Gen) -> U256 {
+    match g.below(6) {
+        0 => arb_u256(g),
+        1 => U256::from(g.u64()),
+        2 => U256::ZERO,
+        3 => U256::ONE,
+        4 => U256::MAX,
+        _ => U256::SIGN_BIT,
+    }
 }
 
-proptest! {
-    #[test]
-    fn add_commutes(a in arb_u256_mixed(), b in arb_u256_mixed()) {
-        prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
-    }
+#[test]
+fn add_commutes() {
+    check("add_commutes", CASES, |g| {
+        let (a, b) = (arb_u256_mixed(g), arb_u256_mixed(g));
+        assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+    });
+}
 
-    #[test]
-    fn add_sub_inverse(a in arb_u256_mixed(), b in arb_u256_mixed()) {
-        prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
-    }
+#[test]
+fn add_sub_inverse() {
+    check("add_sub_inverse", CASES, |g| {
+        let (a, b) = (arb_u256_mixed(g), arb_u256_mixed(g));
+        assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+    });
+}
 
-    #[test]
-    fn mul_commutes(a in arb_u256_mixed(), b in arb_u256_mixed()) {
-        prop_assert_eq!(a.wrapping_mul(b), b.wrapping_mul(a));
-    }
+#[test]
+fn mul_commutes() {
+    check("mul_commutes", CASES, |g| {
+        let (a, b) = (arb_u256_mixed(g), arb_u256_mixed(g));
+        assert_eq!(a.wrapping_mul(b), b.wrapping_mul(a));
+    });
+}
 
-    #[test]
-    fn mul_distributes_over_add(a in arb_u256_mixed(), b in arb_u256_mixed(), c in arb_u256_mixed()) {
+#[test]
+fn mul_distributes_over_add() {
+    check("mul_distributes_over_add", CASES, |g| {
+        let (a, b, c) = (arb_u256_mixed(g), arb_u256_mixed(g), arb_u256_mixed(g));
         let lhs = a.wrapping_mul(b.wrapping_add(c));
         let rhs = a.wrapping_mul(b).wrapping_add(a.wrapping_mul(c));
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs);
+    });
+}
 
-    #[test]
-    fn div_rem_reconstructs(a in arb_u256_mixed(), b in arb_u256_mixed()) {
-        prop_assume!(!b.is_zero());
+#[test]
+fn div_rem_reconstructs() {
+    check("div_rem_reconstructs", CASES, |g| {
+        let (a, b) = (arb_u256_mixed(g), arb_u256_mixed(g));
+        if b.is_zero() {
+            return;
+        }
         let (q, r) = a.checked_div_rem(b).unwrap();
-        prop_assert!(r < b);
-        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
-    }
+        assert!(r < b);
+        assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    });
+}
 
-    #[test]
-    fn div_agrees_with_u128(a in any::<u128>(), b in any::<u128>()) {
-        prop_assume!(b != 0);
+#[test]
+fn div_agrees_with_u128() {
+    check("div_agrees_with_u128", CASES, |g| {
+        let (a, b) = (g.u128(), g.u128());
+        if b == 0 {
+            return;
+        }
         let (q, r) = U256::from(a).checked_div_rem(U256::from(b)).unwrap();
-        prop_assert_eq!(q, U256::from(a / b));
-        prop_assert_eq!(r, U256::from(a % b));
-    }
+        assert_eq!(q, U256::from(a / b));
+        assert_eq!(r, U256::from(a % b));
+    });
+}
 
-    #[test]
-    fn mulmod_matches_u128(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
+#[test]
+fn mulmod_matches_u128() {
+    check("mulmod_matches_u128", CASES, |g| {
+        let (a, b) = (g.u64(), g.u64());
+        let m = g.range(1, u64::MAX);
         let expected = ((a as u128 * b as u128) % m as u128) as u64;
-        prop_assert_eq!(
+        assert_eq!(
             U256::from(a).mul_mod(U256::from(b), U256::from(m)),
             U256::from(expected)
         );
-    }
+    });
+}
 
-    #[test]
-    fn addmod_matches_u128(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
+#[test]
+fn addmod_matches_u128() {
+    check("addmod_matches_u128", CASES, |g| {
+        let (a, b) = (g.u64(), g.u64());
+        let m = g.range(1, u64::MAX);
         let expected = ((a as u128 + b as u128) % m as u128) as u64;
-        prop_assert_eq!(
+        assert_eq!(
             U256::from(a).add_mod(U256::from(b), U256::from(m)),
             U256::from(expected)
         );
-    }
+    });
+}
 
-    #[test]
-    fn shift_roundtrip(a in arb_u256(), s in 0u32..256) {
+#[test]
+fn shift_roundtrip() {
+    check("shift_roundtrip", CASES, |g| {
+        let a = arb_u256(g);
+        let s = g.below(256) as u32;
         // (a << s) >> s keeps the low 256-s bits.
         let masked = if s == 0 { a } else { a.shl_word(s).shr_word(s) };
         let expected = a & U256::MAX.shr_word(s);
-        prop_assert_eq!(masked, expected);
-    }
+        assert_eq!(masked, expected);
+    });
+}
 
-    #[test]
-    fn shl_is_mul_by_pow2(a in arb_u256(), s in 0u32..256) {
+#[test]
+fn shl_is_mul_by_pow2() {
+    check("shl_is_mul_by_pow2", CASES, |g| {
+        let a = arb_u256(g);
+        let s = g.below(256) as u32;
         let pow = U256::ONE.shl_word(s);
-        prop_assert_eq!(a.shl_word(s), a.wrapping_mul(pow));
-    }
+        assert_eq!(a.shl_word(s), a.wrapping_mul(pow));
+    });
+}
 
-    #[test]
-    fn neg_is_additive_inverse(a in arb_u256_mixed()) {
-        prop_assert_eq!(a.wrapping_add(a.wrapping_neg()), U256::ZERO);
-    }
+#[test]
+fn neg_is_additive_inverse() {
+    check("neg_is_additive_inverse", CASES, |g| {
+        let a = arb_u256_mixed(g);
+        assert_eq!(a.wrapping_add(a.wrapping_neg()), U256::ZERO);
+    });
+}
 
-    #[test]
-    fn sdiv_smod_reconstruct(a in arb_u256_mixed(), b in arb_u256_mixed()) {
-        prop_assume!(!b.is_zero());
+#[test]
+fn sdiv_smod_reconstruct() {
+    check("sdiv_smod_reconstruct", CASES, |g| {
+        let (a, b) = (arb_u256_mixed(g), arb_u256_mixed(g));
+        if b.is_zero() {
+            return;
+        }
         // a == sdiv(a,b)*b + smod(a,b) (mod 2^256) — EVM signed semantics.
         let q = a.sdiv_evm(b);
         let r = a.smod_evm(b);
-        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
-    }
+        assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    });
+}
 
-    #[test]
-    fn be_bytes_roundtrip(a in arb_u256()) {
-        prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
-    }
+#[test]
+fn be_bytes_roundtrip() {
+    check("be_bytes_roundtrip", CASES, |g| {
+        let a = arb_u256(g);
+        assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+    });
+}
 
-    #[test]
-    fn decimal_roundtrip(a in arb_u256_mixed()) {
+#[test]
+fn decimal_roundtrip() {
+    check("decimal_roundtrip", CASES, |g| {
+        let a = arb_u256_mixed(g);
         let s = a.to_string();
-        prop_assert_eq!(s.parse::<U256>().unwrap(), a);
-    }
+        assert_eq!(s.parse::<U256>().unwrap(), a);
+    });
+}
 
-    #[test]
-    fn hex_roundtrip(a in arb_u256_mixed()) {
+#[test]
+fn hex_roundtrip() {
+    check("hex_roundtrip", CASES, |g| {
+        let a = arb_u256_mixed(g);
         let s = format!("{a:#x}");
-        prop_assert_eq!(s.parse::<U256>().unwrap(), a);
-    }
+        assert_eq!(s.parse::<U256>().unwrap(), a);
+    });
+}
 
-    #[test]
-    fn exp_matches_naive(base in arb_u256_mixed(), e in 0u32..40) {
+#[test]
+fn exp_matches_naive() {
+    check("exp_matches_naive", CASES, |g| {
+        let base = arb_u256_mixed(g);
+        let e = g.below(40) as u32;
         let mut naive = U256::ONE;
         for _ in 0..e {
             naive = naive.wrapping_mul(base);
         }
-        prop_assert_eq!(base.wrapping_pow(U256::from(e as u64)), naive);
-    }
+        assert_eq!(base.wrapping_pow(U256::from(e as u64)), naive);
+    });
+}
 
-    #[test]
-    fn isqrt_bounds(a in arb_u256_mixed()) {
+#[test]
+fn isqrt_bounds() {
+    check("isqrt_bounds", CASES, |g| {
+        let a = arb_u256_mixed(g);
         let r = a.isqrt();
         // r^2 <= a and (r+1)^2 > a (checking without overflow).
-        prop_assert!(r.checked_mul(r).map(|sq| sq <= a).unwrap_or(false) || a.is_zero());
+        assert!(r.checked_mul(r).map(|sq| sq <= a).unwrap_or(false) || a.is_zero());
         let r1 = r.wrapping_add(U256::ONE);
-        match r1.checked_mul(r1) {
-            Some(sq) => prop_assert!(sq > a),
-            None => {} // (r+1)^2 overflowed 256 bits, necessarily > a
-        }
-    }
+        if let Some(sq) = r1.checked_mul(r1) {
+            assert!(sq > a);
+        } // else (r+1)^2 overflowed 256 bits, necessarily > a
+    });
+}
 
-    #[test]
-    fn rlp_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+#[test]
+fn rlp_bytes_roundtrip() {
+    check("rlp_bytes_roundtrip", CASES, |g| {
+        let data = g.bytes(0, 200);
         let enc = rlp::encode_bytes(&data);
         let dec = rlp::decode(&enc).unwrap();
-        prop_assert_eq!(dec.as_bytes().unwrap(), &data[..]);
-    }
+        assert_eq!(dec.as_bytes().unwrap(), &data[..]);
+    });
+}
 
-    #[test]
-    fn rlp_list_roundtrip(items in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..20)) {
+#[test]
+fn rlp_list_roundtrip() {
+    check("rlp_list_roundtrip", CASES, |g| {
+        let items = g.vec_of(0, 20, |g| g.bytes(0, 40));
         let encoded: Vec<Vec<u8>> = items.iter().map(|i| rlp::encode_bytes(i)).collect();
         let enc = rlp::encode_list(&encoded);
         let dec = rlp::decode(&enc).unwrap();
         let list = dec.as_list().unwrap();
-        prop_assert_eq!(list.len(), items.len());
+        assert_eq!(list.len(), items.len());
         for (item, original) in list.iter().zip(&items) {
-            prop_assert_eq!(item.as_bytes().unwrap(), &original[..]);
+            assert_eq!(item.as_bytes().unwrap(), &original[..]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn rlp_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..100)) {
+#[test]
+fn rlp_decode_never_panics() {
+    check("rlp_decode_never_panics", CASES, |g| {
+        let data = g.bytes(0, 100);
         let _ = rlp::decode(&data);
-    }
+    });
+}
 
-    #[test]
-    fn rlp_reencode_is_identity(data in proptest::collection::vec(any::<u8>(), 0..100)) {
+#[test]
+fn rlp_reencode_is_identity() {
+    check("rlp_reencode_is_identity", CASES, |g| {
+        let data = g.bytes(0, 100);
         if let Ok(item) = rlp::decode(&data) {
-            prop_assert_eq!(rlp::encode_item(&item), data);
+            assert_eq!(rlp::encode_item(&item), data);
         }
-    }
+    });
 }

@@ -1,0 +1,381 @@
+//! Deterministic adversarial fault injection.
+//!
+//! HarDTAPE's threat model (paper §III, attacks A1–A6) assumes a
+//! *malicious service provider*: every component outside the TEE — the
+//! Layer-3 page store, the ORAM server, the network carrying the secure
+//! channel, and the full node feeding block-sync deltas — may corrupt,
+//! replay, drop, or forge data at will. This module turns that threat
+//! model into an executable, repeatable schedule: a [`FaultPlan`] is
+//! seeded from the same [`SecureRng`] DRBG the rest of the simulation
+//! uses, armed per untrusted boundary ([`FaultSite`]), and consulted by
+//! the boundary code on each operation. Two plans built from the same
+//! seed and driven by the same workload produce byte-identical fault
+//! schedules, so every adversarial test is reproducible.
+//!
+//! The plan is also an *audit log*: each injected fault is recorded with
+//! the virtual-clock timestamp at which it fired, so a test can assert
+//! the exact schedule ([`FaultPlan::log`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
+//! use tape_sim::Clock;
+//!
+//! let clock = Clock::new();
+//! let plan = FaultPlan::new(0xBAD5EED, &clock);
+//! // Corrupt roughly every 4th channel message, at most 2 times total.
+//! plan.arm(FaultSite::Channel, &[FaultKind::ChannelTamper], 4, 2);
+//!
+//! let mut fired = 0;
+//! for _ in 0..64 {
+//!     if plan.decide(FaultSite::Channel).is_some() {
+//!         fired += 1;
+//!     }
+//! }
+//! assert_eq!(fired, 2); // budget exhausted
+//! assert_eq!(plan.log().len(), 2);
+//! ```
+
+use crate::clock::{Clock, Nanos};
+use std::sync::{Arc, Mutex};
+use tape_crypto::SecureRng;
+
+/// An untrusted boundary at which faults can be armed.
+///
+/// Each site corresponds to one of the service-provider-controlled
+/// components of the paper's system model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// The Layer-3 encrypted page store backing HEVM frame spills
+    /// (attack A2: corrupted off-chip memory).
+    PageStore,
+    /// The untrusted ORAM server holding encrypted path buckets
+    /// (attack A5/A6: tampered blocks, dishonest path service).
+    OramServer,
+    /// The network link carrying secure-channel messages
+    /// (attack A3/A4: replayed, dropped, or tampered ciphertext).
+    Channel,
+    /// The full node supplying block headers and state deltas
+    /// (attack A1: forged chain data, plus transient unavailability).
+    NodeFeed,
+}
+
+/// The number of distinct [`FaultSite`] variants.
+const SITE_COUNT: usize = 4;
+
+impl FaultSite {
+    fn index(self) -> usize {
+        match self {
+            FaultSite::PageStore => 0,
+            FaultSite::OramServer => 1,
+            FaultSite::Channel => 2,
+            FaultSite::NodeFeed => 3,
+        }
+    }
+}
+
+/// A concrete adversarial action the plan may select at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip one bit of a stored ciphertext (page store / ORAM bucket).
+    BitFlip,
+    /// Truncate a stored ciphertext below the GCM tag length.
+    Truncate,
+    /// Serve a stale ciphertext previously stored at another index.
+    Replay,
+    /// ORAM server reads a different path than the one requested.
+    WrongPath,
+    /// ORAM server silently discards a path write-back.
+    DropWrite,
+    /// Re-deliver an already-consumed secure-channel message.
+    ChannelReplay,
+    /// Drop a secure-channel message in flight.
+    ChannelDrop,
+    /// Flip a byte of secure-channel ciphertext in flight.
+    ChannelTamper,
+    /// Corrupt the Merkle proof inside a block-sync delta.
+    BadProof,
+    /// Prove one account but report different content for it.
+    ContentLie,
+    /// Send a delta whose header does not match its parent link.
+    HeaderMismatch,
+    /// Full node temporarily refuses to answer.
+    Unavailable,
+}
+
+/// A fault the plan has decided to inject *now*.
+///
+/// `param` is a site-interpreted random argument (e.g. which bit to
+/// flip, which wrong path to serve) drawn from the plan's DRBG, so the
+/// whole schedule — not just the fire/don't-fire coin — is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// The adversarial action to perform.
+    pub kind: FaultKind,
+    /// Site-interpreted random argument.
+    pub param: u64,
+}
+
+/// One entry of the reproducibility audit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Virtual-clock time at which the fault fired.
+    pub at: Nanos,
+    /// The boundary it fired at.
+    pub site: FaultSite,
+    /// The action taken.
+    pub kind: FaultKind,
+    /// The random argument handed to the boundary.
+    pub param: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Arming {
+    kinds: Vec<FaultKind>,
+    /// Fire with probability 1/every per decision point.
+    every: u64,
+    /// Remaining injections before the site disarms itself.
+    budget: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    rng: SecureRng,
+    sites: [Option<Arming>; SITE_COUNT],
+    log: Vec<FaultEvent>,
+}
+
+/// A seeded, shareable schedule of adversarial faults.
+///
+/// Cloning is cheap and shares the underlying state: the service wires
+/// the same plan into every boundary, and all of them draw from one
+/// DRBG stream so the global schedule is a pure function of the seed
+/// and the sequence of `decide` calls.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    clock: Clock,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl FaultPlan {
+    /// A plan with no sites armed; `clock` timestamps the audit log.
+    pub fn new(seed: u64, clock: &Clock) -> Self {
+        let mut seed_bytes = Vec::with_capacity(16);
+        seed_bytes.extend_from_slice(b"faultpln");
+        seed_bytes.extend_from_slice(&seed.to_be_bytes());
+        FaultPlan {
+            clock: clock.clone(),
+            inner: Arc::new(Mutex::new(Inner {
+                rng: SecureRng::from_seed(&seed_bytes),
+                sites: [None, None, None, None],
+                log: Vec::new(),
+            })),
+        }
+    }
+
+    /// Arms `site`: each decision point fires with probability
+    /// `1/every` (an `every` of 1 fires always), choosing uniformly
+    /// among `kinds`, until `budget` faults have been injected.
+    ///
+    /// Re-arming a site replaces its previous arming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds` is empty or `every` is zero.
+    pub fn arm(&self, site: FaultSite, kinds: &[FaultKind], every: u64, budget: u64) {
+        assert!(!kinds.is_empty(), "arming {site:?} with no fault kinds");
+        assert!(every > 0, "arming {site:?} with every = 0");
+        let mut inner = self.inner.lock().expect("fault plan lock");
+        inner.sites[site.index()] =
+            Some(Arming { kinds: kinds.to_vec(), every, budget });
+    }
+
+    /// Disarms `site`; subsequent decisions there return `None`.
+    pub fn disarm(&self, site: FaultSite) {
+        let mut inner = self.inner.lock().expect("fault plan lock");
+        inner.sites[site.index()] = None;
+    }
+
+    /// Draws fire/kind/param without committing; `None` when the site
+    /// is disarmed, out of budget, or the coin misses. The DRBG is
+    /// advanced on every armed draw, so the schedule depends only on
+    /// the decision sequence, never on which kinds a caller accepts.
+    fn draw(&self, inner: &mut Inner, site: FaultSite) -> Option<FaultDecision> {
+        let arming = inner.sites[site.index()].as_ref()?;
+        if arming.budget == 0 {
+            return None;
+        }
+        let (every, kind_count) = (arming.every, arming.kinds.len() as u64);
+        if inner.rng.next_below(every) != 0 {
+            return None;
+        }
+        let kind_index = inner.rng.next_below(kind_count) as usize;
+        let param = inner.rng.next_u64();
+        let kind = inner.sites[site.index()].as_ref().expect("checked above").kinds[kind_index];
+        Some(FaultDecision { kind, param })
+    }
+
+    fn commit(&self, inner: &mut Inner, site: FaultSite, decision: FaultDecision) {
+        let arming = inner.sites[site.index()].as_mut().expect("draw succeeded");
+        arming.budget -= 1;
+        inner.log.push(FaultEvent {
+            at: self.clock.now(),
+            site,
+            kind: decision.kind,
+            param: decision.param,
+        });
+    }
+
+    /// Consulted by boundary code at each operation: should a fault be
+    /// injected here, now? Returns the action (and its random argument)
+    /// or `None`. Decrements the site budget and appends to the audit
+    /// log when it fires.
+    pub fn decide(&self, site: FaultSite) -> Option<FaultDecision> {
+        let mut inner = self.inner.lock().expect("fault plan lock");
+        let decision = self.draw(&mut inner, site)?;
+        self.commit(&mut inner, site, decision);
+        Some(decision)
+    }
+
+    /// Like [`decide`](Self::decide), but only commits (budget, audit
+    /// log) when the drawn kind is in `accept`. Boundary code whose
+    /// operation can only express a subset of the armed kinds — e.g. a
+    /// path *read* cannot drop a *write* — uses this so inapplicable
+    /// draws are discarded rather than silently eating the budget.
+    pub fn decide_for(&self, site: FaultSite, accept: &[FaultKind]) -> Option<FaultDecision> {
+        let mut inner = self.inner.lock().expect("fault plan lock");
+        let decision = self.draw(&mut inner, site)?;
+        if !accept.contains(&decision.kind) {
+            return None;
+        }
+        self.commit(&mut inner, site, decision);
+        Some(decision)
+    }
+
+    /// The audit log of every fault injected so far, in firing order.
+    pub fn log(&self) -> Vec<FaultEvent> {
+        self.inner.lock().expect("fault plan lock").log.clone()
+    }
+
+    /// Total faults injected so far across all sites.
+    pub fn injected(&self) -> usize {
+        self.inner.lock().expect("fault plan lock").log.len()
+    }
+
+    /// Remaining budget at `site` (0 if disarmed).
+    pub fn remaining_budget(&self, site: FaultSite) -> u64 {
+        let inner = self.inner.lock().expect("fault plan lock");
+        inner.sites[site.index()].as_ref().map_or(0, |a| a.budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_sites_never_fire() {
+        let clock = Clock::new();
+        let plan = FaultPlan::new(1, &clock);
+        for _ in 0..100 {
+            assert_eq!(plan.decide(FaultSite::PageStore), None);
+        }
+        assert!(plan.log().is_empty());
+    }
+
+    #[test]
+    fn budget_caps_injections() {
+        let clock = Clock::new();
+        let plan = FaultPlan::new(2, &clock);
+        plan.arm(FaultSite::Channel, &[FaultKind::ChannelDrop], 1, 3);
+        let fired = (0..10).filter(|_| plan.decide(FaultSite::Channel).is_some()).count();
+        assert_eq!(fired, 3);
+        assert_eq!(plan.remaining_budget(FaultSite::Channel), 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = || {
+            let clock = Clock::new();
+            let plan = FaultPlan::new(0xDEAD, &clock);
+            plan.arm(
+                FaultSite::OramServer,
+                &[FaultKind::WrongPath, FaultKind::DropWrite],
+                3,
+                8,
+            );
+            for _ in 0..60 {
+                clock.advance(10);
+                plan.decide(FaultSite::OramServer);
+            }
+            plan.log()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let schedule = |seed| {
+            let clock = Clock::new();
+            let plan = FaultPlan::new(seed, &clock);
+            plan.arm(FaultSite::PageStore, &[FaultKind::BitFlip], 2, 32);
+            (0..64)
+                .map(|_| plan.decide(FaultSite::PageStore).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(schedule(1), schedule(2));
+    }
+
+    #[test]
+    fn log_records_virtual_time_and_params() {
+        let clock = Clock::new();
+        let plan = FaultPlan::new(7, &clock);
+        plan.arm(FaultSite::NodeFeed, &[FaultKind::Unavailable], 1, 2);
+        clock.advance(500);
+        plan.decide(FaultSite::NodeFeed);
+        clock.advance(250);
+        plan.decide(FaultSite::NodeFeed);
+        let log = plan.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].at, 500);
+        assert_eq!(log[1].at, 750);
+        assert_eq!(log[0].kind, FaultKind::Unavailable);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let clock = Clock::new();
+        let plan = FaultPlan::new(9, &clock);
+        let alias = plan.clone();
+        plan.arm(FaultSite::Channel, &[FaultKind::ChannelTamper], 1, 1);
+        assert!(alias.decide(FaultSite::Channel).is_some());
+        assert_eq!(plan.injected(), 1);
+        assert_eq!(plan.remaining_budget(FaultSite::Channel), 0);
+    }
+
+    #[test]
+    fn decide_for_filters_kinds() {
+        let clock = Clock::new();
+        let plan = FaultPlan::new(11, &clock);
+        plan.arm(
+            FaultSite::PageStore,
+            &[FaultKind::BitFlip, FaultKind::Truncate],
+            1,
+            64,
+        );
+        let mut accepted = 0;
+        for _ in 0..64 {
+            if let Some(d) = plan.decide_for(FaultSite::PageStore, &[FaultKind::BitFlip]) {
+                assert_eq!(d.kind, FaultKind::BitFlip);
+                accepted += 1;
+            }
+        }
+        // Only accepted draws are logged and count against the budget.
+        assert_eq!(plan.injected(), accepted);
+        assert_eq!(plan.remaining_budget(FaultSite::PageStore), 64 - accepted as u64);
+        assert!(accepted > 0, "with every=1 and two kinds, some BitFlips must fire");
+    }
+}

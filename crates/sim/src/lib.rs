@@ -12,6 +12,7 @@
 
 mod clock;
 mod cost;
+pub mod fault;
 pub mod resources;
 pub mod stats;
 

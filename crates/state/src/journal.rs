@@ -541,7 +541,7 @@ impl<R: StateReader> JournaledState<R> {
                 (before != *value).then_some((*addr, *key, *value))
             })
             .collect();
-        storage.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        storage.sort_by_key(|entry| (entry.0, entry.1));
         changes.storage = storage;
 
         let mut contracts: Vec<_> = self

@@ -2,8 +2,8 @@
 //! model interpreter over (balance, storage) maps under random
 //! operations with nested checkpoint/commit/revert.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
+use tape_crypto::prop::{check, Gen};
 use tape_primitives::{Address, U256};
 use tape_state::{Account, InMemoryState, JournaledState};
 
@@ -17,15 +17,23 @@ enum Op {
     Revert,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..4, 0u8..4, 0u64..500).prop_map(|(from, to, amount)| Op::Transfer { from, to, amount }),
-        (0u8..4, 0u8..3, 0u64..100).prop_map(|(who, key, value)| Op::Store { who, key, value }),
-        (0u8..4).prop_map(|who| Op::IncNonce { who }),
-        Just(Op::Checkpoint),
-        Just(Op::Commit),
-        Just(Op::Revert),
-    ]
+fn arb_op(g: &mut Gen) -> Op {
+    match g.below(6) {
+        0 => Op::Transfer {
+            from: g.below(4) as u8,
+            to: g.below(4) as u8,
+            amount: g.below(500),
+        },
+        1 => Op::Store {
+            who: g.below(4) as u8,
+            key: g.below(3) as u8,
+            value: g.below(100),
+        },
+        2 => Op::IncNonce { who: g.below(4) as u8 },
+        3 => Op::Checkpoint,
+        4 => Op::Commit,
+        _ => Op::Revert,
+    }
 }
 
 fn addr(i: u8) -> Address {
@@ -40,11 +48,10 @@ struct Model {
     storage: HashMap<(u8, u8), u64>,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn journal_matches_model(ops in proptest::collection::vec(arb_op(), 0..80)) {
+#[test]
+fn journal_matches_model() {
+    check("journal_matches_model", 128, |g| {
+        let ops = g.vec_of(0, 80, arb_op);
         let mut backend = InMemoryState::new();
         for i in 0..4u8 {
             backend.put_account(addr(i), Account::with_balance(U256::from(1_000u64)));
@@ -67,7 +74,7 @@ proptest! {
                         .transfer(&addr(*from), &addr(*to), U256::from(*amount))
                         .is_ok();
                     let model_ok = model.balances.get(from).copied().unwrap_or(0) >= *amount;
-                    prop_assert_eq!(ok, model_ok, "transfer feasibility");
+                    assert_eq!(ok, model_ok, "transfer feasibility");
                     if model_ok {
                         *model.balances.entry(*from).or_insert(0) -= amount;
                         *model.balances.entry(*to).or_insert(0) += amount;
@@ -102,26 +109,26 @@ proptest! {
 
         // The journal and the model agree on every observable.
         for i in 0..4u8 {
-            prop_assert_eq!(
+            assert_eq!(
                 journal.balance(&addr(i)),
                 U256::from(model.balances.get(&i).copied().unwrap_or(0)),
-                "balance of {}", i
+                "balance of {i}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 journal.nonce(&addr(i)),
                 model.nonces.get(&i).copied().unwrap_or(0),
-                "nonce of {}", i
+                "nonce of {i}"
             );
             for key in 0..3u8 {
-                prop_assert_eq!(
+                assert_eq!(
                     journal.sload(&addr(i), &U256::from(key)).value,
                     U256::from(model.storage.get(&(i, key)).copied().unwrap_or(0)),
-                    "storage ({}, {})", i, key
+                    "storage ({i}, {key})"
                 );
             }
         }
         // Total balance is conserved across any interleaving.
         let total: u64 = model.balances.values().sum();
-        prop_assert_eq!(total, 4_000);
-    }
+        assert_eq!(total, 4_000);
+    });
 }

@@ -19,6 +19,10 @@ pub enum SlotState {
         /// The owning session.
         session: u64,
     },
+    /// Taken out of rotation after repeated hardware-level failures
+    /// (layer-3 integrity violations, watchdog trips); never assigned
+    /// until explicitly reinstated.
+    Quarantined,
 }
 
 /// Errors in slot management.
@@ -36,6 +40,9 @@ pub enum SlotError {
     },
     /// Slot index out of range.
     BadSlot(usize),
+    /// Every remaining HEVM core is quarantined — the device can no
+    /// longer serve bundles and must be serviced.
+    AllQuarantined,
 }
 
 impl core::fmt::Display for SlotError {
@@ -46,6 +53,9 @@ impl core::fmt::Display for SlotError {
                 write!(f, "session {session} does not own HEVM slot {slot}")
             }
             SlotError::BadSlot(s) => write!(f, "no such HEVM slot {s}"),
+            SlotError::AllQuarantined => {
+                write!(f, "every HEVM core is quarantined; device needs service")
+            }
         }
     }
 }
@@ -73,6 +83,10 @@ pub struct Hypervisor {
     /// The fleet-shared ORAM key (paper §IV-D "ORAM key protection").
     oram_key: [u8; 16],
     footprint: HypervisorFootprint,
+    /// Consecutive hardware-level failures per slot; reset on success.
+    failures: Vec<u32>,
+    /// Consecutive failures that trigger quarantine.
+    quarantine_threshold: u32,
 }
 
 impl core::fmt::Debug for Hypervisor {
@@ -101,6 +115,8 @@ impl Hypervisor {
             next_session: 1,
             oram_key,
             footprint: HypervisorFootprint::default(),
+            failures: vec![0; hevm_count],
+            quarantine_threshold: 3,
         }
     }
 
@@ -130,11 +146,13 @@ impl Hypervisor {
         &self.slots
     }
 
-    /// Assigns an idle HEVM exclusively to `session`.
+    /// Assigns an idle HEVM exclusively to `session`; quarantined cores
+    /// are skipped.
     ///
     /// # Errors
     ///
-    /// [`SlotError::AllBusy`] when every core is assigned.
+    /// [`SlotError::AllBusy`] when every healthy core is assigned,
+    /// [`SlotError::AllQuarantined`] when no healthy core exists at all.
     pub fn assign(&mut self, session: u64) -> Result<usize, SlotError> {
         for (i, slot) in self.slots.iter_mut().enumerate() {
             if *slot == SlotState::Idle {
@@ -142,7 +160,55 @@ impl Hypervisor {
                 return Ok(i);
             }
         }
-        Err(SlotError::AllBusy)
+        if self.slots.iter().all(|s| *s == SlotState::Quarantined) {
+            Err(SlotError::AllQuarantined)
+        } else {
+            Err(SlotError::AllBusy)
+        }
+    }
+
+    /// Records a hardware-level failure (layer-3 integrity violation,
+    /// watchdog trip) on `slot`. After `quarantine_threshold`
+    /// consecutive failures the core is quarantined — it stays out of
+    /// the assignment pool so the remaining cores keep serving. Returns
+    /// `true` when this call quarantined the core.
+    pub fn record_failure(&mut self, slot: usize) -> bool {
+        let Some(count) = self.failures.get_mut(slot) else {
+            return false;
+        };
+        *count += 1;
+        if *count >= self.quarantine_threshold {
+            self.slots[slot] = SlotState::Quarantined;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a successfully completed bundle on `slot`, resetting its
+    /// consecutive-failure count.
+    pub fn record_success(&mut self, slot: usize) {
+        if let Some(count) = self.failures.get_mut(slot) {
+            *count = 0;
+        }
+    }
+
+    /// Returns a quarantined core to the pool (after repair /
+    /// re-provisioning — operator action, not reachable by the SP).
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::BadSlot`] for an out-of-range index.
+    pub fn reinstate(&mut self, slot: usize) -> Result<(), SlotError> {
+        match self.slots.get(slot) {
+            None => Err(SlotError::BadSlot(slot)),
+            Some(SlotState::Quarantined) => {
+                self.slots[slot] = SlotState::Idle;
+                self.failures[slot] = 0;
+                Ok(())
+            }
+            Some(_) => Ok(()),
+        }
     }
 
     /// Releases a slot at bundle end; the HEVM's on-chip memories are
@@ -294,5 +360,48 @@ mod tests {
     fn footprint_fits_ocm() {
         let hv = hypervisor(3);
         assert!(hv.footprint().total() <= 256 * 1024);
+    }
+
+    #[test]
+    fn repeated_failures_quarantine_a_core() {
+        let mut hv = hypervisor(2);
+        let slot = hv.assign(1).unwrap();
+        assert!(!hv.record_failure(slot));
+        assert!(!hv.record_failure(slot));
+        // Third consecutive failure crosses the threshold.
+        assert!(hv.record_failure(slot));
+        assert_eq!(hv.slots()[slot], SlotState::Quarantined);
+
+        // The other core still serves; the quarantined one is skipped.
+        let other = hv.assign(2).unwrap();
+        assert_ne!(other, slot);
+        assert_eq!(hv.assign(3), Err(SlotError::AllBusy));
+    }
+
+    #[test]
+    fn success_resets_failure_count() {
+        let mut hv = hypervisor(1);
+        let slot = hv.assign(1).unwrap();
+        assert!(!hv.record_failure(slot));
+        assert!(!hv.record_failure(slot));
+        hv.record_success(slot);
+        // Counter reset: two more failures still do not quarantine.
+        assert!(!hv.record_failure(slot));
+        assert!(!hv.record_failure(slot));
+        assert!(hv.record_failure(slot));
+    }
+
+    #[test]
+    fn all_quarantined_is_distinguished_from_all_busy() {
+        let mut hv = hypervisor(1);
+        let slot = hv.assign(1).unwrap();
+        for _ in 0..3 {
+            hv.record_failure(slot);
+        }
+        assert_eq!(hv.assign(2), Err(SlotError::AllQuarantined));
+        // Operator reinstates the core; service resumes.
+        hv.reinstate(slot).unwrap();
+        assert!(hv.assign(2).is_ok());
+        assert_eq!(hv.reinstate(9), Err(SlotError::BadSlot(9)));
     }
 }

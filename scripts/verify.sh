@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full verification gate for the HarDTAPE reproduction.
+#
+#   scripts/verify.sh
+#
+# Runs, in order:
+#   1. release build of the whole workspace
+#   2. the root-package test suite (the tier-1 gate)
+#   3. the full workspace test suite
+#   4. clippy with warnings denied and `.unwrap()` forbidden in the
+#      crates that sit on untrusted boundaries (tape-oram, tape-tee,
+#      hardtape). Any allow-listed exception must carry a justifying
+#      comment at the allow site.
+#
+# Everything is hermetic: no network access is required.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy (deny warnings + unwrap_used in boundary crates)"
+cargo clippy -p tape-oram -p tape-tee -p hardtape -- \
+    -D warnings -D clippy::unwrap_used
+
+echo "==> verify: all gates passed"
