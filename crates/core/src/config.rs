@@ -1,6 +1,12 @@
 //! Security configurations: the paper's `-raw`/`-E`/`-ES`/`-ESO`/`-full`
 //! ladder (Fig. 4). Each level adds one protection on top of the last;
-//! the SP deploys `Full`.
+//! the SP deploys `Full`. Also the gateway's overload-policy knobs
+//! ([`GatewayConfig`]): how much demand is admitted, how long admitted
+//! work stays fresh, and when the full-node circuit breaker trips.
+
+use crate::scalability::ScalabilityReport;
+use tape_node::RetryPolicy;
+use tape_sim::Nanos;
 
 /// The cumulative security-feature ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,6 +71,88 @@ impl core::fmt::Display for SecurityConfig {
     }
 }
 
+/// Circuit-breaker policy for the full-node path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failed syncs before the breaker opens.
+    pub failure_threshold: u32,
+    /// Virtual time the breaker stays open before a half-open probe.
+    pub cooldown_ns: Nanos,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        // Three strikes (matching the HEVM core-quarantine discipline),
+        // then back off for one mainnet block interval of virtual time.
+        BreakerConfig { failure_threshold: 3, cooldown_ns: 12_000_000_000 }
+    }
+}
+
+/// Overload policy for the multi-tenant gateway: what gets admitted,
+/// how long it stays fresh, and how tenants share the HEVM pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayConfig {
+    /// Per-tenant bounded-FIFO depth.
+    pub queue_depth: usize,
+    /// Global cap on simultaneously queued bundles across all tenants
+    /// (the admission budget; cores × queue depth when derived from a
+    /// [`ScalabilityReport`]).
+    pub admission_budget: usize,
+    /// Virtual-time budget from admission to dequeue: work older than
+    /// this is shed before it wastes a core.
+    pub deadline_ns: Nanos,
+    /// Deficit-round-robin quantum (cost units credited per round; a
+    /// bundle costs its transaction count).
+    pub quantum: u64,
+    /// Estimated service time per bundle, used to size `retry_after`
+    /// hints on shed load.
+    pub per_bundle_estimate_ns: Nanos,
+    /// Full-node circuit-breaker policy.
+    pub breaker: BreakerConfig,
+    /// Per-sync retry discipline (backoff inside one sync attempt).
+    pub sync_retry: RetryPolicy,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            queue_depth: 8,
+            // The default chip has 3 HEVM cores.
+            admission_budget: 3 * 8,
+            // Generous default: the ServiceConfig watchdog (30 virtual
+            // seconds) per queue slot a bundle may wait behind.
+            deadline_ns: 8 * 30_000_000_000,
+            quantum: 1,
+            // Paper §VI-D: 164.4 ms per transaction at `-full`.
+            per_bundle_estimate_ns: 164_400_000,
+            breaker: BreakerConfig::default(),
+            sync_retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Derives the admission policy from a measured
+    /// [`ScalabilityReport`]: the global budget is cores × queue depth,
+    /// the per-bundle estimate is the measured per-transaction time,
+    /// and the deadline is the time to drain a full backlog through the
+    /// chip (so an admitted bundle is only shed when the gateway could
+    /// not have reached it in time at measured throughput).
+    pub fn from_report(report: &ScalabilityReport, queue_depth: usize) -> Self {
+        let admission_budget = report.hevm_count.max(1) * queue_depth;
+        GatewayConfig {
+            queue_depth,
+            admission_budget,
+            deadline_ns: report
+                .per_tx_ns
+                .saturating_mul(admission_budget as u64)
+                .max(1),
+            per_bundle_estimate_ns: report.per_tx_ns.max(1),
+            ..GatewayConfig::default()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +180,27 @@ mod tests {
     fn labels_match_paper() {
         let labels: Vec<&str> = SecurityConfig::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels, vec!["-raw", "-E", "-ES", "-ESO", "-full"]);
+    }
+
+    #[test]
+    fn gateway_config_derives_from_scalability_report() {
+        // Paper §VI-D numbers: 164.4 ms per tx, 3 HEVMs.
+        let report = crate::scalability::estimate(164_400_000, 3, 25_000, 630_000);
+        let config = GatewayConfig::from_report(&report, 8);
+        assert_eq!(config.admission_budget, 24, "cores x queue depth");
+        assert_eq!(config.per_bundle_estimate_ns, 164_400_000);
+        assert_eq!(config.deadline_ns, 164_400_000 * 24, "full-backlog drain time");
+    }
+
+    #[test]
+    fn gateway_config_survives_degenerate_report() {
+        // A zero-core, zero-time report must still produce a usable
+        // (non-zero) policy rather than a divide-by-zero or a gateway
+        // that admits nothing and sheds everything instantly.
+        let report = crate::scalability::estimate(0, 0, 0, 0);
+        let config = GatewayConfig::from_report(&report, 4);
+        assert_eq!(config.admission_budget, 4);
+        assert!(config.deadline_ns >= 1);
+        assert!(config.per_bundle_estimate_ns >= 1);
     }
 }

@@ -1,0 +1,503 @@
+//! The overload-resilient multi-tenant gateway.
+//!
+//! The paper dedicates one HEVM per bundle and sizes a chip at ~3 cores
+//! (§VI-D); under "millions of users" demand routinely exceeds that
+//! hardware budget. [`Gateway`] sits between connected users and the
+//! HEVM pool and makes overload a first-class, *typed* state instead of
+//! an unbounded queue:
+//!
+//! * **Admission control** — each tenant gets a bounded FIFO
+//!   ([`tape_sim::queue::BoundedQueue`]); a global admission budget
+//!   (cores × queue depth, derivable from a measured
+//!   [`ScalabilityReport`](crate::ScalabilityReport) via
+//!   [`GatewayConfig::from_report`]) caps total queued work. Beyond
+//!   either bound, submission is refused with
+//!   [`GatewayError::Overloaded`] carrying a `retry_after` hint.
+//! * **Deadline propagation** — every bundle is stamped with a
+//!   virtual-clock deadline at admission and re-checked at dequeue;
+//!   stale work is shed with [`GatewayError::DeadlineExceeded`] *before*
+//!   it wastes a core.
+//! * **Fair scheduling** — deficit round-robin over tenant queues
+//!   ([`tape_sim::queue::Drr`]); a bundle costs its transaction count,
+//!   so a tenant submitting heavyweight bundles is served
+//!   proportionally fewer of them and cannot starve light tenants.
+//! * **Circuit breaking** — block-feed syncs go through a
+//!   [`CircuitBreaker`]; a persistent outage opens it, later syncs are
+//!   refused cheaply ([`GatewayError::FeedBreakerOpen`]) without
+//!   consuming inline retry budget, and bundles keep executing against
+//!   the last attested head with an explicit [`StalenessBound`] stamped
+//!   on every affected report.
+//!
+//! Everything is driven by the deterministic virtual clock, so a given
+//! seed and submission sequence produces a byte-identical schedule —
+//! the property the chaos soak harness (`tests/soak.rs`) asserts.
+
+use crate::config::GatewayConfig;
+use crate::service::{Bundle, BundleReport, HarDTape, ServiceError, StalenessBound, UserHandle};
+use std::collections::HashMap;
+use tape_node::{BlockFeed, BreakerState, CircuitBreaker};
+use tape_sim::queue::{BoundedQueue, Drr, EventLog, QueueStats};
+use tape_sim::Nanos;
+
+/// Typed gateway-level failures. Service-level errors pass through as
+/// [`GatewayError::Service`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayError {
+    /// Admission refused: queues are full. Retry after the hinted
+    /// virtual duration.
+    Overloaded {
+        /// Estimated virtual time until a slot frees up.
+        retry_after: Nanos,
+    },
+    /// The bundle waited past its deadline and was shed at dequeue,
+    /// before consuming a core.
+    DeadlineExceeded {
+        /// When the bundle was admitted.
+        admitted_at: Nanos,
+        /// The deadline it missed.
+        deadline: Nanos,
+        /// Virtual time at the dequeue that shed it.
+        now: Nanos,
+    },
+    /// The block-feed circuit breaker is open; no sync was attempted.
+    FeedBreakerOpen {
+        /// Virtual time until the breaker admits a half-open probe.
+        retry_after: Nanos,
+    },
+    /// The session id is not registered with this gateway.
+    UnknownSession(u64),
+    /// The underlying service failed the bundle (typed, per PR 1).
+    Service(ServiceError),
+}
+
+impl core::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GatewayError::Overloaded { retry_after } => {
+                write!(f, "overloaded; retry after {retry_after} virtual ns")
+            }
+            GatewayError::DeadlineExceeded { deadline, now, .. } => {
+                write!(f, "deadline {deadline} passed at dequeue time {now}; bundle shed")
+            }
+            GatewayError::FeedBreakerOpen { retry_after } => {
+                write!(f, "feed breaker open; retry after {retry_after} virtual ns")
+            }
+            GatewayError::UnknownSession(s) => write!(f, "unknown session {s}"),
+            GatewayError::Service(e) => write!(f, "service: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<ServiceError> for GatewayError {
+    fn from(e: ServiceError) -> Self {
+        GatewayError::Service(e)
+    }
+}
+
+/// The terminal outcome of one admitted bundle: exactly one of these is
+/// produced per ticket, either a report or a typed error — admitted
+/// work is never silently dropped.
+#[derive(Debug)]
+pub struct Completion {
+    /// The admission ticket [`Gateway::submit`] returned.
+    pub ticket: u64,
+    /// The owning session.
+    pub session: u64,
+    /// Report, or the typed error that terminated the bundle.
+    pub outcome: Result<BundleReport, GatewayError>,
+}
+
+/// Aggregate gateway counters (instrumentation for tests and ops).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Bundles admitted into a queue.
+    pub admitted: u64,
+    /// Submissions refused with [`GatewayError::Overloaded`].
+    pub rejected_overloaded: u64,
+    /// Admitted bundles shed at dequeue for missing their deadline.
+    pub shed_deadline: u64,
+    /// Bundles that reached a core and returned a report.
+    pub completed_ok: u64,
+    /// Bundles that reached a core (or were refused by the service) and
+    /// returned a typed error.
+    pub completed_err: u64,
+    /// Reports stamped with a staleness bound (feed breaker not closed).
+    pub served_stale: u64,
+    /// Syncs refused because the breaker was open.
+    pub sync_refused: u64,
+}
+
+struct Tenant {
+    session: u64,
+    handle: UserHandle,
+    queue: BoundedQueue<Admitted>,
+}
+
+struct Admitted {
+    ticket: u64,
+    bundle: Bundle,
+    admitted_at: Nanos,
+    deadline: Nanos,
+    cost: u64,
+}
+
+/// The front-end between connected users and the HEVM core pool. See
+/// the [module docs](self) for the overload discipline it enforces.
+pub struct Gateway {
+    device: HarDTape,
+    config: GatewayConfig,
+    tenants: Vec<Tenant>,
+    by_session: HashMap<u64, usize>,
+    drr: Drr,
+    breaker: CircuitBreaker,
+    queued_total: usize,
+    next_ticket: u64,
+    last_sync_at: Option<Nanos>,
+    log: EventLog,
+    stats: GatewayStats,
+}
+
+impl core::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("tenants", &self.tenants.len())
+            .field("queued", &self.queued_total)
+            .field("budget", &self.config.admission_budget)
+            .finish()
+    }
+}
+
+impl Gateway {
+    /// Wraps a booted device in a gateway with the given overload
+    /// policy.
+    pub fn new(device: HarDTape, config: GatewayConfig) -> Self {
+        let drr = Drr::new(config.quantum);
+        let breaker = CircuitBreaker::new(
+            config.breaker.failure_threshold,
+            config.breaker.cooldown_ns,
+        );
+        Gateway {
+            device,
+            config,
+            tenants: Vec::new(),
+            by_session: HashMap::new(),
+            drr,
+            breaker,
+            queued_total: 0,
+            next_ticket: 1,
+            last_sync_at: None,
+            log: EventLog::new(),
+            stats: GatewayStats::default(),
+        }
+    }
+
+    /// Attests a new user and registers them as a tenant with an empty
+    /// bounded queue. Returns the session id used for submissions.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`] from the attestation handshake.
+    pub fn connect(&mut self, user_seed: &[u8]) -> Result<u64, ServiceError> {
+        let handle = self.device.connect_user(user_seed)?;
+        let session = handle.session;
+        let index = self.tenants.len();
+        self.tenants.push(Tenant {
+            session,
+            handle,
+            queue: BoundedQueue::new(self.config.queue_depth),
+        });
+        self.by_session.insert(session, index);
+        self.log.record(format!("t={} connect session={session}", self.now()));
+        Ok(session)
+    }
+
+    /// Re-attests a revoked tenant in place: the tenant keeps its queue
+    /// position (and any still-queued bundles run under the fresh
+    /// session). Returns the new session id.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownSession`] for an unregistered session;
+    /// any [`ServiceError`] from the handshake.
+    pub fn reconnect(&mut self, session: u64, user_seed: &[u8]) -> Result<u64, GatewayError> {
+        let index = *self
+            .by_session
+            .get(&session)
+            .ok_or(GatewayError::UnknownSession(session))?;
+        let handle = self.device.connect_user(user_seed).map_err(GatewayError::Service)?;
+        let fresh = handle.session;
+        self.by_session.remove(&session);
+        self.by_session.insert(fresh, index);
+        self.tenants[index].session = fresh;
+        self.tenants[index].handle = handle;
+        self.log
+            .record(format!("t={} reconnect session={session}->{fresh}", self.now()));
+        Ok(fresh)
+    }
+
+    /// Submits a bundle for `session`. On admission, returns a ticket
+    /// that will appear in exactly one [`Completion`]; the bundle's
+    /// deadline starts now.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownSession`] for an unregistered session;
+    /// [`GatewayError::Overloaded`] (with a `retry_after` hint) when
+    /// the global admission budget or the tenant's queue is full.
+    pub fn submit(&mut self, session: u64, bundle: Bundle) -> Result<u64, GatewayError> {
+        let index = *self
+            .by_session
+            .get(&session)
+            .ok_or(GatewayError::UnknownSession(session))?;
+        let now = self.now();
+        if self.queued_total >= self.config.admission_budget {
+            self.stats.rejected_overloaded += 1;
+            let retry_after = self.retry_after_hint();
+            self.log
+                .record(format!("t={now} reject session={session} global retry_after={retry_after}"));
+            return Err(GatewayError::Overloaded { retry_after });
+        }
+        let ticket = self.next_ticket;
+        let cost = (bundle.transactions.len() as u64).max(1);
+        let admitted = Admitted {
+            ticket,
+            bundle,
+            admitted_at: now,
+            deadline: now.saturating_add(self.config.deadline_ns),
+            cost,
+        };
+        match self.tenants[index].queue.push(admitted) {
+            Ok(()) => {
+                self.next_ticket += 1;
+                self.queued_total += 1;
+                self.stats.admitted += 1;
+                self.log
+                    .record(format!("t={now} admit session={session} ticket={ticket} cost={cost}"));
+                Ok(ticket)
+            }
+            Err(_) => {
+                self.stats.rejected_overloaded += 1;
+                let retry_after = self.retry_after_hint();
+                self.log.record(format!(
+                    "t={now} reject session={session} tenant-queue retry_after={retry_after}"
+                ));
+                Err(GatewayError::Overloaded { retry_after })
+            }
+        }
+    }
+
+    /// Runs one deficit-round-robin round: every tenant with queued
+    /// work earns a quantum of credit and is served while its deficit
+    /// covers the head bundle's cost. Expired bundles are shed at
+    /// dequeue (no credit spent — they never reach a core).
+    ///
+    /// Returns the completions produced this round, in execution order.
+    pub fn run_round(&mut self) -> Vec<Completion> {
+        let mut completions = Vec::new();
+        for index in 0..self.tenants.len() {
+            if self.tenants[index].queue.is_empty() {
+                // The classic DRR rule: an idle queue cannot hoard
+                // credit for a future burst.
+                self.drr.forfeit(index);
+                continue;
+            }
+            self.drr.begin_round(index);
+            loop {
+                // Shed every expired head first: deadline is checked at
+                // dequeue so stale work never occupies a core.
+                while let Some(head) = self.tenants[index].queue.peek() {
+                    let now = self.now();
+                    if now <= head.deadline {
+                        break;
+                    }
+                    let expired = self.tenants[index]
+                        .queue
+                        .pop()
+                        .unwrap_or_else(|| unreachable!("peeked head exists"));
+                    self.queued_total -= 1;
+                    self.stats.shed_deadline += 1;
+                    let session = self.tenants[index].session;
+                    self.log.record(format!(
+                        "t={now} shed session={session} ticket={} deadline={}",
+                        expired.ticket, expired.deadline
+                    ));
+                    completions.push(Completion {
+                        ticket: expired.ticket,
+                        session,
+                        outcome: Err(GatewayError::DeadlineExceeded {
+                            admitted_at: expired.admitted_at,
+                            deadline: expired.deadline,
+                            now,
+                        }),
+                    });
+                }
+                let Some(head) = self.tenants[index].queue.peek() else {
+                    self.drr.forfeit(index);
+                    break;
+                };
+                if !self.drr.try_spend(index, head.cost) {
+                    break; // credit exhausted: the tenant waits a round
+                }
+                let admitted = self.tenants[index]
+                    .queue
+                    .pop()
+                    .unwrap_or_else(|| unreachable!("peeked head exists"));
+                self.queued_total -= 1;
+                completions.push(self.execute(index, admitted));
+            }
+        }
+        completions
+    }
+
+    /// Runs DRR rounds until every queue is empty; every bundle queued
+    /// at call time (or admitted concurrently by a fault handler) ends
+    /// in exactly one returned [`Completion`].
+    pub fn run_until_idle(&mut self) -> Vec<Completion> {
+        let mut completions = Vec::new();
+        while self.queued_total > 0 {
+            completions.extend(self.run_round());
+        }
+        completions
+    }
+
+    fn execute(&mut self, index: usize, admitted: Admitted) -> Completion {
+        let session = self.tenants[index].session;
+        let now = self.now();
+        self.log.record(format!(
+            "t={now} execute session={session} ticket={}",
+            admitted.ticket
+        ));
+        let degraded = self.breaker.state(now) != BreakerState::Closed;
+        let outcome = self
+            .device
+            .pre_execute(&mut self.tenants[index].handle, &admitted.bundle)
+            .map(|mut report| {
+                if degraded {
+                    // The feed is out: the report is served from the
+                    // last attested head, and says so.
+                    report.staleness = Some(StalenessBound {
+                        head: self.device.head(),
+                        age_ns: now.saturating_sub(self.last_sync_at.unwrap_or(0)),
+                    });
+                    self.stats.served_stale += 1;
+                }
+                report
+            })
+            .map_err(GatewayError::Service);
+        match &outcome {
+            Ok(report) => {
+                self.stats.completed_ok += 1;
+                self.log.record(format!(
+                    "t={} complete session={session} ticket={} txs={} stale={}",
+                    self.now(),
+                    admitted.ticket,
+                    report.results.len(),
+                    report.staleness.is_some(),
+                ));
+            }
+            Err(err) => {
+                self.stats.completed_err += 1;
+                self.log.record(format!(
+                    "t={} error session={session} ticket={} err={err}",
+                    self.now(),
+                    admitted.ticket
+                ));
+            }
+        }
+        Completion { ticket: admitted.ticket, session, outcome }
+    }
+
+    /// Synchronizes the device from `feed` through the circuit breaker.
+    /// While the breaker is open, no fetch (and no inline retry budget)
+    /// is spent — the call is refused immediately with a typed error
+    /// and the device keeps serving from its last attested head.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::FeedBreakerOpen`] while the breaker is open; the
+    /// underlying [`ServiceError`] otherwise (which also counts toward
+    /// opening the breaker).
+    pub fn sync(&mut self, feed: &mut BlockFeed) -> Result<(), GatewayError> {
+        let now = self.now();
+        if !self.breaker.call_permitted(now) {
+            self.stats.sync_refused += 1;
+            let retry_after = self.breaker.retry_after(now);
+            self.log.record(format!("t={now} sync refused retry_after={retry_after}"));
+            return Err(GatewayError::FeedBreakerOpen { retry_after });
+        }
+        match self.device.sync_from_feed_with(feed, &self.config.sync_retry) {
+            Ok(()) => {
+                self.breaker.record_success();
+                self.last_sync_at = Some(self.now());
+                self.log.record(format!("t={} sync ok", self.now()));
+                Ok(())
+            }
+            Err(err) => {
+                let now = self.now();
+                self.breaker.record_failure(now);
+                self.log.record(format!(
+                    "t={now} sync err={err} breaker={}",
+                    self.breaker.state(now)
+                ));
+                Err(GatewayError::Service(err))
+            }
+        }
+    }
+
+    /// The breaker's current state (cooldown transitions applied).
+    pub fn breaker_state(&mut self) -> BreakerState {
+        let now = self.now();
+        self.breaker.state(now)
+    }
+
+    /// Bundles currently queued across all tenants.
+    pub fn queued(&self) -> usize {
+        self.queued_total
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.stats
+    }
+
+    /// Per-tenant queue instrumentation, in registration order.
+    pub fn tenant_queue_stats(&self) -> Vec<(u64, QueueStats)> {
+        self.tenants.iter().map(|t| (t.session, t.queue.stats())).collect()
+    }
+
+    /// The deterministic schedule log (admissions, sheds, executions,
+    /// completions, syncs) — its digest is the soak harness's
+    /// determinism witness.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// The wrapped device.
+    pub fn device(&self) -> &HarDTape {
+        &self.device
+    }
+
+    /// Mutable device access (fault arming, direct syncs in tests).
+    pub fn device_mut(&mut self) -> &mut HarDTape {
+        &mut self.device
+    }
+
+    /// Virtual time since the last successful sync (since boot if none).
+    pub fn staleness_ns(&self) -> Nanos {
+        self.now().saturating_sub(self.last_sync_at.unwrap_or(0))
+    }
+
+    fn now(&self) -> Nanos {
+        self.device.clock().now()
+    }
+
+    /// Deterministic drain-time estimate for shed load: how long until
+    /// the backlog ahead of a retry has moved through the cores.
+    fn retry_after_hint(&self) -> Nanos {
+        let cores = self.device.config().hevm_count.max(1) as u64;
+        let backlog_per_core = (self.queued_total as u64).div_ceil(cores).max(1);
+        backlog_per_core.saturating_mul(self.config.per_bundle_estimate_ns.max(1))
+    }
+}

@@ -45,11 +45,15 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod gateway;
 mod reader;
 pub mod scalability;
 mod service;
 
-pub use config::SecurityConfig;
+pub use config::{BreakerConfig, GatewayConfig, SecurityConfig};
+pub use gateway::{Completion, Gateway, GatewayError, GatewayStats};
 pub use reader::HybridState;
 pub use scalability::{estimate, ScalabilityReport, ETHEREUM_TPS};
-pub use service::{Bundle, BundleReport, HarDTape, ServiceConfig, ServiceError, UserHandle};
+pub use service::{
+    Bundle, BundleReport, HarDTape, ServiceConfig, ServiceError, StalenessBound, UserHandle,
+};

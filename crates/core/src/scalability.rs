@@ -76,4 +76,48 @@ mod tests {
         let report = estimate(1, 1, 0, 100);
         assert_eq!(report.max_hevms_per_server, u64::MAX);
     }
+
+    #[test]
+    fn zero_cores_yields_zero_throughput() {
+        let report = estimate(164_400_000, 0, 25_000, 630_000);
+        assert_eq!(report.chip_tps, 0.0);
+        assert!(!report.keeps_up_with_ethereum);
+        // No division by the zero core count: chips-per-server clamps.
+        assert_eq!(report.max_chips_per_server, report.max_hevms_per_server);
+    }
+
+    #[test]
+    fn zero_query_gap_supports_no_hevms() {
+        // A server that is queried continuously can't host even one
+        // full-load HEVM.
+        let report = estimate(164_400_000, 3, 25_000, 0);
+        assert_eq!(report.max_hevms_per_server, 0);
+        assert_eq!(report.max_chips_per_server, 0);
+        assert!(report.keeps_up_with_ethereum); // chip math unaffected
+    }
+
+    #[test]
+    fn chip_tps_is_monotone_in_core_count() {
+        tape_crypto::prop::check("chip_tps monotone in hevm_count", 256, |g| {
+            let per_tx_ns = g.range(1, 10_000_000_000);
+            let cores = g.range(0, 4096) as usize;
+            let server_op_ns = g.below(1_000_000);
+            let query_gap_ns = g.below(10_000_000);
+            let lo = estimate(per_tx_ns, cores, server_op_ns, query_gap_ns);
+            let hi = estimate(per_tx_ns, cores + 1, server_op_ns, query_gap_ns);
+            assert!(
+                hi.chip_tps > lo.chip_tps,
+                "adding a core must raise throughput: {} cores {} tps vs {} cores {} tps",
+                cores,
+                lo.chip_tps,
+                cores + 1,
+                hi.chip_tps,
+            );
+            // The server-side bound is independent of the chip's core
+            // count in HEVM units...
+            assert_eq!(hi.max_hevms_per_server, lo.max_hevms_per_server);
+            // ...so in chip units it can only shrink as chips widen.
+            assert!(hi.max_chips_per_server <= lo.max_chips_per_server);
+        });
+    }
 }

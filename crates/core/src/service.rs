@@ -7,7 +7,7 @@ use crate::reader::HybridState;
 use tape_crypto::{PublicKey, SecretKey, SecureRng, Signature};
 use tape_evm::{Env, Transaction, TxResult};
 use tape_hevm::{Hevm, HevmAbort, HevmConfig, HevmStats};
-use tape_node::{BlockFeed, BlockHeader, FeedError, StateDelta};
+use tape_node::{BlockFeed, BlockHeader, FeedError, RetryPolicy, StateDelta};
 use tape_oram::{ObliviousState, OramClient, OramConfig, OramError, OramServer};
 use tape_primitives::{rlp, B256};
 use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
@@ -88,6 +88,23 @@ impl Bundle {
     }
 }
 
+/// How stale the world state behind a report may be, measured against
+/// the last successfully attested head.
+///
+/// Stamped onto a [`BundleReport`] by the gateway whenever the
+/// block-feed circuit breaker is not closed: the device keeps serving
+/// against its last verified head, but the user gets an explicit bound
+/// instead of a silent lie about freshness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StalenessBound {
+    /// The last attested head the bundle executed against (`None` when
+    /// no block was ever synchronized).
+    pub head: Option<B256>,
+    /// Virtual time elapsed since that head was attested (since boot
+    /// when `head` is `None`).
+    pub age_ns: Nanos,
+}
+
 /// The per-bundle report returned to the user: per-transaction results
 /// (ReturnData, gas, logs), the accumulated state modifications, timing,
 /// and the device signature.
@@ -105,6 +122,9 @@ pub struct BundleReport {
     pub signature: Option<Signature>,
     /// HEVM execution statistics.
     pub hevm_stats: HevmStats,
+    /// Explicit staleness bound, present when the bundle was served
+    /// while block synchronization was degraded (feed breaker open).
+    pub staleness: Option<StalenessBound>,
 }
 
 impl BundleReport {
@@ -175,6 +195,8 @@ pub enum ServiceError {
     ReattestationRequired,
     /// The full node stayed unreachable through every retry.
     NodeUnavailable,
+    /// The sync retry policy allows zero attempts — nothing was fetched.
+    NoRetryBudget,
     /// Every HEVM core is quarantined; the device cannot serve bundles.
     AllCoresQuarantined,
 }
@@ -193,6 +215,9 @@ impl core::fmt::Display for ServiceError {
                 write!(f, "session revoked; re-attestation required")
             }
             ServiceError::NodeUnavailable => write!(f, "full node unavailable after retries"),
+            ServiceError::NoRetryBudget => {
+                write!(f, "sync retry policy allows zero attempts; nothing was fetched")
+            }
             ServiceError::AllCoresQuarantined => {
                 write!(f, "every HEVM core is quarantined; device needs service")
             }
@@ -351,6 +376,11 @@ impl HarDTape {
         self.config.security
     }
 
+    /// The full deployment configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
     /// The service-wide virtual clock.
     pub fn clock(&self) -> &Clock {
         &self.clock
@@ -486,6 +516,7 @@ impl HarDTape {
             total_ns: 0,
             signature: None,
             hevm_stats,
+            staleness: None,
         };
 
         // Device → user: sign and seal the trace.
@@ -650,10 +681,8 @@ impl HarDTape {
     }
 
     /// Pulls the head block from a (possibly adversarial, possibly
-    /// flaky) [`BlockFeed`] and synchronizes it. Transient
-    /// unavailability is retried with capped exponential backoff on the
-    /// virtual clock; forged responses are rejected by [`Self::sync_block`]
-    /// without retrying — a forgery is an attack, not noise.
+    /// flaky) [`BlockFeed`] and synchronizes it, retrying per the
+    /// default [`RetryPolicy`]. See [`Self::sync_from_feed_with`].
     ///
     /// # Errors
     ///
@@ -661,18 +690,42 @@ impl HarDTape {
     /// through every retry (or has no block); any [`Self::sync_block`]
     /// error for forged responses.
     pub fn sync_from_feed(&mut self, feed: &mut BlockFeed) -> Result<(), ServiceError> {
-        const MAX_ATTEMPTS: u32 = 5;
-        const BASE_BACKOFF_NS: Nanos = 2_000_000; // 2 ms virtual
-        const MAX_BACKOFF_NS: Nanos = 16_000_000;
+        self.sync_from_feed_with(feed, &RetryPolicy::default())
+    }
 
-        let mut backoff = BASE_BACKOFF_NS;
-        for attempt in 1..=MAX_ATTEMPTS {
+    /// Pulls the head block from a (possibly adversarial, possibly
+    /// flaky) [`BlockFeed`] and synchronizes it. Transient
+    /// unavailability is retried with `policy`'s capped exponential
+    /// backoff on the virtual clock; forged responses are rejected by
+    /// [`Self::sync_block`] without retrying — a forgery is an attack,
+    /// not noise.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NoRetryBudget`] — without touching the feed —
+    /// when `policy.max_attempts` is zero;
+    /// [`ServiceError::NodeUnavailable`] when the feed stays down
+    /// through every retry (or has no block); any [`Self::sync_block`]
+    /// error for forged responses.
+    pub fn sync_from_feed_with(
+        &mut self,
+        feed: &mut BlockFeed,
+        policy: &RetryPolicy,
+    ) -> Result<(), ServiceError> {
+        if policy.max_attempts == 0 {
+            // Fail fast: a zero budget means "never fetch", and silently
+            // reporting an outage (or looping) would mask the
+            // misconfiguration.
+            return Err(ServiceError::NoRetryBudget);
+        }
+        for attempt in 0..policy.max_attempts {
             match feed.fetch_head() {
                 Ok((header, delta)) => return self.sync_block(&header, &delta),
-                Err(FeedError::NoBlock) => return Err(ServiceError::NodeUnavailable),
-                Err(FeedError::Unavailable) if attempt < MAX_ATTEMPTS => {
-                    self.clock.advance(backoff);
-                    backoff = (backoff * 2).min(MAX_BACKOFF_NS);
+                Err(FeedError::NoBlock | FeedError::NoRetryBudget) => {
+                    return Err(ServiceError::NodeUnavailable)
+                }
+                Err(FeedError::Unavailable) if attempt + 1 < policy.max_attempts => {
+                    self.clock.advance(policy.backoff_ns(attempt));
                 }
                 Err(FeedError::Unavailable) => return Err(ServiceError::NodeUnavailable),
             }

@@ -236,10 +236,11 @@ impl<R: StateReader, I: Inspector> Evm<R, I> {
             return Err(TxError::InsufficientFunds);
         }
 
-        // Buy gas and bump the nonce.
+        // Buy gas and bump the nonce. The balance was checked above,
+        // but the boundary discipline is typed errors over panics.
         self.state
             .sub_balance(&tx.from, gas_cost)
-            .expect("balance checked above");
+            .map_err(|_| TxError::InsufficientFunds)?;
         self.state.inc_nonce(&tx.from);
 
         // EIP-2929 pre-warming: sender, target, coinbase, precompiles,
@@ -519,22 +520,29 @@ impl<R: StateReader, I: Inspector> Evm<R, I> {
         let mut parents: Vec<(FrameJob, Resume)> = Vec::new();
         let mut current = root;
         loop {
-            let action = self.run_frame(&mut current.frame);
-            let (outcome, descend) = match action {
-                StepAction::Done(outcome) => (Some(outcome), None),
-                StepAction::SubCall { msg, out_offset, out_len } => {
-                    match self.prepare_call(msg) {
-                        Prepared::Immediate(out) => {
-                            apply_resume(
-                                &mut current.frame,
-                                &Resume::Call { out_offset, out_len },
-                                out,
-                            );
+            // Each arm either finishes the frame (Done), resolves a
+            // sub-frame request immediately, or yields the prepared
+            // sub-job to descend into — no partially-filled outcome.
+            let (job, resume) = match self.run_frame(&mut current.frame) {
+                StepAction::Done(outcome) => {
+                    let call_outcome = self.finish_job(current, outcome);
+                    match parents.pop() {
+                        Some((mut parent, resume)) => {
+                            apply_resume(&mut parent.frame, &resume, call_outcome);
+                            current = parent;
                             continue;
                         }
-                        Prepared::Job(job) => {
-                            (None, Some((job, Resume::Call { out_offset, out_len })))
+                        None => return call_outcome,
+                    }
+                }
+                StepAction::SubCall { msg, out_offset, out_len } => {
+                    let resume = Resume::Call { out_offset, out_len };
+                    match self.prepare_call(msg) {
+                        Prepared::Immediate(out) => {
+                            apply_resume(&mut current.frame, &resume, out);
+                            continue;
                         }
+                        Prepared::Job(job) => (job, resume),
                     }
                 }
                 StepAction::SubCreate { created, value, initcode, gas } => {
@@ -551,27 +559,13 @@ impl<R: StateReader, I: Inspector> Evm<R, I> {
                             apply_resume(&mut current.frame, &Resume::Create { created }, out);
                             continue;
                         }
-                        Prepared::Job(job) => (None, Some((job, Resume::Create { created }))),
+                        Prepared::Job(job) => (job, Resume::Create { created }),
                     }
                 }
                 StepAction::Continue => unreachable!("run_frame never yields Continue"),
             };
-
-            if let Some((job, resume)) = descend {
-                parents.push((current, resume));
-                current = *job;
-                continue;
-            }
-
-            let outcome = outcome.expect("non-descend path always has an outcome");
-            let call_outcome = self.finish_job(current, outcome);
-            match parents.pop() {
-                Some((mut parent, resume)) => {
-                    apply_resume(&mut parent.frame, &resume, call_outcome);
-                    current = parent;
-                }
-                None => return call_outcome,
-            }
+            parents.push((current, resume));
+            current = *job;
         }
     }
 
@@ -1209,6 +1203,11 @@ impl<R: StateReader, I: Inspector> Evm<R, I> {
 /// opcode popped at least three words.
 fn apply_resume(frame: &mut Frame, resume: &Resume, outcome: CallOutcome) {
     frame.gas.reclaim(outcome.gas_left);
+    // The result-word pushes below cannot fail: CALL/CREATE popped at
+    // least three operands, so a slot is free. A push onto a full stack
+    // would be an interpreter bug, not a recoverable condition, and the
+    // next pop would surface it as a stack underflow — so the result is
+    // deliberately discarded rather than panicking mid-bundle.
     match resume {
         Resume::Call { out_offset, out_len } => {
             let copy_len = (*out_len).min(outcome.output.len());
@@ -1216,25 +1215,16 @@ fn apply_resume(frame: &mut Frame, resume: &Resume, outcome: CallOutcome) {
                 frame.memory.store_slice(*out_offset, &outcome.output[..copy_len]);
             }
             frame.return_data = outcome.output;
-            frame
-                .stack
-                .push(U256::from(outcome.success))
-                .expect("call opcode freed stack slots");
+            let _ = frame.stack.push(U256::from(outcome.success));
         }
         Resume::Create { created } => {
             if outcome.success {
                 frame.return_data.clear();
-                frame
-                    .stack
-                    .push(created.into_word())
-                    .expect("create opcode freed stack slots");
+                let _ = frame.stack.push(created.into_word());
             } else {
                 // Revert payload becomes ReturnData; halts leave it empty.
                 frame.return_data = outcome.output;
-                frame
-                    .stack
-                    .push(U256::ZERO)
-                    .expect("create opcode freed stack slots");
+                let _ = frame.stack.push(U256::ZERO);
             }
         }
     }

@@ -9,6 +9,7 @@
 
 use crate::{BlockHeader, Node, StateDelta};
 use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
+use tape_sim::Nanos;
 
 /// Failure fetching from the feed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +18,11 @@ pub enum FeedError {
     NoBlock,
     /// The node is transiently unreachable; the caller should retry.
     Unavailable,
+    /// The caller's retry budget is zero: no fetch was even attempted.
+    /// Distinct from [`Unavailable`](FeedError::Unavailable) so a
+    /// misconfigured (or deliberately fetch-free) policy fails fast and
+    /// visibly instead of looping or masquerading as an outage.
+    NoRetryBudget,
 }
 
 impl core::fmt::Display for FeedError {
@@ -24,6 +30,9 @@ impl core::fmt::Display for FeedError {
         match self {
             FeedError::NoBlock => write!(f, "the node has no block to serve"),
             FeedError::Unavailable => write!(f, "the node is transiently unavailable"),
+            FeedError::NoRetryBudget => {
+                write!(f, "retry policy allows zero attempts; nothing was fetched")
+            }
         }
     }
 }
@@ -126,6 +135,183 @@ fn forge_proof(delta: &mut StateDelta, param: u64) {
     }
 }
 
+/// Retry discipline for transient feed unavailability: how many fetch
+/// attempts to make and how the exponential backoff between them grows.
+///
+/// The backoff for attempt `n` is `base_backoff_ns << n`, saturated at
+/// [`max_backoff_ns`](RetryPolicy::max_backoff_ns) — the shift is capped
+/// *before* it can overflow `u64`, so arbitrarily large attempt numbers
+/// (or a pathological `max_attempts`) yield the cap, never wraparound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Fetch attempts before giving up. Zero means "do not even try":
+    /// callers must fail fast with [`FeedError::NoRetryBudget`].
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_backoff_ns: Nanos,
+    /// Backoff saturation value.
+    pub max_backoff_ns: Nanos,
+}
+
+impl Default for RetryPolicy {
+    /// The service's historical discipline: 5 attempts, 2 ms base,
+    /// 16 ms cap (virtual time).
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff_ns: 2_000_000,
+            max_backoff_ns: 16_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep after failed attempt `attempt` (0-based).
+    ///
+    /// Saturates at `max_backoff_ns`; never overflows, whatever the
+    /// attempt number.
+    pub fn backoff_ns(&self, attempt: u32) -> Nanos {
+        if self.base_backoff_ns == 0 {
+            return 0;
+        }
+        // A shift of more than `leading_zeros` would push bits out the
+        // top; that is already past any sane cap, so clamp to the cap
+        // without computing the (overflowing) shift at all.
+        if attempt > self.base_backoff_ns.leading_zeros() {
+            return self.max_backoff_ns;
+        }
+        (self.base_backoff_ns << attempt).min(self.max_backoff_ns)
+    }
+}
+
+/// Circuit-breaker states for the full-node path (standard three-state
+/// machine: Closed → Open on consecutive failures → HalfOpen probe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow through.
+    Closed,
+    /// Tripped: calls are refused without touching the feed, until the
+    /// cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe call is allowed; its outcome
+    /// closes or re-opens the breaker.
+    HalfOpen,
+}
+
+impl core::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// A circuit breaker over the block-feed path.
+///
+/// The device's `sync_from_feed` already retries *within* one sync
+/// (per [`RetryPolicy`]); the breaker sits above it so a persistent outage
+/// stops consuming that retry budget inline: after
+/// `failure_threshold` consecutive failed syncs the breaker opens and
+/// refuses further syncs (cheaply, without touching the feed) until
+/// `cooldown_ns` of virtual time has elapsed, then lets exactly one
+/// probe through. The device keeps serving bundles against its last
+/// attested head meanwhile — with an explicit staleness bound.
+///
+/// Pure state machine: time is passed in by the caller (the virtual
+/// clock), so the breaker is as deterministic as everything else.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    failure_threshold: u32,
+    cooldown_ns: Nanos,
+    opened_at: Nanos,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `failure_threshold` consecutive
+    /// failures and probes after `cooldown_ns` of virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failure_threshold` is zero (the breaker would never
+    /// admit a single call).
+    pub fn new(failure_threshold: u32, cooldown_ns: Nanos) -> Self {
+        assert!(failure_threshold > 0, "breaker threshold must be positive");
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            failure_threshold,
+            cooldown_ns,
+            opened_at: 0,
+        }
+    }
+
+    /// The current state, after applying any Open → HalfOpen cooldown
+    /// transition due at `now`.
+    pub fn state(&mut self, now: Nanos) -> BreakerState {
+        if self.state == BreakerState::Open
+            && now.saturating_sub(self.opened_at) >= self.cooldown_ns
+        {
+            self.state = BreakerState::HalfOpen;
+        }
+        self.state
+    }
+
+    /// Whether a call may proceed at `now`. `true` in Closed and
+    /// HalfOpen (the probe); `false` while Open.
+    pub fn call_permitted(&mut self, now: Nanos) -> bool {
+        self.state(now) != BreakerState::Open
+    }
+
+    /// Virtual time until the breaker will next admit a call (0 when it
+    /// already would).
+    pub fn retry_after(&mut self, now: Nanos) -> Nanos {
+        match self.state(now) {
+            BreakerState::Open => {
+                (self.opened_at + self.cooldown_ns).saturating_sub(now)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Records a successful call: closes the breaker and clears the
+    /// failure streak.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Records a failed call at `now`. In Closed, counts toward the
+    /// threshold; in HalfOpen, the failed probe re-opens immediately
+    /// (and restarts the cooldown from `now`).
+    pub fn record_failure(&mut self, now: Nanos) {
+        match self.state(now) {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = now;
+                }
+            }
+            // A failure reported while Open (caller raced the state
+            // check) extends the outage window.
+            BreakerState::Open => self.opened_at = now,
+        }
+    }
+
+    /// Consecutive failures recorded since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+}
+
 /// Inflates one account's balance while keeping the (now stale) proof —
 /// attack A6 on the content.
 fn lie_about_content(delta: &mut StateDelta, param: u64) {
@@ -196,7 +382,7 @@ mod tests {
         for _ in 0..16 {
             match feed.fetch_head() {
                 Err(FeedError::Unavailable) => unavailable += 1,
-                Err(FeedError::NoBlock) => unreachable!("a block exists"),
+                Err(err) => unreachable!("a block exists and no policy is involved: {err}"),
                 Ok((header, delta)) => {
                     let bad = delta.block_hash != header.hash()
                         || delta.state_root != header.state_root
@@ -213,5 +399,67 @@ mod tests {
         let (header, delta) = feed.fetch_head().unwrap();
         assert_eq!(delta.block_hash, header.hash());
         delta.verify().unwrap();
+    }
+
+    #[test]
+    fn backoff_shift_saturates_instead_of_overflowing() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff_ns(0), 2_000_000);
+        assert_eq!(policy.backoff_ns(1), 4_000_000);
+        assert_eq!(policy.backoff_ns(3), 16_000_000);
+        // Shifts that would push bits past the top of a u64 (attempt
+        // 63, 64, 200…) must cap, not wrap to a tiny (or huge) value.
+        for attempt in [40, 62, 63, 64, 200, u32::MAX] {
+            assert_eq!(policy.backoff_ns(attempt), policy.max_backoff_ns);
+        }
+        // A base of 1 exercises the exact leading_zeros boundary.
+        let unit = RetryPolicy { max_attempts: 100, base_backoff_ns: 1, max_backoff_ns: u64::MAX };
+        assert_eq!(unit.backoff_ns(62), 1 << 62);
+        assert_eq!(unit.backoff_ns(63), 1 << 63);
+        assert_eq!(unit.backoff_ns(64), u64::MAX, "shift of 64 saturates");
+        let zero = RetryPolicy { base_backoff_ns: 0, ..unit };
+        assert_eq!(zero.backoff_ns(500), 0);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_after_cooldown() {
+        let mut breaker = CircuitBreaker::new(3, 1_000);
+        assert!(breaker.call_permitted(0));
+        breaker.record_failure(10);
+        breaker.record_failure(20);
+        assert_eq!(breaker.state(20), BreakerState::Closed);
+        breaker.record_failure(30);
+        assert_eq!(breaker.state(30), BreakerState::Open);
+        assert!(!breaker.call_permitted(30));
+        assert_eq!(breaker.retry_after(30), 1_000);
+        assert_eq!(breaker.retry_after(530), 500);
+
+        // Cooldown elapsed: exactly one probe is allowed.
+        assert_eq!(breaker.state(1_030), BreakerState::HalfOpen);
+        assert!(breaker.call_permitted(1_030));
+
+        // Failed probe re-opens and restarts the cooldown from now.
+        breaker.record_failure(1_040);
+        assert_eq!(breaker.state(1_040), BreakerState::Open);
+        assert_eq!(breaker.retry_after(1_040), 1_000);
+
+        // Successful probe closes and clears the streak.
+        assert_eq!(breaker.state(2_040), BreakerState::HalfOpen);
+        breaker.record_success();
+        assert_eq!(breaker.state(2_040), BreakerState::Closed);
+        assert_eq!(breaker.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn breaker_success_resets_failure_streak() {
+        let mut breaker = CircuitBreaker::new(3, 100);
+        breaker.record_failure(1);
+        breaker.record_failure(2);
+        breaker.record_success();
+        breaker.record_failure(3);
+        breaker.record_failure(4);
+        assert_eq!(breaker.state(4), BreakerState::Closed, "streak was reset");
+        breaker.record_failure(5);
+        assert_eq!(breaker.state(5), BreakerState::Open);
     }
 }

@@ -12,7 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod feed;
-pub use feed::{BlockFeed, FeedError};
+pub use feed::{BlockFeed, BreakerState, CircuitBreaker, FeedError, RetryPolicy};
 
 use std::collections::BTreeSet;
 use tape_crypto::keccak256;

@@ -13,6 +13,7 @@
 mod clock;
 mod cost;
 pub mod fault;
+pub mod queue;
 pub mod resources;
 pub mod stats;
 

@@ -1,0 +1,349 @@
+//! Deterministic queueing substrate for the overload-resilient gateway.
+//!
+//! The gateway (`hardtape::gateway`) turns overload into a first-class,
+//! tested state; this module supplies the mechanism-free building
+//! blocks it schedules with, kept in `tape-sim` so tests and benches
+//! can instrument them directly:
+//!
+//! * [`BoundedQueue`] — a fixed-capacity FIFO that *refuses* instead of
+//!   growing, with high-watermark / rejection instrumentation
+//!   ([`QueueStats`]).
+//! * [`Drr`] — deficit-round-robin bookkeeping: per-queue deficit
+//!   counters that make one heavy tenant unable to starve the others,
+//!   independent of what the queues hold.
+//! * [`EventLog`] — an order-preserving schedule trace whose keccak
+//!   digest is byte-identical across runs of the same seed; the soak
+//!   harness compares digests to prove determinism.
+//! * [`interleave`] — a seeded shuffle of per-tenant submission counts
+//!   into one global arrival order, the soak driver's load shape.
+
+use std::collections::VecDeque;
+use tape_crypto::SecureRng;
+
+/// Occupancy and rejection counters for one bounded queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Items accepted over the queue's lifetime.
+    pub enqueued: u64,
+    /// Items refused because the queue was full.
+    pub rejected: u64,
+    /// Items removed from the queue.
+    pub dequeued: u64,
+    /// Maximum simultaneous occupancy ever observed.
+    pub high_watermark: usize,
+}
+
+/// A fixed-capacity FIFO that sheds instead of growing.
+///
+/// # Examples
+///
+/// ```
+/// use tape_sim::queue::BoundedQueue;
+///
+/// let mut q = BoundedQueue::new(2);
+/// assert!(q.push(1).is_ok());
+/// assert!(q.push(2).is_ok());
+/// assert_eq!(q.push(3), Err(3)); // full: the item comes back
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.stats().rejected, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    stats: QueueStats,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue admitting at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a queue that can hold nothing
+    /// is a configuration error, not a policy.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "BoundedQueue capacity must be positive");
+        BoundedQueue { items: VecDeque::with_capacity(capacity), capacity, stats: QueueStats::default() }
+    }
+
+    /// Appends `item`, or returns it to the caller when full.
+    ///
+    /// # Errors
+    ///
+    /// The rejected item itself, so the caller can shed it with a
+    /// typed error instead of losing it.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.stats.rejected += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.stats.enqueued += 1;
+        self.stats.high_watermark = self.stats.high_watermark.max(self.items.len());
+        Ok(())
+    }
+
+    /// Removes the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.stats.dequeued += 1;
+        }
+        item
+    }
+
+    /// The oldest item, without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime instrumentation.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+/// Deficit-round-robin bookkeeping over queues addressed by index.
+///
+/// Each round, an *active* (non-empty) queue earns one quantum of
+/// credit; serving an item spends its cost. A queue whose head costs
+/// more than its accumulated deficit waits — so a tenant submitting
+/// heavyweight bundles gets proportionally *fewer* of them served per
+/// round, and light tenants are never starved. An emptied queue
+/// forfeits its deficit (the classic DRR rule), so credit cannot be
+/// hoarded across idle periods.
+///
+/// # Examples
+///
+/// ```
+/// use tape_sim::queue::Drr;
+///
+/// let mut drr = Drr::new(2);
+/// drr.begin_round(0);
+/// assert!(drr.try_spend(0, 2)); // 2 units of credit cover cost 2
+/// assert!(!drr.try_spend(0, 1)); // credit spent; wait for next round
+/// ```
+#[derive(Debug, Clone)]
+pub struct Drr {
+    quantum: u64,
+    deficits: Vec<u64>,
+}
+
+impl Drr {
+    /// DRR state with `quantum` credit earned per queue per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero (no queue could ever be served).
+    pub fn new(quantum: u64) -> Self {
+        assert!(quantum > 0, "DRR quantum must be positive");
+        Drr { quantum, deficits: Vec::new() }
+    }
+
+    fn slot(&mut self, index: usize) -> &mut u64 {
+        if index >= self.deficits.len() {
+            self.deficits.resize(index + 1, 0);
+        }
+        &mut self.deficits[index]
+    }
+
+    /// Credits queue `index` with one quantum (call once per round per
+    /// active queue).
+    pub fn begin_round(&mut self, index: usize) {
+        let quantum = self.quantum;
+        let slot = self.slot(index);
+        *slot = slot.saturating_add(quantum);
+    }
+
+    /// Spends `cost` from queue `index` if its deficit covers it.
+    /// Returns `false` (leaving the deficit untouched) otherwise.
+    pub fn try_spend(&mut self, index: usize, cost: u64) -> bool {
+        let slot = self.slot(index);
+        if *slot >= cost {
+            *slot -= cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Forfeits queue `index`'s accumulated credit (queue emptied).
+    pub fn forfeit(&mut self, index: usize) {
+        *self.slot(index) = 0;
+    }
+
+    /// Current deficit of queue `index`.
+    pub fn deficit(&mut self, index: usize) -> u64 {
+        *self.slot(index)
+    }
+}
+
+/// An order-preserving trace of schedule events with a deterministic
+/// digest.
+///
+/// The soak harness records every admission, shed, execution, and
+/// completion here; two runs of the same seed must produce
+/// byte-identical logs, which the digest makes cheap to compare (and
+/// cheap for `scripts/verify.sh --soak` to diff across processes).
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    lines: Vec<String>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends one event line.
+    pub fn record(&mut self, line: impl Into<String>) {
+        self.lines.push(line.into());
+    }
+
+    /// The recorded lines, in order.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Keccak-256 over the newline-joined log, hex-encoded: equal logs
+    /// ⇔ equal digests.
+    pub fn digest(&self) -> String {
+        let joined = self.lines.join("\n");
+        let hash = tape_crypto::keccak256(joined.as_bytes());
+        let mut out = String::with_capacity(64);
+        for byte in hash.as_bytes() {
+            out.push_str(&format!("{byte:02x}"));
+        }
+        out
+    }
+}
+
+/// Shuffles per-tenant submission counts into one deterministic global
+/// arrival order: tenant `i` appears exactly `counts[i]` times, in an
+/// order that depends only on `seed`. This is the soak driver's load
+/// shape — interleaved, bursty, and reproducible.
+pub fn interleave(counts: &[usize], seed: u64) -> Vec<usize> {
+    let mut seed_bytes = Vec::with_capacity(16);
+    seed_bytes.extend_from_slice(b"intrlev!");
+    seed_bytes.extend_from_slice(&seed.to_be_bytes());
+    let mut rng = SecureRng::from_seed(&seed_bytes);
+
+    let mut order: Vec<usize> = counts
+        .iter()
+        .enumerate()
+        .flat_map(|(tenant, &n)| std::iter::repeat_n(tenant, n))
+        .collect();
+    // Fisher–Yates on the DRBG stream.
+    for i in (1..order.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_refuses_when_full_and_returns_item() {
+        let mut q = BoundedQueue::new(3);
+        for i in 0..3 {
+            assert!(q.push(i).is_ok());
+        }
+        assert_eq!(q.push(99), Err(99));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(0));
+        assert!(q.push(99).is_ok());
+        let stats = q.stats();
+        assert_eq!(stats.enqueued, 4);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.dequeued, 1);
+        assert_eq!(stats.high_watermark, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_a_configuration_error() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn drr_heavy_costs_wait_for_credit() {
+        let mut drr = Drr::new(1);
+        drr.begin_round(0);
+        // Cost 3 needs three rounds of quantum-1 credit.
+        assert!(!drr.try_spend(0, 3));
+        drr.begin_round(0);
+        assert!(!drr.try_spend(0, 3));
+        drr.begin_round(0);
+        assert!(drr.try_spend(0, 3));
+        assert_eq!(drr.deficit(0), 0);
+    }
+
+    #[test]
+    fn drr_forfeit_drops_hoarded_credit() {
+        let mut drr = Drr::new(5);
+        drr.begin_round(2);
+        assert_eq!(drr.deficit(2), 5);
+        drr.forfeit(2);
+        assert_eq!(drr.deficit(2), 0);
+        // Untouched queues are unaffected.
+        assert_eq!(drr.deficit(0), 0);
+    }
+
+    #[test]
+    fn event_log_digest_is_order_sensitive_and_deterministic() {
+        let mut a = EventLog::new();
+        a.record("admit 1");
+        a.record("complete 1");
+        let mut b = EventLog::new();
+        b.record("admit 1");
+        b.record("complete 1");
+        assert_eq!(a.digest(), b.digest());
+
+        let mut c = EventLog::new();
+        c.record("complete 1");
+        c.record("admit 1");
+        assert_ne!(a.digest(), c.digest());
+        assert_eq!(a.digest().len(), 64);
+    }
+
+    #[test]
+    fn interleave_is_a_seeded_permutation_of_the_counts() {
+        let counts = [3, 0, 5, 1];
+        let order = interleave(&counts, 42);
+        assert_eq!(order.len(), 9);
+        for (tenant, &n) in counts.iter().enumerate() {
+            assert_eq!(order.iter().filter(|&&t| t == tenant).count(), n);
+        }
+        assert_eq!(order, interleave(&counts, 42), "same seed, same order");
+        assert_ne!(order, interleave(&counts, 43), "different seed differs");
+    }
+}

@@ -202,19 +202,26 @@ impl<R: StateReader> JournaledState<R> {
         self.warm_addresses.insert(address);
     }
 
-    fn ensure_account(&mut self, address: Address) {
-        if !self.accounts.contains_key(&address) {
-            let overlay = match self.reader.account(&address) {
-                Some(info) => OverlayAccount {
-                    balance: info.balance,
-                    nonce: info.nonce,
-                    code: self.reader.code(&address),
-                    code_hash: info.code_hash,
-                    exists: true,
-                },
-                None => OverlayAccount::nonexistent(),
-            };
-            self.accounts.insert(address, overlay);
+    /// Faults the account overlay in from the reader on first touch and
+    /// hands back the (now guaranteed) overlay entry — so callers never
+    /// need a fallible second lookup.
+    fn ensure_account(&mut self, address: Address) -> &mut OverlayAccount {
+        use std::collections::hash_map::Entry as Slot;
+        match self.accounts.entry(address) {
+            Slot::Occupied(occupied) => occupied.into_mut(),
+            Slot::Vacant(vacant) => {
+                let overlay = match self.reader.account(&address) {
+                    Some(info) => OverlayAccount {
+                        balance: info.balance,
+                        nonce: info.nonce,
+                        code: self.reader.code(&address),
+                        code_hash: info.code_hash,
+                        exists: true,
+                    },
+                    None => OverlayAccount::nonexistent(),
+                };
+                vacant.insert(overlay)
+            }
         }
     }
 
@@ -225,40 +232,34 @@ impl<R: StateReader> JournaledState<R> {
             self.warm_addresses.insert(address);
             self.journal.push(Entry::WarmAddress { address });
         }
-        self.ensure_account(address);
-        (self.accounts[&address].info(), is_cold)
+        (self.ensure_account(address).info(), is_cold)
     }
 
     /// Returns `true` if the account exists (has been created or is in
     /// the backend).
     pub fn exists(&mut self, address: Address) -> bool {
-        self.ensure_account(address);
-        self.accounts[&address].exists
+        self.ensure_account(address).exists
     }
 
     /// Current balance.
     pub fn balance(&mut self, address: &Address) -> U256 {
-        self.ensure_account(*address);
-        self.accounts[address].balance
+        self.ensure_account(*address).balance
     }
 
     /// Current nonce.
     pub fn nonce(&mut self, address: &Address) -> u64 {
-        self.ensure_account(*address);
-        self.accounts[address].nonce
+        self.ensure_account(*address).nonce
     }
 
     /// Contract code.
     pub fn code(&mut self, address: &Address) -> Arc<Vec<u8>> {
-        self.ensure_account(*address);
-        Arc::clone(&self.accounts[address].code)
+        Arc::clone(&self.ensure_account(*address).code)
     }
 
     /// Code hash (`EMPTY_CODE_HASH` for code-less, zero for nonexistent
     /// accounts per `EXTCODEHASH` semantics).
     pub fn code_hash(&mut self, address: &Address) -> B256 {
-        self.ensure_account(*address);
-        let acc = &self.accounts[address];
+        let acc = self.ensure_account(*address);
         if !acc.exists && acc.balance.is_zero() && acc.nonce == 0 {
             B256::ZERO
         } else {
@@ -267,15 +268,20 @@ impl<R: StateReader> JournaledState<R> {
     }
 
     fn set_balance_internal(&mut self, address: Address, new: U256) {
-        self.ensure_account(address);
-        let acc = self.accounts.get_mut(&address).expect("ensured");
+        let acc = self.ensure_account(address);
         let prev = acc.balance;
-        if prev != new {
+        let changed = prev != new;
+        if changed {
             acc.balance = new;
+        }
+        let created = !acc.exists;
+        if created {
+            acc.exists = true;
+        }
+        if changed {
             self.journal.push(Entry::Balance { address, prev });
         }
-        if !acc.exists {
-            acc.exists = true;
+        if created {
             self.journal.push(Entry::Exists { address, prev: false });
         }
     }
@@ -321,13 +327,15 @@ impl<R: StateReader> JournaledState<R> {
 
     /// Increments the nonce, returning the old value.
     pub fn inc_nonce(&mut self, address: &Address) -> u64 {
-        self.ensure_account(*address);
-        let acc = self.accounts.get_mut(address).expect("ensured");
+        let acc = self.ensure_account(*address);
         let prev = acc.nonce;
         acc.nonce += 1;
-        self.journal.push(Entry::Nonce { address: *address, prev });
-        if !acc.exists {
+        let created = !acc.exists;
+        if created {
             acc.exists = true;
+        }
+        self.journal.push(Entry::Nonce { address: *address, prev });
+        if created {
             self.journal.push(Entry::Exists { address: *address, prev: false });
         }
         prev
@@ -335,20 +343,22 @@ impl<R: StateReader> JournaledState<R> {
 
     /// Installs contract code (the tail of a CREATE).
     pub fn set_code(&mut self, address: &Address, code: Vec<u8>) {
-        self.ensure_account(*address);
         let hash = if code.is_empty() {
             crate::account::EMPTY_CODE_HASH
         } else {
             tape_crypto::keccak256(&code)
         };
-        let acc = self.accounts.get_mut(address).expect("ensured");
+        let acc = self.ensure_account(*address);
         let prev_code = std::mem::take(&mut acc.code);
         let prev_hash = acc.code_hash;
         acc.code = Arc::new(code);
         acc.code_hash = hash;
-        self.journal.push(Entry::Code { address: *address, prev_code, prev_hash });
-        if !acc.exists {
+        let created = !acc.exists;
+        if created {
             acc.exists = true;
+        }
+        self.journal.push(Entry::Code { address: *address, prev_code, prev_hash });
+        if created {
             self.journal.push(Entry::Exists { address: *address, prev: false });
         }
     }
@@ -446,20 +456,31 @@ impl<R: StateReader> JournaledState<R> {
     /// Reverts a frame: undoes every write made since the checkpoint.
     pub fn revert(&mut self, checkpoint: Checkpoint) {
         while self.journal.len() > checkpoint.journal_len {
-            match self.journal.pop().expect("length checked") {
+            // An account entry without its overlay would mean the
+            // journal recorded a write that never happened; skipping it
+            // degrades to an unrevertible no-op instead of a panic.
+            let Some(entry) = self.journal.pop() else { break };
+            match entry {
                 Entry::Balance { address, prev } => {
-                    self.accounts.get_mut(&address).expect("journaled").balance = prev;
+                    if let Some(acc) = self.accounts.get_mut(&address) {
+                        acc.balance = prev;
+                    }
                 }
                 Entry::Nonce { address, prev } => {
-                    self.accounts.get_mut(&address).expect("journaled").nonce = prev;
+                    if let Some(acc) = self.accounts.get_mut(&address) {
+                        acc.nonce = prev;
+                    }
                 }
                 Entry::Code { address, prev_code, prev_hash } => {
-                    let acc = self.accounts.get_mut(&address).expect("journaled");
-                    acc.code = prev_code;
-                    acc.code_hash = prev_hash;
+                    if let Some(acc) = self.accounts.get_mut(&address) {
+                        acc.code = prev_code;
+                        acc.code_hash = prev_hash;
+                    }
                 }
                 Entry::Exists { address, prev } => {
-                    self.accounts.get_mut(&address).expect("journaled").exists = prev;
+                    if let Some(acc) = self.accounts.get_mut(&address) {
+                        acc.exists = prev;
+                    }
                 }
                 Entry::Storage { address, key, prev } => match prev {
                     Some(v) => {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full verification gate for the HarDTAPE reproduction.
 #
-#   scripts/verify.sh
+#   scripts/verify.sh [--soak]
 #
 # Runs, in order:
 #   1. release build of the whole workspace
@@ -9,13 +9,26 @@
 #   3. the full workspace test suite
 #   4. clippy with warnings denied and `.unwrap()` forbidden in the
 #      crates that sit on untrusted boundaries (tape-oram, tape-tee,
-#      hardtape). Any allow-listed exception must carry a justifying
-#      comment at the allow site.
+#      tape-evm, tape-state, hardtape). Any allow-listed exception must
+#      carry a justifying comment at the allow site.
+#
+# With --soak, additionally replays the gateway chaos soak under three
+# fixed seeds, running each seed in two separate processes and failing
+# if the schedule digests differ — cross-process nondeterminism (hash
+# ordering, ambient randomness) has nowhere to hide.
 #
 # Everything is hermetic: no network access is required.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+RUN_SOAK=0
+for arg in "$@"; do
+    case "$arg" in
+        --soak) RUN_SOAK=1 ;;
+        *) echo "usage: scripts/verify.sh [--soak]" >&2; exit 2 ;;
+    esac
+done
 
 echo "==> cargo build --release"
 cargo build --release
@@ -27,7 +40,29 @@ echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
 echo "==> cargo clippy (deny warnings + unwrap_used in boundary crates)"
-cargo clippy -p tape-oram -p tape-tee -p hardtape -- \
+cargo clippy -p tape-oram -p tape-tee -p tape-evm -p tape-state -p hardtape -- \
     -D warnings -D clippy::unwrap_used
+
+soak_digest() {
+    # Prints the SOAK_DIGEST line for one fresh-process chaos run.
+    HARDTAPE_SOAK_SEED="$1" cargo test -q --test soak \
+        chaos_soak_is_deterministic_and_exactly_once -- --nocapture \
+        | grep -E '^SOAK_DIGEST '
+}
+
+if [[ "$RUN_SOAK" -eq 1 ]]; then
+    echo "==> gateway chaos soak (determinism across processes)"
+    for seed in 1337 424242 12648430; do
+        first="$(soak_digest "$seed")"
+        second="$(soak_digest "$seed")"
+        if [[ "$first" != "$second" ]]; then
+            echo "soak: NONDETERMINISM at seed $seed" >&2
+            echo "  run 1: $first" >&2
+            echo "  run 2: $second" >&2
+            exit 1
+        fi
+        echo "seed $seed: $first"
+    done
+fi
 
 echo "==> verify: all gates passed"

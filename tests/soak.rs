@@ -1,0 +1,435 @@
+//! Chaos soak harness for the multi-tenant gateway: hundreds of
+//! interleaved bundles from competing tenants, replayed under a seeded
+//! [`FaultPlan`], asserting the gateway's overload contract:
+//!
+//! * every admitted bundle terminates in **exactly one** completion —
+//!   a report or a typed error, never a silent drop;
+//! * no cross-tenant leakage: a tenant's reports only ever mention that
+//!   tenant's accounts;
+//! * overload surfaces as `Overloaded { retry_after }`, deadline misses
+//!   as `DeadlineExceeded`, feed outages as breaker trips with
+//!   staleness-bounded reports;
+//! * the whole schedule is deterministic per seed: two runs produce
+//!   byte-identical event logs (compared by keccak digest).
+//!
+//! `scripts/verify.sh --soak` replays the chaos run under three fixed
+//! seeds (each twice) and fails on any digest mismatch; the digest is
+//! printed as a greppable `SOAK_DIGEST` line for that purpose. Override
+//! the default seed with `HARDTAPE_SOAK_SEED=<u64>`.
+
+use hardtape::{
+    Bundle, BreakerConfig, Completion, Gateway, GatewayConfig, GatewayError, HarDTape,
+    SecurityConfig, ServiceConfig, ServiceError,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use tape_evm::{Env, Transaction};
+use tape_node::{BlockFeed, BreakerState, Node};
+use tape_primitives::{Address, U256};
+use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
+use tape_sim::queue::interleave;
+use tape_state::{Account, InMemoryState};
+
+const TENANTS: usize = 4;
+
+fn tenant_addr(i: usize) -> Address {
+    Address::from_low_u64(0xA000 + i as u64)
+}
+
+fn sink_addr(i: usize) -> Address {
+    Address::from_low_u64(0xE000 + i as u64)
+}
+
+/// Genesis with one funded account per tenant. Sinks start empty, so
+/// any balance a sink gains traces back to exactly one tenant.
+fn soak_genesis() -> InMemoryState {
+    let mut state = InMemoryState::new();
+    for i in 0..TENANTS {
+        state.put_account(tenant_addr(i), Account::with_balance(U256::from(u64::MAX)));
+    }
+    state
+}
+
+fn transfer_bundle(tenant: usize, step: usize) -> Bundle {
+    Bundle::single(Transaction::transfer(
+        tenant_addr(tenant),
+        sink_addr(tenant),
+        U256::from(1 + step as u64),
+    ))
+}
+
+/// A gateway over an `-ES` device (signatures + encryption, no ORAM —
+/// the soak exercises scheduling, not the memory hierarchy).
+fn soak_gateway(config: GatewayConfig) -> Gateway {
+    let service = ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(SecurityConfig::Es) };
+    Gateway::new(HarDTape::new(service, Env::default(), &soak_genesis()), config)
+}
+
+fn soak_feed() -> BlockFeed {
+    let mut node = Node::new(soak_genesis(), Env::default());
+    node.produce_block(vec![Transaction::transfer(
+        tenant_addr(0),
+        sink_addr(0),
+        U256::from(500u64),
+    )]);
+    BlockFeed::new(node)
+}
+
+fn soak_seed() -> u64 {
+    match std::env::var("HARDTAPE_SOAK_SEED") {
+        Ok(v) => v.parse().expect("HARDTAPE_SOAK_SEED must be a u64"),
+        Err(_) => 0xC0FFEE,
+    }
+}
+
+/// One full chaos run: interleaved submissions from all tenants, armed
+/// channel + feed adversaries, periodic breaker-guarded syncs, DRR
+/// drains under pressure. Returns `(log digest, per-tenant completion
+/// counts)` and asserts the exactly-once and isolation contracts.
+fn chaos_run(seed: u64) -> (String, Vec<(u64, usize)>) {
+    let mut gateway = soak_gateway(GatewayConfig {
+        queue_depth: 6,
+        admission_budget: 18,
+        ..GatewayConfig::default()
+    });
+
+    // Seeded adversaries on both untrusted boundaries: the secure
+    // channel (tamper = session revocation, drop = retransmission
+    // latency) and the full-node feed (outages that trip retries and,
+    // if persistent, the breaker).
+    let plan = FaultPlan::new(seed, gateway.device().clock());
+    plan.arm(
+        FaultSite::Channel,
+        &[FaultKind::ChannelTamper, FaultKind::ChannelDrop],
+        16,
+        6,
+    );
+    gateway.device_mut().arm_faults(plan.clone());
+
+    let mut feed = soak_feed();
+    let feed_plan = FaultPlan::new(seed ^ 0xFEED, gateway.device().clock());
+    feed_plan.arm(FaultSite::NodeFeed, &[FaultKind::Unavailable], 2, 12);
+    feed.arm_faults(feed_plan.clone());
+
+    let mut sessions = Vec::new();
+    // Sessions rotate on revocation; remember every one a tenant held.
+    let mut session_owner = BTreeMap::new();
+    for i in 0..TENANTS {
+        let session = gateway
+            .connect(format!("soak tenant {i}").as_bytes())
+            .expect("attestation of a fresh tenant succeeds");
+        sessions.push(session);
+        session_owner.insert(session, i);
+    }
+
+    // Per-tenant load, heaviest first: 220 bundles total, interleaved
+    // by the seeded shuffle so every run stresses a different order.
+    let counts = [90usize, 60, 40, 30];
+    let order = interleave(&counts, seed);
+    assert_eq!(order.len(), 220);
+
+    let mut admitted = BTreeSet::new();
+    let mut rejected = 0usize;
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut steps = vec![0usize; TENANTS];
+    let mut reattests = vec![0usize; TENANTS];
+
+    for (op, &tenant) in order.iter().enumerate() {
+        let step = steps[tenant];
+        steps[tenant] += 1;
+        match gateway.submit(sessions[tenant], transfer_bundle(tenant, step)) {
+            Ok(ticket) => {
+                assert!(admitted.insert(ticket), "ticket {ticket} issued twice");
+            }
+            Err(GatewayError::Overloaded { retry_after }) => {
+                assert!(retry_after > 0, "overload must carry a usable retry hint");
+                rejected += 1;
+                // Shed pressure, then retry once — second rejection is
+                // accepted as final (typed, accounted, not silent).
+                completions.extend(gateway.run_round());
+                match gateway.submit(sessions[tenant], transfer_bundle(tenant, step)) {
+                    Ok(ticket) => {
+                        assert!(admitted.insert(ticket), "ticket {ticket} issued twice");
+                    }
+                    Err(GatewayError::Overloaded { .. }) => rejected += 1,
+                    Err(other) => panic!("unexpected resubmit error: {other}"),
+                }
+            }
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+
+        // Periodic pressure relief and feed sync; both go through the
+        // gateway so they land in the same deterministic event log.
+        if op % 4 == 3 {
+            completions.extend(gateway.run_round());
+        }
+        if op % 16 == 15 {
+            let _ = gateway.sync(&mut feed);
+        }
+
+        // A detected channel attack revokes the session; re-attest with
+        // a deterministic seed so the tenant keeps submitting.
+        let revoked = completions.iter().any(|c| {
+            c.session == sessions[tenant]
+                && matches!(c.outcome, Err(GatewayError::Service(ServiceError::Channel(_))))
+        });
+        if revoked {
+            let n = reattests[tenant];
+            reattests[tenant] += 1;
+            sessions[tenant] = gateway
+                .reconnect(sessions[tenant], format!("soak tenant {tenant} re {n}").as_bytes())
+                .expect("re-attestation succeeds");
+            session_owner.insert(sessions[tenant], tenant);
+        }
+    }
+    completions.extend(gateway.run_until_idle());
+    assert_eq!(gateway.queued(), 0, "drain left work queued");
+
+    // Exactly-once: the set of completed tickets IS the set of admitted
+    // tickets — nothing lost, nothing duplicated, nothing invented.
+    let completed: BTreeSet<u64> = completions.iter().map(|c| c.ticket).collect();
+    assert_eq!(completed.len(), completions.len(), "a ticket completed twice");
+    assert_eq!(completed, admitted, "admitted and completed tickets diverge");
+    let stats = gateway.stats();
+    assert_eq!(stats.admitted as usize, admitted.len());
+    assert_eq!(stats.rejected_overloaded as usize, rejected);
+    assert_eq!(
+        stats.completed_ok + stats.completed_err + stats.shed_deadline,
+        stats.admitted,
+        "every admitted bundle must be accounted to exactly one outcome"
+    );
+
+    // Isolation: a tenant's successful reports only ever touch that
+    // tenant's own accounts — overload and interleaving never leak
+    // another tenant's state into a report.
+    let mut per_tenant = vec![0usize; TENANTS];
+    for completion in &completions {
+        let tenant = *session_owner
+            .get(&completion.session)
+            .expect("completion for an unknown session");
+        per_tenant[tenant] += 1;
+        if let Ok(report) = &completion.outcome {
+            let own = [tenant_addr(tenant), sink_addr(tenant)];
+            for (addr, _, _) in &report.changes.balances {
+                assert!(own.contains(addr), "tenant {tenant} report leaked {addr}");
+            }
+            for (addr, _, _) in &report.changes.nonces {
+                assert!(own.contains(addr), "tenant {tenant} report leaked {addr}");
+            }
+        }
+    }
+    for (tenant, &count) in per_tenant.iter().enumerate() {
+        assert!(count > 0, "tenant {tenant} starved: no completions at all");
+    }
+
+    let digest = gateway.log().digest();
+    let final_sessions = gateway.tenant_queue_stats().iter().map(|s| s.0).collect::<Vec<_>>();
+    (digest, final_sessions.into_iter().zip(per_tenant).collect())
+}
+
+#[test]
+fn chaos_soak_is_deterministic_and_exactly_once() {
+    let seed = soak_seed();
+    let (digest_a, tenants_a) = chaos_run(seed);
+    let (digest_b, tenants_b) = chaos_run(seed);
+    assert_eq!(digest_a, digest_b, "seed {seed}: schedules diverged across runs");
+    assert_eq!(tenants_a, tenants_b, "seed {seed}: per-tenant outcomes diverged");
+    // Greppable witness for scripts/verify.sh --soak.
+    println!("SOAK_DIGEST seed={seed} digest={digest_a}");
+}
+
+#[test]
+fn full_queue_burst_rejects_with_typed_overload_only() {
+    let mut gateway = soak_gateway(GatewayConfig {
+        queue_depth: 4,
+        admission_budget: 4,
+        ..GatewayConfig::default()
+    });
+    let session = gateway.connect(b"burst tenant").expect("attestation succeeds");
+
+    let mut tickets = BTreeSet::new();
+    let mut rejections = Vec::new();
+    for step in 0..10 {
+        match gateway.submit(session, transfer_bundle(0, step)) {
+            Ok(ticket) => {
+                tickets.insert(ticket);
+            }
+            Err(err) => rejections.push(err),
+        }
+    }
+    assert_eq!(tickets.len(), 4, "exactly the queue capacity is admitted");
+    assert_eq!(rejections.len(), 6, "everything past capacity is refused");
+    for err in &rejections {
+        match err {
+            GatewayError::Overloaded { retry_after } => {
+                assert!(*retry_after > 0, "rejection must say when to come back");
+            }
+            other => panic!("burst rejection must be Overloaded, got {other}"),
+        }
+    }
+
+    // Nothing admitted is dropped: the burst drains to exactly the
+    // admitted tickets, all successful.
+    let completions = gateway.run_until_idle();
+    let completed: BTreeSet<u64> = completions.iter().map(|c| c.ticket).collect();
+    assert_eq!(completed, tickets);
+    for completion in &completions {
+        assert!(completion.outcome.is_ok(), "burst bundle failed: {completion:?}");
+    }
+    // The queue is free again: a new submission is admitted.
+    assert!(gateway.submit(session, transfer_bundle(0, 99)).is_ok());
+}
+
+#[test]
+fn heavy_tenant_cannot_starve_light_tenant() {
+    // Quantum 4: the heavy tenant's 4-tx bundles cost a full round of
+    // credit, the light tenant's singles cost 1 — DRR serves the light
+    // tenant four bundles for every heavy one.
+    let mut gateway = soak_gateway(GatewayConfig {
+        queue_depth: 8,
+        admission_budget: 16,
+        quantum: 4,
+        ..GatewayConfig::default()
+    });
+    let heavy = gateway.connect(b"heavy tenant").expect("attestation succeeds");
+    let light = gateway.connect(b"light tenant").expect("attestation succeeds");
+
+    for step in 0..8usize {
+        let txs: Vec<Transaction> = (0..4usize)
+            .map(|k| {
+                Transaction::transfer(
+                    tenant_addr(0),
+                    sink_addr(0),
+                    U256::from(1 + (step * 4 + k) as u64),
+                )
+            })
+            .collect();
+        gateway
+            .submit(heavy, Bundle { transactions: txs })
+            .expect("heavy queue has room");
+        gateway.submit(light, transfer_bundle(1, step)).expect("light queue has room");
+    }
+
+    let completions = gateway.run_until_idle();
+    assert_eq!(completions.len(), 16);
+    // The light tenant's backlog (8 bundles) drains within two rounds —
+    // at most 2 heavy bundles may complete first. Under FIFO-by-arrival
+    // the heavy tenant (which enqueued first each step) would have
+    // drained all 8 first.
+    let light_done = completions
+        .iter()
+        .rposition(|c| c.session == light)
+        .expect("light tenant completed");
+    let heavy_before = completions[..light_done]
+        .iter()
+        .filter(|c| c.session == heavy)
+        .count();
+    assert!(
+        heavy_before <= 2,
+        "light tenant waited behind {heavy_before} heavy bundles"
+    );
+    // No starvation in the other direction either: everything completes.
+    assert_eq!(completions.iter().filter(|c| c.session == heavy).count(), 8);
+}
+
+#[test]
+fn feed_outage_opens_breaker_and_reports_carry_staleness_bounds() {
+    let mut gateway = soak_gateway(GatewayConfig {
+        breaker: BreakerConfig { failure_threshold: 2, cooldown_ns: 50_000_000 },
+        ..GatewayConfig::default()
+    });
+    let session = gateway.connect(b"stale tenant").expect("attestation succeeds");
+
+    // A healthy sync first, so staleness is measured against a real head.
+    let mut feed = soak_feed();
+    gateway.sync(&mut feed).expect("honest sync succeeds");
+    let attested_head = gateway.device().head().expect("sync set the head");
+
+    // Fresh reports carry no staleness bound.
+    let completions = {
+        gateway.submit(session, transfer_bundle(0, 0)).expect("admitted");
+        gateway.run_until_idle()
+    };
+    let report = completions[0].outcome.as_ref().expect("bundle succeeds");
+    assert!(report.staleness.is_none(), "healthy path must not claim staleness");
+
+    // Persistent outage: enough budget to exhaust every inline retry of
+    // two sync attempts, tripping the threshold-2 breaker.
+    let plan = FaultPlan::new(7, gateway.device().clock());
+    plan.arm(FaultSite::NodeFeed, &[FaultKind::Unavailable], 1, 64);
+    feed.arm_faults(plan.clone());
+    for _ in 0..2 {
+        match gateway.sync(&mut feed) {
+            Err(GatewayError::Service(ServiceError::NodeUnavailable)) => {}
+            other => panic!("expected NodeUnavailable, got {other:?}"),
+        }
+    }
+    assert_eq!(gateway.breaker_state(), BreakerState::Open);
+
+    // Open breaker: refused without touching the feed (no new injections).
+    let injected_before = plan.injected();
+    match gateway.sync(&mut feed) {
+        Err(GatewayError::FeedBreakerOpen { retry_after }) => assert!(retry_after > 0),
+        other => panic!("expected FeedBreakerOpen, got {other:?}"),
+    }
+    assert_eq!(plan.injected(), injected_before, "open breaker must not probe the feed");
+
+    // Degraded service: bundles still execute, but every report now
+    // carries an explicit staleness bound against the last attested head.
+    gateway.submit(session, transfer_bundle(0, 1)).expect("admitted while degraded");
+    let completions = gateway.run_until_idle();
+    let report = completions[0].outcome.as_ref().expect("degraded bundle still serves");
+    let bound = report.staleness.expect("degraded report must carry a staleness bound");
+    assert_eq!(bound.head, Some(attested_head));
+    assert!(bound.age_ns > 0, "age must reflect time since the last sync");
+    assert!(gateway.stats().served_stale >= 1);
+
+    // Outage ends; after the cooldown a half-open probe closes the
+    // breaker and reports are fresh again.
+    plan.disarm(FaultSite::NodeFeed);
+    gateway.device().clock().advance(50_000_000);
+    assert_eq!(gateway.breaker_state(), BreakerState::HalfOpen);
+    gateway.sync(&mut feed).expect("half-open probe succeeds");
+    assert_eq!(gateway.breaker_state(), BreakerState::Closed);
+    gateway.submit(session, transfer_bundle(0, 2)).expect("admitted");
+    let completions = gateway.run_until_idle();
+    let report = completions[0].outcome.as_ref().expect("bundle succeeds");
+    assert!(report.staleness.is_none(), "recovered path must drop the staleness bound");
+}
+
+#[test]
+fn expired_bundles_are_shed_at_dequeue_with_typed_errors() {
+    let mut gateway = soak_gateway(GatewayConfig {
+        deadline_ns: 1_000_000, // 1 virtual ms: nothing queued survives a stall
+        ..GatewayConfig::default()
+    });
+    let session = gateway.connect(b"deadline tenant").expect("attestation succeeds");
+
+    let mut tickets = BTreeSet::new();
+    for step in 0..3 {
+        tickets.insert(gateway.submit(session, transfer_bundle(0, step)).expect("admitted"));
+    }
+    // The gateway stalls past every deadline (an operator pause, a long
+    // sync — any virtual-time gap).
+    gateway.device().clock().advance(2_000_000);
+
+    let completions = gateway.run_until_idle();
+    assert_eq!(completions.len(), 3, "shed bundles still complete (typed)");
+    for completion in &completions {
+        match &completion.outcome {
+            Err(GatewayError::DeadlineExceeded { admitted_at, deadline, now }) => {
+                assert!(tickets.remove(&completion.ticket), "unknown ticket shed");
+                assert_eq!(*deadline, admitted_at + 1_000_000);
+                assert!(now > deadline, "shed before the deadline actually passed");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+    assert!(tickets.is_empty(), "every admitted ticket was shed exactly once");
+    assert_eq!(gateway.stats().shed_deadline, 3);
+    assert_eq!(gateway.stats().completed_ok, 0, "no expired bundle reached a core");
+
+    // Fresh work after the stall is admitted and served normally.
+    gateway.submit(session, transfer_bundle(0, 9)).expect("admitted after stall");
+    let completions = gateway.run_until_idle();
+    assert!(completions[0].outcome.is_ok());
+}
