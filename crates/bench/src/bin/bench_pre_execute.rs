@@ -1,0 +1,246 @@
+//! Deterministic pre-execution benchmark: runs the evaluation set
+//! through a `-full` HarDTAPE device twice in-process, checks that the
+//! telemetry digests agree (replay determinism), runs the §IV-D leakage
+//! auditor over the recorded event stream, and emits
+//! `BENCH_pre_execute.json` with bundle-latency percentiles, chip TPS,
+//! and ORAM traffic per bundle.
+//!
+//! Flags:
+//!
+//! * `--starve` — negative control: re-arms the prefetcher deadline on
+//!   every real query (the pre-fix starvation bug) and *expects the
+//!   auditor to fail*. Exit code 0 means the leak was detected.
+//! * `--out PATH` — output path (default `BENCH_pre_execute.json`).
+//!
+//! Scale follows `TAPE_EVAL_SCALE` (small unless set).
+
+use hardtape::{Bundle, HarDTape, SecurityConfig, ServiceConfig};
+use tape_oram::OramConfig;
+use tape_sim::telemetry::audit::{audit_events, AuditConfig, AuditReport};
+use tape_sim::telemetry::{GaugeId, HistId};
+use tape_sim::CostModel;
+use tape_workload::EvalSet;
+
+struct RunOutcome {
+    latencies: Vec<u64>,
+    chip_ns: u64,
+    txs: u64,
+    bundles: u64,
+    kv_queries: u64,
+    code_queries: u64,
+    prefetch_queries: u64,
+    prefetch_issued: u64,
+    prefetch_drained: u64,
+    gap_ema_ns: u64,
+    execute_mean_ns: f64,
+    bundle_mean_ns: f64,
+    digest: String,
+    audit: AuditReport,
+}
+
+fn run(set: &EvalSet, starve: bool, audit_cfg: &AuditConfig) -> RunOutcome {
+    let config = ServiceConfig {
+        oram_height: 14,
+        ..ServiceConfig::at_level(SecurityConfig::Full)
+    };
+    let mut device = HarDTape::new(config, set.env.clone(), &set.genesis);
+    device.set_prefetch_ablation(starve);
+    let mut user = device.connect_user(b"bench user").expect("attestation");
+
+    let mut latencies = Vec::new();
+    let mut chip_ns = 0u64;
+    let mut txs = 0u64;
+    for block in &set.blocks {
+        for tx in block {
+            let report = device
+                .pre_execute(&mut user, &Bundle::single(tx.clone()))
+                .expect("bundle accepted");
+            latencies.push(report.total_ns);
+            chip_ns += report.total_ns;
+            txs += 1;
+        }
+    }
+
+    let t = device.telemetry().clone();
+    let audit = audit_events(&t.events(), t.dropped(), audit_cfg);
+    let stats = device.oram_stats().expect("full device has ORAM");
+    let (issued, drained) = device
+        .prefetch_stats()
+        .map(|p| (p.issued, p.drained))
+        .unwrap_or((0, 0));
+    RunOutcome {
+        latencies,
+        chip_ns,
+        txs,
+        bundles: txs,
+        kv_queries: stats.kv_queries,
+        code_queries: stats.code_queries,
+        prefetch_queries: stats.prefetch_queries,
+        prefetch_issued: issued,
+        prefetch_drained: drained,
+        gap_ema_ns: t.gauge_cell(GaugeId::PrefetchGapEmaNs).value,
+        execute_mean_ns: t.hist(HistId::ExecuteNs).mean(),
+        bundle_mean_ns: t.hist(HistId::BundleLatencyNs).mean(),
+        digest: t.digest(),
+        audit,
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Minimal JSON string escape (the only dynamic strings are digests and
+/// violation messages — no exotic code points expected, but stay safe).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut starve = false;
+    let mut out_path = String::from("BENCH_pre_execute.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--starve" => starve = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("usage: bench_pre_execute [--starve] [--out PATH] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let set = EvalSet::generate(&tape_bench::eval_config());
+    println!(
+        "bench_pre_execute: {} txs, -full, starve={starve}",
+        set.len()
+    );
+
+    // Burst threshold derived from the cost model: a paced fetch stalls
+    // at least ~avg_gap/4 beyond the bare wire cost, so anything under
+    // 1.15x the per-query cost is "back-to-back" (a drain burst).
+    let cost = CostModel::default();
+    let oram_config = OramConfig { block_size: 1024, bucket_capacity: 4, height: 14 };
+    let query_ns = cost.oram_query_ns(oram_config.blocks_per_access());
+    let audit_cfg = AuditConfig {
+        burst_gap_ns: query_ns + query_ns * 15 / 100,
+        ..AuditConfig::default()
+    };
+
+    let first = run(&set, starve, &audit_cfg);
+    let second = run(&set, starve, &audit_cfg);
+    let digests_match = first.digest == second.digest;
+
+    let mut sorted = first.latencies.clone();
+    sorted.sort_unstable();
+    let p50 = percentile(&sorted, 50.0);
+    let p90 = percentile(&sorted, 90.0);
+    let p99 = percentile(&sorted, 99.0);
+    // Chip throughput: one chip runs `hevm_count` cores in parallel
+    // (the §VI-D estimate), each at 1/mean-latency bundles per second.
+    let cores = ServiceConfig::at_level(SecurityConfig::Full).hevm_count as f64;
+    let tps = cores * first.txs as f64 * 1e9 / first.chip_ns.max(1) as f64;
+    let oram_total = first.kv_queries + first.code_queries + first.prefetch_queries;
+    let queries_per_bundle = oram_total as f64 / first.bundles.max(1) as f64;
+
+    let mut violations_json = String::new();
+    for (i, v) in first.audit.violations.iter().enumerate() {
+        if i > 0 {
+            violations_json.push(',');
+        }
+        violations_json.push('"');
+        violations_json.push_str(&json_escape(&v.to_string()));
+        violations_json.push('"');
+    }
+
+    let stats = &first.audit.stats;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": {{ \"transactions\": {txs}, \"bundles\": {bundles}, \"security\": \"-full\", \"starve_ablation\": {starve} }},\n",
+            "  \"bundle_latency_ns\": {{ \"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"mean\": {mean:.0} }},\n",
+            "  \"chip_tps\": {tps:.3},\n",
+            "  \"oram\": {{ \"kv_queries\": {kv}, \"code_queries\": {code}, \"prefetch_queries\": {pf}, \"queries_per_bundle\": {qpb:.2} }},\n",
+            "  \"prefetch\": {{ \"issued\": {issued}, \"drained\": {drained}, \"gap_ema_ns\": {ema} }},\n",
+            "  \"phase_means_ns\": {{ \"execute\": {exec_mean:.0}, \"bundle\": {bundle_mean:.0} }},\n",
+            "  \"audit\": {{ \"passed\": {passed}, \"longest_code_burst\": {burst}, \"real_gap_cv_x100\": {rcv}, \"prefetch_gap_cv_x100\": {pcv}, \"violations\": [{violations}] }},\n",
+            "  \"determinism\": {{ \"digests_match\": {dmatch}, \"telemetry_digest\": \"{digest}\" }}\n",
+            "}}\n"
+        ),
+        txs = first.txs,
+        bundles = first.bundles,
+        starve = starve,
+        p50 = p50,
+        p90 = p90,
+        p99 = p99,
+        mean = first.chip_ns as f64 / first.bundles.max(1) as f64,
+        tps = tps,
+        kv = first.kv_queries,
+        code = first.code_queries,
+        pf = first.prefetch_queries,
+        qpb = queries_per_bundle,
+        issued = first.prefetch_issued,
+        drained = first.prefetch_drained,
+        ema = first.gap_ema_ns,
+        exec_mean = first.execute_mean_ns,
+        bundle_mean = first.bundle_mean_ns,
+        passed = first.audit.passed(),
+        burst = stats.longest_code_burst,
+        rcv = stats.real_gap_cv_x100,
+        pcv = stats.prefetch_gap_cv_x100,
+        violations = violations_json,
+        dmatch = digests_match,
+        digest = json_escape(&first.digest),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+
+    println!("  p50/p90/p99 bundle latency: {p50}/{p90}/{p99} ns");
+    println!("  chip TPS: {tps:.3}");
+    println!("  ORAM queries/bundle: {queries_per_bundle:.2}");
+    println!(
+        "  prefetch issued={} drained={}",
+        first.prefetch_issued, first.prefetch_drained
+    );
+    println!("  audit passed: {}", first.audit.passed());
+    for v in &first.audit.violations {
+        println!("    violation: {v}");
+    }
+    println!("  telemetry digest: {}", first.digest);
+    println!("  digests match across runs: {digests_match}");
+    println!("  wrote {out_path}");
+
+    if !digests_match {
+        eprintln!("FAIL: telemetry digest drifted between two in-process runs");
+        std::process::exit(1);
+    }
+    if starve {
+        if first.audit.passed() {
+            eprintln!("FAIL: starvation ablation was NOT detected by the leakage auditor");
+            std::process::exit(1);
+        }
+        println!("OK: auditor detected the starvation leak (negative control)");
+    } else if !first.audit.passed() {
+        eprintln!("FAIL: leakage auditor found violations on the fixed pipeline");
+        std::process::exit(1);
+    }
+}

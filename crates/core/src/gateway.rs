@@ -37,6 +37,7 @@ use crate::service::{Bundle, BundleReport, HarDTape, ServiceError, StalenessBoun
 use std::collections::HashMap;
 use tape_node::{BlockFeed, BreakerState, CircuitBreaker};
 use tape_sim::queue::{BoundedQueue, Drr, EventLog, QueueStats};
+use tape_sim::telemetry::{CounterId, GaugeId, TelemetryEvent};
 use tape_sim::Nanos;
 
 /// Typed gateway-level failures. Service-level errors pass through as
@@ -157,6 +158,8 @@ pub struct Gateway {
     last_sync_at: Option<Nanos>,
     log: EventLog,
     stats: GatewayStats,
+    /// Last breaker state reported to telemetry (transition detection).
+    last_breaker: BreakerState,
 }
 
 impl core::fmt::Debug for Gateway {
@@ -190,6 +193,29 @@ impl Gateway {
             last_sync_at: None,
             log: EventLog::new(),
             stats: GatewayStats::default(),
+            last_breaker: BreakerState::Closed,
+        }
+    }
+
+    /// Detects and records a breaker state transition (including the
+    /// time-driven open → half-open one).
+    fn note_breaker(&mut self) {
+        let now = self.now();
+        let state = self.breaker.state(now);
+        if state != self.last_breaker {
+            let t = self.device.telemetry();
+            t.record(TelemetryEvent::Breaker {
+                at: now,
+                state: match state {
+                    BreakerState::Closed => 0,
+                    BreakerState::Open => 1,
+                    BreakerState::HalfOpen => 2,
+                },
+            });
+            if state == BreakerState::Open {
+                t.count(CounterId::BreakerOpens, 1);
+            }
+            self.last_breaker = state;
         }
     }
 
@@ -257,6 +283,9 @@ impl Gateway {
             let retry_after = self.retry_after_hint();
             self.log
                 .record(format!("t={now} reject session={session} global retry_after={retry_after}"));
+            let t = self.device.telemetry();
+            t.count(CounterId::GwRejected, 1);
+            t.record(TelemetryEvent::Reject { at: now, session, tenant_local: false, retry_after });
             return Err(GatewayError::Overloaded { retry_after });
         }
         let ticket = self.next_ticket;
@@ -275,6 +304,10 @@ impl Gateway {
                 self.stats.admitted += 1;
                 self.log
                     .record(format!("t={now} admit session={session} ticket={ticket} cost={cost}"));
+                let t = self.device.telemetry();
+                t.count(CounterId::GwAdmitted, 1);
+                t.record(TelemetryEvent::Admit { at: now, session, ticket });
+                t.gauge(GaugeId::GwQueueDepth, self.queued_total as u64);
                 Ok(ticket)
             }
             Err(_) => {
@@ -283,6 +316,9 @@ impl Gateway {
                 self.log.record(format!(
                     "t={now} reject session={session} tenant-queue retry_after={retry_after}"
                 ));
+                let t = self.device.telemetry();
+                t.count(CounterId::GwRejected, 1);
+                t.record(TelemetryEvent::Reject { at: now, session, tenant_local: true, retry_after });
                 Err(GatewayError::Overloaded { retry_after })
             }
         }
@@ -295,6 +331,17 @@ impl Gateway {
     ///
     /// Returns the completions produced this round, in execution order.
     pub fn run_round(&mut self) -> Vec<Completion> {
+        // Sample queue occupancy and DRR pressure at round start.
+        let max_deficit =
+            (0..self.tenants.len()).map(|i| self.drr.deficit(i)).max().unwrap_or(0);
+        let t = self.device.telemetry().clone();
+        t.gauge(GaugeId::GwQueueDepth, self.queued_total as u64);
+        t.gauge(GaugeId::DrrDeficit, max_deficit);
+        t.record(TelemetryEvent::QueueDepth {
+            at: self.now(),
+            queued: self.queued_total as u32,
+            max_deficit,
+        });
         let mut completions = Vec::new();
         for index in 0..self.tenants.len() {
             if self.tenants[index].queue.is_empty() {
@@ -323,6 +370,8 @@ impl Gateway {
                         "t={now} shed session={session} ticket={} deadline={}",
                         expired.ticket, expired.deadline
                     ));
+                    t.count(CounterId::GwShed, 1);
+                    t.record(TelemetryEvent::Shed { at: now, session, ticket: expired.ticket });
                     completions.push(Completion {
                         ticket: expired.ticket,
                         session,
@@ -369,7 +418,8 @@ impl Gateway {
             "t={now} execute session={session} ticket={}",
             admitted.ticket
         ));
-        let degraded = self.breaker.state(now) != BreakerState::Closed;
+        self.note_breaker();
+        let degraded = self.last_breaker != BreakerState::Closed;
         let outcome = self
             .device
             .pre_execute(&mut self.tenants[index].handle, &admitted.bundle)
@@ -386,6 +436,10 @@ impl Gateway {
                 report
             })
             .map_err(GatewayError::Service);
+        self.device.telemetry().count(
+            if outcome.is_ok() { CounterId::GwExecuted } else { CounterId::GwFailed },
+            1,
+        );
         match &outcome {
             Ok(report) => {
                 self.stats.completed_ok += 1;
@@ -425,6 +479,7 @@ impl Gateway {
             self.stats.sync_refused += 1;
             let retry_after = self.breaker.retry_after(now);
             self.log.record(format!("t={now} sync refused retry_after={retry_after}"));
+            self.note_breaker();
             return Err(GatewayError::FeedBreakerOpen { retry_after });
         }
         match self.device.sync_from_feed_with(feed, &self.config.sync_retry) {
@@ -432,6 +487,7 @@ impl Gateway {
                 self.breaker.record_success();
                 self.last_sync_at = Some(self.now());
                 self.log.record(format!("t={} sync ok", self.now()));
+                self.note_breaker();
                 Ok(())
             }
             Err(err) => {
@@ -441,6 +497,7 @@ impl Gateway {
                     "t={now} sync err={err} breaker={}",
                     self.breaker.state(now)
                 ));
+                self.note_breaker();
                 Err(GatewayError::Service(err))
             }
         }

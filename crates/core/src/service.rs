@@ -11,6 +11,9 @@ use tape_node::{BlockFeed, BlockHeader, FeedError, RetryPolicy, StateDelta};
 use tape_oram::{ObliviousState, OramClient, OramConfig, OramError, OramServer};
 use tape_primitives::{rlp, B256};
 use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
+use tape_sim::telemetry::{
+    CounterId, GaugeId, HistId, PhaseKind, Telemetry, TelemetryEvent,
+};
 use tape_sim::{Clock, CostModel, Nanos};
 use tape_state::{InMemoryState, StateChanges};
 use tape_tee::attestation::{session_key, Attester, Manufacturer, Verifier};
@@ -287,6 +290,8 @@ pub struct HarDTape {
     /// Sessions revoked after an integrity failure: their bundles are
     /// refused until the user re-attests.
     revoked: std::collections::HashSet<u64>,
+    /// Deterministic telemetry sink shared with every layer.
+    telemetry: Telemetry,
 }
 
 impl core::fmt::Debug for HarDTape {
@@ -314,6 +319,7 @@ impl HarDTape {
 
         let clock = Clock::new();
         let cost = config.hevm.cost.clone();
+        let telemetry = Telemetry::new();
         let oram = if config.security.oram_storage() {
             let oram_config = OramConfig {
                 block_size: config.hevm.mem.page_size,
@@ -322,11 +328,20 @@ impl HarDTape {
             };
             let server = OramServer::new(oram_config.clone());
             let client = OramClient::new(
-                oram_config,
+                oram_config.clone(),
                 &hypervisor.oram_key(),
                 SecureRng::from_seed(&(config.seed ^ 0x04A8u64).to_be_bytes()),
             );
             let state = ObliviousState::new(client, server, clock.clone(), cost.clone());
+            state.set_telemetry(telemetry.clone());
+            if config.security.oram_code() {
+                // §IV-D prefetcher: its own DRBG stream, seeded with the
+                // wire cost of one query as the initial gap estimate.
+                state.enable_prefetch(
+                    SecureRng::from_seed(&(config.seed ^ 0x9EFEu64).to_be_bytes()),
+                    cost.oram_query_ns(oram_config.blocks_per_access()),
+                );
+            }
             // Initial synchronization (step 11): the world state enters
             // the ORAM. Accounts are sorted so the layout (and therefore
             // every observable leaf sequence) is reproducible — HashMap
@@ -355,7 +370,27 @@ impl HarDTape {
             expected_head: None,
             faults: None,
             revoked: std::collections::HashSet::new(),
+            telemetry,
         }
+    }
+
+    /// The device's telemetry sink (shared with the gateway and every
+    /// instrumented layer).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Switches the code prefetcher to the pre-fix starving driver —
+    /// the leakage auditor's negative control. No-op without an ORAM.
+    pub fn set_prefetch_ablation(&self, on: bool) {
+        if let Some(oram) = &self.oram {
+            oram.set_prefetch_ablation(on);
+        }
+    }
+
+    /// Prefetcher lifetime stats (None without a code-ORAM prefetcher).
+    pub fn prefetch_stats(&self) -> Option<tape_oram::PrefetchStats> {
+        self.oram.as_ref().and_then(|o| o.prefetch_stats())
     }
 
     /// Arms a deterministic fault plan across the device's untrusted
@@ -463,11 +498,14 @@ impl HarDTape {
             let opened = self.deliver_to_device(user, &payload)?;
             debug_assert_eq!(opened, payload);
         }
+        self.record_phase(PhaseKind::Receive, started);
+        let decode_started = self.clock.now();
         if let Some(sig) = &signature {
             // Device verifies the user's bundle signature on the A53.
             self.clock.advance(self.cost.ecdsa_verify_ns);
             verify_bundle(&user.public_key(), &payload, sig).map_err(ServiceError::Channel)?;
         }
+        self.record_phase(PhaseKind::Decode, decode_started);
 
         // Exclusive HEVM assignment.
         let slot = self.hypervisor.assign(user.session).map_err(|e| match e {
@@ -475,7 +513,11 @@ impl HarDTape {
             _ => ServiceError::Busy,
         })?;
 
+        let execute_started = self.clock.now();
         let outcome = self.run_bundle(bundle);
+        self.record_phase(PhaseKind::Execute, execute_started);
+        self.telemetry
+            .observe(HistId::ExecuteNs, self.clock.now() - execute_started);
 
         // Hardware-level failures (layer-3 integrity violations, watchdog
         // trips) count against the core; three in a row quarantine it —
@@ -521,21 +563,36 @@ impl HarDTape {
 
         // Device → user: sign and seal the trace.
         let trace = report.encode();
+        let sign_started = self.clock.now();
         if security.signature() {
             self.clock.advance(self.cost.ecdsa_sign_ns);
             // The device signs the trace with its attested session key;
             // the user verifies against the quote's session public key.
             report.signature = Some(sign_bundle(&user.device_key, &trace));
         }
+        self.record_phase(PhaseKind::Sign, sign_started);
+        let seal_started = self.clock.now();
         if security.encryption() {
             let sealed = user.device_tx.seal(&trace);
             self.clock.advance(self.cost.protected_message_ns(sealed.sealed.len()));
             let opened = user.from_device.open(&sealed).map_err(ServiceError::Channel)?;
             debug_assert_eq!(opened, trace);
         }
+        self.record_phase(PhaseKind::Seal, seal_started);
 
         report.total_ns = self.clock.now() - started;
+        self.telemetry.count(CounterId::Bundles, 1);
+        self.telemetry
+            .count(CounterId::Transactions, bundle.transactions.len() as u64);
+        self.telemetry.observe(HistId::BundleLatencyNs, report.total_ns);
         Ok(report)
+    }
+
+    /// Records one completed service phase (duration since `started`).
+    fn record_phase(&self, phase: PhaseKind, started: Nanos) {
+        let at = self.clock.now();
+        self.telemetry
+            .record(TelemetryEvent::Phase { at, phase, ns: at - started });
     }
 
     /// Carries one sealed user→device message across the untrusted wire,
@@ -605,6 +662,30 @@ impl HarDTape {
         &mut self,
         bundle: &Bundle,
     ) -> Result<(Vec<TxResult>, StateChanges, Vec<Nanos>, HevmStats), ServiceError> {
+        // Queue the callee contracts' code pages for background
+        // prefetch (§IV-D): the decode phase already knows every `to`
+        // address, so the prefetcher can interleave their pages with
+        // the bundle's K-V queries instead of fetching them in a burst
+        // at call time. The local mirror supplies the page count; the
+        // pages themselves still travel through the ORAM.
+        if let Some(oram) = &self.oram {
+            if self.config.security.oram_code() {
+                let page_size = self.config.hevm.mem.page_size;
+                let mut seen = std::collections::BTreeSet::new();
+                for tx in &bundle.transactions {
+                    let Some(to) = tx.to else { continue };
+                    if !seen.insert(to) {
+                        continue;
+                    }
+                    use tape_state::StateReader as _;
+                    let code_len =
+                        self.local.account(&to).map(|info| info.code_len).unwrap_or(0);
+                    if code_len > 0 {
+                        oram.schedule_prefetch(to, code_len.div_ceil(page_size) as u32);
+                    }
+                }
+            }
+        }
         let reader = HybridState::new(self.config.security, &self.local, self.oram.as_ref());
         let mut hevm_config = self.config.hevm.clone();
         // Whatever the ORAM serves charges the clock itself; whatever
@@ -641,7 +722,36 @@ impl HarDTape {
             results.push(result);
         }
         let changes = hevm.state().changes();
-        Ok((results, changes, per_tx, hevm.stats()))
+        let stats = hevm.stats();
+        // Swap traffic + occupancy into telemetry while the engine is
+        // still alive (the swap log dies with it).
+        for swap in hevm.swap_log() {
+            let out = swap.pages_out > 0;
+            let (observed, true_pages) = if out {
+                (swap.pages_out, swap.true_pages_out)
+            } else {
+                (swap.pages_in, swap.true_pages_in)
+            };
+            self.telemetry.count(
+                if out { CounterId::SwapOuts } else { CounterId::SwapIns },
+                1,
+            );
+            self.telemetry.count(CounterId::SwapTruePages, true_pages as u64);
+            self.telemetry
+                .count(CounterId::SwapNoisePages, observed.saturating_sub(true_pages) as u64);
+            self.telemetry.record(TelemetryEvent::Swap {
+                at: swap.at,
+                out,
+                true_pages: true_pages as u32,
+                observed_pages: observed as u32,
+            });
+        }
+        self.telemetry.gauge(GaugeId::L2PeakPages, stats.peak_l2_pages as u64);
+        self.telemetry.gauge(GaugeId::CallDepth, stats.max_depth as u64);
+        if let Some(pf) = self.oram.as_ref().and_then(|o| o.prefetch_stats()) {
+            self.telemetry.gauge(GaugeId::PrefetchGapEmaNs, pf.avg_gap_ns);
+        }
+        Ok((results, changes, per_tx, stats))
     }
 
     /// Synchronizes a new block's state delta (paper step 11): verifies
@@ -725,7 +835,14 @@ impl HarDTape {
                     return Err(ServiceError::NodeUnavailable)
                 }
                 Err(FeedError::Unavailable) if attempt + 1 < policy.max_attempts => {
-                    self.clock.advance(policy.backoff_ns(attempt));
+                    let backoff = policy.backoff_ns(attempt);
+                    self.telemetry.count(CounterId::NodeRetries, 1);
+                    self.telemetry.record(TelemetryEvent::NodeRetry {
+                        at: self.clock.now(),
+                        attempt: attempt + 1,
+                        backoff_ns: backoff,
+                    });
+                    self.clock.advance(backoff);
                 }
                 Err(FeedError::Unavailable) => return Err(ServiceError::NodeUnavailable),
             }

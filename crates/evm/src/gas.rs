@@ -83,12 +83,22 @@ pub fn memory_cost(size: usize) -> u64 {
 }
 
 /// Marginal cost of growing memory from `current` to `target` bytes.
+///
+/// Saturation is sticky: once the target's total cost clamps at
+/// `u64::MAX`, the marginal cost is `u64::MAX` too. Subtracting the
+/// (possibly also clamped) current cost instead would report 0 —
+/// making every expansion past the saturation point free rather than
+/// unpayable.
 #[inline]
 pub fn memory_expansion_cost(current: usize, target: usize) -> u64 {
     if target <= current {
-        0
+        return 0;
+    }
+    let target_cost = memory_cost(target);
+    if target_cost == u64::MAX {
+        u64::MAX
     } else {
-        memory_cost(target) - memory_cost(current)
+        target_cost - memory_cost(current)
     }
 }
 
@@ -286,6 +296,24 @@ mod tests {
         assert_eq!(memory_cost(32 * 1024), 5120);
         assert_eq!(memory_expansion_cost(32, 64), 3);
         assert_eq!(memory_expansion_cost(64, 32), 0);
+    }
+
+    #[test]
+    fn memory_expansion_saturation_is_sticky() {
+        // The clamp engages near w ≈ 2^32·√(512)/√(1) … concretely,
+        // 3·w + w²/512 > u64::MAX once w exceeds ~9.7e10 words. Any
+        // size that large must cost u64::MAX in total…
+        let saturated = usize::MAX;
+        assert_eq!(memory_cost(saturated), u64::MAX);
+        // …and growing *within* the saturated region must stay
+        // unpayable, not become free because both endpoints clamp.
+        assert_eq!(memory_expansion_cost(saturated - 64, saturated), u64::MAX);
+        assert_eq!(memory_expansion_cost(0, saturated), u64::MAX);
+        // Shrinking or standing still is still free.
+        assert_eq!(memory_expansion_cost(saturated, saturated), 0);
+        assert_eq!(memory_expansion_cost(saturated, saturated - 64), 0);
+        // Unsaturated growth keeps the exact quadratic delta.
+        assert_eq!(memory_expansion_cost(32, 64), 3);
     }
 
     #[test]

@@ -10,7 +10,9 @@ use tape_crypto::{AesGcm, SecureRng};
 use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
 use tape_sim::{Clock, CostModel, Nanos};
 
-/// A swap event as *observed by the adversary* (sizes include noise).
+/// A swap event as *observed by the adversary* (sizes include noise),
+/// plus the true sizes so the leakage auditor can verify the noise
+/// actually covered them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwapEvent {
     /// Virtual time of the swap.
@@ -19,6 +21,10 @@ pub struct SwapEvent {
     pub pages_out: usize,
     /// Pages read back from layer 3 (true + noise).
     pub pages_in: usize,
+    /// Pages actually written (no noise) — invisible to the adversary.
+    pub true_pages_out: usize,
+    /// Pages actually read back (no noise) — invisible to the adversary.
+    pub true_pages_in: usize,
 }
 
 /// Error produced when layer-3 contents fail authentication (A4).
@@ -150,7 +156,13 @@ impl Layer3Pager {
         let noise = self.rng.next_below(self.max_noise as u64 + 1) as usize;
         let observed = pages + noise;
         clock.advance(cost.layer3_swap_page_ns * observed as u64);
-        self.swap_log.push(SwapEvent { at: clock.now(), pages_out: observed, pages_in: 0 });
+        self.swap_log.push(SwapEvent {
+            at: clock.now(),
+            pages_out: observed,
+            pages_in: 0,
+            true_pages_out: pages,
+            true_pages_in: 0,
+        });
         SwappedFrame { index, pages }
     }
 
@@ -180,7 +192,13 @@ impl Layer3Pager {
         let noise = self.rng.next_below(self.max_noise as u64 + 1) as usize;
         let observed = handle.pages + noise;
         clock.advance(cost.layer3_swap_page_ns * observed as u64);
-        self.swap_log.push(SwapEvent { at: clock.now(), pages_out: 0, pages_in: observed });
+        self.swap_log.push(SwapEvent {
+            at: clock.now(),
+            pages_out: 0,
+            pages_in: observed,
+            true_pages_out: 0,
+            true_pages_in: handle.pages,
+        });
         Ok(bytes)
     }
 

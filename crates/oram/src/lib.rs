@@ -38,5 +38,5 @@ mod recursive;
 
 pub use pagestore::{ObliviousState, PageKey, QueryStats, RECORDS_PER_GROUP};
 pub use path_oram::{BlockId, ObservedAccess, OramClient, OramConfig, OramError, OramServer};
-pub use prefetch::CodePrefetcher;
+pub use prefetch::{CodePrefetcher, PrefetchStats};
 pub use recursive::RecursiveOram;

@@ -12,13 +12,15 @@
 //! are indistinguishable — solving the paper's problems (1) and (2).
 
 use crate::path_oram::{BlockId, OramClient, OramError, OramServer};
+use crate::prefetch::{CodePrefetcher, PrefetchStats};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
-use tape_crypto::Keccak256;
+use tape_crypto::{Keccak256, SecureRng};
 use tape_primitives::{Address, B256, U256};
 use tape_sim::fault::FaultPlan;
-use tape_sim::{Clock, CostModel};
+use tape_sim::telemetry::{CounterId, GaugeId, HistId, QueryKind, Telemetry, TelemetryEvent};
+use tape_sim::{Clock, CostModel, Nanos};
 use tape_state::{Account, AccountInfo, StateReader};
 
 /// Records per storage group: 1024-byte page / 32-byte value.
@@ -137,6 +139,16 @@ struct Inner {
     synced_groups: std::collections::BTreeMap<Address, std::collections::BTreeSet<U256>>,
     stats: QueryStats,
     page_size: usize,
+    /// The §IV-D code prefetcher, when enabled (`-full` only).
+    prefetcher: Option<CodePrefetcher>,
+    /// Drives the prefetcher with the legacy unconditionally-re-arming
+    /// `on_query` (the starvation bug) and skips demand-fetch pacing —
+    /// the leakage auditor's negative control.
+    starve_ablation: bool,
+    /// Telemetry sink, when attached.
+    telemetry: Option<Telemetry>,
+    /// Start time of the previous wire query (for the gap histogram).
+    last_wire_at: Option<Nanos>,
     /// First integrity failure observed during the current bundle.
     ///
     /// [`StateReader`] returns plain values, so a mid-execution ORAM
@@ -171,9 +183,45 @@ impl ObliviousState {
                 synced_groups: std::collections::BTreeMap::new(),
                 stats: QueryStats::default(),
                 page_size,
+                prefetcher: None,
+                starve_ablation: false,
+                telemetry: None,
+                last_wire_at: None,
                 fault: None,
             }),
         }
+    }
+
+    /// Enables the §IV-D code prefetcher with its own DRBG stream and an
+    /// initial inter-query gap estimate (typically the cost model's
+    /// per-query wire time).
+    pub fn enable_prefetch(&self, rng: SecureRng, initial_gap_ns: Nanos) {
+        self.inner.borrow_mut().prefetcher = Some(CodePrefetcher::new(rng, initial_gap_ns));
+    }
+
+    /// Switches the prefetcher driver to the pre-fix starving behaviour
+    /// (ablation for the leakage auditor's negative control).
+    pub fn set_prefetch_ablation(&self, on: bool) {
+        self.inner.borrow_mut().starve_ablation = on;
+    }
+
+    /// Attaches a telemetry sink; every wire query, prefetch drain, and
+    /// stash sample is recorded there from now on.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        self.inner.borrow_mut().telemetry = Some(telemetry);
+    }
+
+    /// Queues `pages` code pages of `address` for background prefetch
+    /// (no-op until [`enable_prefetch`](Self::enable_prefetch)).
+    pub fn schedule_prefetch(&self, address: Address, pages: u32) {
+        if let Some(pf) = self.inner.borrow_mut().prefetcher.as_mut() {
+            pf.schedule(address, pages);
+        }
+    }
+
+    /// The prefetcher's lifetime stats, when one is enabled.
+    pub fn prefetch_stats(&self) -> Option<PrefetchStats> {
+        self.inner.borrow().prefetcher.as_ref().map(|pf| pf.stats())
     }
 
     /// Arms the underlying (untrusted) ORAM server with an adversarial
@@ -284,9 +332,27 @@ impl ObliviousState {
         self.inner.borrow().stats
     }
 
-    /// Clears the on-chip page cache (end of a bundle, paper step 10).
+    /// Clears the on-chip page cache (end of a bundle, paper step 10)
+    /// and drains any still-pending prefetch pages — counted in the
+    /// `drained` stat and recorded as a [`TelemetryEvent::PrefetchDrained`],
+    /// since pages bypassing the timer are exactly what the leakage
+    /// auditor needs to see.
     pub fn clear_cache(&self) {
-        self.inner.borrow_mut().cache.clear();
+        let mut inner = self.inner.borrow_mut();
+        inner.cache.clear();
+        let drained = match inner.prefetcher.as_mut() {
+            Some(pf) => pf.drain().len(),
+            None => 0,
+        };
+        if drained > 0 {
+            if let Some(t) = &inner.telemetry {
+                t.count(CounterId::PrefetchDrained, drained as u64);
+                t.record(TelemetryEvent::PrefetchDrained {
+                    at: inner.clock.now(),
+                    pages: drained as u32,
+                });
+            }
+        }
     }
 
     /// The adversary's view: every `(time, leaf)` the server observed.
@@ -297,16 +363,7 @@ impl ObliviousState {
     /// Issues one prefetch query for a code page (driven by the
     /// [`CodePrefetcher`](crate::CodePrefetcher)).
     pub fn prefetch_page(&self, key: PageKey) {
-        let mut inner = self.inner.borrow_mut();
-        if inner.cache.contains_key(&key) {
-            // Already on-chip: issue a dummy query anyway so the wire
-            // pattern stays consistent.
-            let dummy = PageKey::CodePage(Address::ZERO, u32::MAX).block_id();
-            let _ = inner.fetch_raw(&dummy);
-        } else {
-            let _ = inner.fetch_page_uncached(key);
-        }
-        inner.stats.prefetch_queries += 1;
+        self.inner.borrow_mut().issue_prefetch(key);
     }
 
     /// The shared virtual clock.
@@ -341,16 +398,117 @@ impl Inner {
         page
     }
 
-    /// Cached fetch, counting the query type.
+    /// Records one wire query of `kind` in the telemetry stream (at the
+    /// query's start time, before the wire cost is charged).
+    fn record_query(&mut self, kind: QueryKind) {
+        let Some(t) = &self.telemetry else {
+            return;
+        };
+        let at = self.clock.now();
+        t.count(
+            match kind {
+                QueryKind::Kv => CounterId::OramKv,
+                QueryKind::Code => CounterId::OramCode,
+                QueryKind::Prefetch => CounterId::OramPrefetch,
+            },
+            1,
+        );
+        if let Some(last) = self.last_wire_at {
+            t.observe(HistId::OramGapNs, at.saturating_sub(last));
+        }
+        self.last_wire_at = Some(at);
+        t.record(TelemetryEvent::OramQuery { at, kind, bytes: self.page_size as u32 });
+        t.gauge(GaugeId::OramStash, self.client.len() as u64);
+    }
+
+    /// One prefetch query on the wire: the real page when it is not yet
+    /// on-chip, a dummy query otherwise (the wire pattern must not
+    /// reveal cache hits).
+    fn issue_prefetch(&mut self, key: PageKey) {
+        self.stats.prefetch_queries += 1;
+        self.record_query(QueryKind::Prefetch);
+        if self.cache.contains_key(&key) {
+            let dummy = PageKey::CodePage(Address::ZERO, u32::MAX).block_id();
+            let _ = self.fetch_raw(&dummy);
+        } else {
+            let _ = self.fetch_page_uncached(key);
+        }
+    }
+
+    /// Drives the prefetcher at a real-query point: updates its gap
+    /// estimate, then issues at most one due page. With the starvation
+    /// ablation on, uses the legacy re-arming driver (which never lets
+    /// the timer fire in this call order).
+    fn drive_prefetch(&mut self, now: Nanos) {
+        let due = match self.prefetcher.as_mut() {
+            Some(pf) => {
+                if self.starve_ablation {
+                    pf.on_query_rearming(now);
+                } else {
+                    pf.on_query(now);
+                }
+                let due = pf.poll(now);
+                if due.is_some() {
+                    if let Some(t) = &self.telemetry {
+                        t.count(CounterId::PrefetchIssued, 1);
+                        t.gauge(GaugeId::PrefetchGapEmaNs, pf.avg_gap_ns());
+                    }
+                }
+                due
+            }
+            None => None,
+        };
+        if let Some(page) = due {
+            self.issue_prefetch(page);
+        }
+    }
+
+    /// Cached fetch, counting the query type and driving the prefetcher
+    /// at every miss (a miss is a real wire query — a query point).
     fn fetch_page(&mut self, key: PageKey) -> Option<Vec<u8>> {
         if let Some(page) = self.cache.get(&key) {
             return page.clone();
         }
-        match key {
-            PageKey::CodePage(..) => self.stats.code_queries += 1,
-            _ => self.stats.kv_queries += 1,
+        let kind = match key {
+            PageKey::CodePage(..) => {
+                self.stats.code_queries += 1;
+                QueryKind::Code
+            }
+            _ => {
+                self.stats.kv_queries += 1;
+                QueryKind::Kv
+            }
+        };
+        self.record_query(kind);
+        let page = self.fetch_page_uncached(key);
+        let now = self.clock.now();
+        self.drive_prefetch(now);
+        page
+    }
+
+    /// `true` when demand code fetches must be paced onto the prefetch
+    /// cadence (prefetcher enabled, ablation off).
+    fn pacing_active(&self) -> bool {
+        self.prefetcher.is_some() && !self.starve_ablation
+    }
+
+    /// A demand code fetch disguised as a timer prefetch: stall for the
+    /// prefetcher's randomized delay before touching the wire, so a
+    /// cold contract call does not collapse into the back-to-back burst
+    /// §IV-D forbids.
+    fn paced_code_fetch(&mut self, key: PageKey) -> Option<Vec<u8>> {
+        if let Some(pf) = self.prefetcher.as_mut() {
+            let wait = pf.pace();
+            self.clock.advance(wait);
+            // The timer no longer owes this page.
+            pf.acknowledge(key);
         }
-        self.fetch_page_uncached(key)
+        self.stats.code_queries += 1;
+        self.record_query(QueryKind::Code);
+        let page = self.fetch_page_uncached(key);
+        let after = self.clock.now();
+        self.drive_prefetch(after);
+        page
     }
 }
 
@@ -376,9 +534,18 @@ impl StateReader for ObliviousState {
         let pages = info.code_len.div_ceil(page_size);
         let mut code = Vec::with_capacity(info.code_len);
         for i in 0..pages {
-            let page = inner
-                .fetch_page(PageKey::CodePage(*address, i as u32))
-                .unwrap_or_else(|| vec![0u8; page_size]);
+            let key = PageKey::CodePage(*address, i as u32);
+            // Pages the prefetcher has not delivered yet are fetched on
+            // demand — but *paced* onto the prefetch cadence, otherwise
+            // a cold call would emit `pages` back-to-back code queries
+            // (the burst the starved prefetcher used to produce, which
+            // the ablation mode deliberately reproduces).
+            let page = if inner.pacing_active() && !inner.cache.contains_key(&key) {
+                inner.paced_code_fetch(key)
+            } else {
+                inner.fetch_page(key)
+            }
+            .unwrap_or_else(|| vec![0u8; page_size]);
             code.extend_from_slice(&page);
         }
         code.truncate(info.code_len);
@@ -508,6 +675,64 @@ mod tests {
         assert_eq!(state.stats().prefetch_queries, 2);
         // Both prefetches produced real wire traffic.
         assert_eq!(state.observed_accesses().len() - wire_before, 2);
+    }
+
+    #[test]
+    fn telemetry_records_uniform_queries_and_prefetch_interleaves() {
+        let addr = Address::from_low_u64(5);
+        let mut account = Account::with_code(vec![1u8; 2500]); // 3 pages
+        account.storage.insert(U256::ONE, U256::ONE);
+        let state = oblivious_with(vec![(addr, account)]);
+        let t = Telemetry::new();
+        state.set_telemetry(t.clone());
+        state.enable_prefetch(SecureRng::from_seed(b"pf"), 2_300_000);
+        state.schedule_prefetch(addr, 3);
+
+        state.account(&addr); // kv query point
+        state.storage(&addr, &U256::ONE); // kv query point, timer can fire
+        state.code(&addr); // remaining pages are paced demand fetches
+
+        assert_eq!(t.counter(CounterId::OramKv), 2);
+        let covered = t.counter(CounterId::OramCode) + t.counter(CounterId::OramPrefetch);
+        assert!(covered >= 3, "all 3 code pages hit the wire, covered={covered}");
+        // Every wire query is one uniform block.
+        let events = t.events();
+        let queries: Vec<_> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                TelemetryEvent::OramQuery { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .collect();
+        assert!(queries.iter().all(|&b| b == 1024));
+        assert_eq!(queries.len() as u64, t.counter(CounterId::OramKv) + covered);
+        // Nothing left to drain: demand fetches acknowledged their keys.
+        state.clear_cache();
+        assert_eq!(t.counter(CounterId::PrefetchDrained), 0);
+        let stats = state.prefetch_stats().expect("prefetcher enabled");
+        assert_eq!(stats.pending, 0);
+    }
+
+    #[test]
+    fn starvation_ablation_drains_instead_of_issuing() {
+        let addr = Address::from_low_u64(5);
+        let account = Account::with_code(vec![1u8; 2500]); // 3 pages
+        let state = oblivious_with(vec![(addr, account)]);
+        let t = Telemetry::new();
+        state.set_telemetry(t.clone());
+        state.enable_prefetch(SecureRng::from_seed(b"pf"), 2_300_000);
+        state.set_prefetch_ablation(true);
+        state.schedule_prefetch(addr, 3);
+
+        state.account(&addr);
+        state.code(&addr); // back-to-back demand fetches: the burst
+
+        assert_eq!(t.counter(CounterId::OramPrefetch), 0, "timer never fires");
+        assert_eq!(t.counter(CounterId::OramCode), 3);
+        state.clear_cache();
+        assert_eq!(t.counter(CounterId::PrefetchDrained), 3, "starved pages drain");
+        let stats = state.prefetch_stats().expect("prefetcher enabled");
+        assert_eq!((stats.issued, stats.drained), (0, 3));
     }
 
     #[test]

@@ -20,9 +20,30 @@ pub struct CodePrefetcher {
     rng: SecureRng,
     /// Exponential moving average of the gap between real queries.
     avg_gap_ns: u64,
+    /// Floor for the demand-fetch stall ([`pace`](Self::pace)): a
+    /// quarter of the construction-time gap estimate (the per-query
+    /// wire cost), so a paced fetch is guaranteed to trail the previous
+    /// query by ≥ 1.25x the wire cost — above any burst threshold
+    /// derived from that cost — without paying the full EMA half-gap.
+    min_stall_ns: u64,
     last_query_at: Option<Nanos>,
     deadline: Option<Nanos>,
     issued: u64,
+    drained: u64,
+}
+
+/// Lifetime prefetcher instrumentation, exported through telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Pages issued through the randomized timer ([`CodePrefetcher::poll`]).
+    pub issued: u64,
+    /// Pages released by [`CodePrefetcher::drain`] without riding the
+    /// timer — frame-end bursts the §IV-D discipline tries to avoid.
+    pub drained: u64,
+    /// Pages still queued.
+    pub pending: usize,
+    /// Current inter-query gap estimate.
+    pub avg_gap_ns: u64,
 }
 
 impl CodePrefetcher {
@@ -32,9 +53,11 @@ impl CodePrefetcher {
             pending: VecDeque::new(),
             rng,
             avg_gap_ns: initial_gap_ns.max(1),
+            min_stall_ns: (initial_gap_ns / 4).max(1),
             last_query_at: None,
             deadline: None,
             issued: 0,
+            drained: 0,
         }
     }
 
@@ -55,16 +78,72 @@ impl CodePrefetcher {
         self.issued
     }
 
+    /// Total pages released by [`drain`](Self::drain) instead of the
+    /// timer.
+    pub fn drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// Snapshot of the lifetime counters and the current gap estimate.
+    pub fn stats(&self) -> PrefetchStats {
+        PrefetchStats {
+            issued: self.issued,
+            drained: self.drained,
+            pending: self.pending.len(),
+            avg_gap_ns: self.avg_gap_ns,
+        }
+    }
+
     /// Records that a *real* query happened at `now`, updating the gap
-    /// estimate and (re)arming the timer.
+    /// estimate and arming the timer if it is not already due.
+    ///
+    /// An already-expired deadline is deliberately *preserved* so the
+    /// caller's next [`poll`](Self::poll) fires it. Re-arming here
+    /// (the pre-fix behaviour, kept as
+    /// [`on_query_rearming`](Self::on_query_rearming)) pushed the
+    /// deadline into the future at every query point before it could be
+    /// observed, starving the queue until `drain()` released it as
+    /// exactly the frame-end burst §IV-D exists to prevent.
     pub fn on_query(&mut self, now: Nanos) {
+        self.note_query(now);
+        match self.deadline {
+            // Due and payload available: leave it for poll().
+            Some(deadline) if deadline <= now && !self.pending.is_empty() => {}
+            _ => self.arm(now),
+        }
+    }
+
+    /// The pre-fix `on_query` that unconditionally re-arms the timer,
+    /// kept only as an ablation hook so the leakage auditor's negative
+    /// control can reproduce the starvation burst.
+    pub fn on_query_rearming(&mut self, now: Nanos) {
+        self.note_query(now);
+        self.arm(now);
+    }
+
+    /// Updates the inter-query gap EMA for a real query at `now`.
+    fn note_query(&mut self, now: Nanos) {
         if let Some(last) = self.last_query_at {
             let gap = now.saturating_sub(last).max(1);
             // EMA with α = 1/4.
             self.avg_gap_ns = (3 * self.avg_gap_ns + gap) / 4;
         }
         self.last_query_at = Some(now);
-        self.arm(now);
+    }
+
+    /// Returns how long a *demand* code fetch should stall before
+    /// touching the wire. The stall only has to break burst adjacency —
+    /// put a randomized gap of at least a quarter wire-cost between
+    /// consecutive code queries — not mimic the timer's half-EMA
+    /// cadence, which would multiply `-full` latency for no extra
+    /// indistinguishability (the gap distribution stays randomized
+    /// either way). Uniform in `[min_stall, 2*min_stall)`. Any armed
+    /// timer deadline is consumed: the demand fetch satisfies the
+    /// page the timer owed (the caller [`acknowledge`](Self::acknowledge)s
+    /// it) and the timer re-arms at the next [`on_query`](Self::on_query).
+    pub fn pace(&mut self) -> Nanos {
+        self.deadline = None;
+        self.min_stall_ns + self.rng.next_below(self.min_stall_ns)
     }
 
     /// Arms the timer: a random delay around half the average gap
@@ -96,11 +175,31 @@ impl CodePrefetcher {
         }
     }
 
+    /// Removes `key` from the pending queue — the page was satisfied by
+    /// a (paced) demand fetch, so the timer no longer owes it. Returns
+    /// `true` when the key was queued.
+    pub fn acknowledge(&mut self, key: PageKey) -> bool {
+        if let Some(pos) = self.pending.iter().position(|k| *k == key) {
+            self.pending.remove(pos);
+            if self.pending.is_empty() {
+                self.deadline = None;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
     /// Drains every pending page (used at frame end when the code must
-    /// be complete before execution can continue).
+    /// be complete before execution can continue). Drained pages are
+    /// counted in the separate [`drained`](Self::drained) stat, not
+    /// [`issued`](Self::issued): they bypassed the timer, and the
+    /// evaluation harness must be able to see that.
     pub fn drain(&mut self) -> Vec<PageKey> {
         self.deadline = None;
-        self.pending.drain(..).collect()
+        let pages: Vec<PageKey> = self.pending.drain(..).collect();
+        self.drained += pages.len() as u64;
+        pages
     }
 
     /// Current average-gap estimate (for tests and the evaluation
@@ -169,6 +268,79 @@ mod tests {
         p.on_query(100);
         assert_eq!(p.poll(u64::MAX), None);
         assert_eq!(p.issued(), 0);
+    }
+
+    #[test]
+    fn on_query_before_poll_does_not_starve_pending_pages() {
+        // Regression: the integration calls on_query *before* poll at
+        // every query point. The pre-fix on_query unconditionally
+        // re-armed the deadline, so it was always in the future when
+        // poll ran and no page ever issued without drain().
+        let mut p = prefetcher();
+        p.schedule(Address::from_low_u64(1), 4);
+        let mut t = 0;
+        for _ in 0..64 {
+            t += 2_000_000; // well past any armed deadline
+            p.on_query(t);
+            let _ = p.poll(t);
+        }
+        assert!(
+            p.issued() >= 4,
+            "pages must issue through on_query→poll without drain(); issued={}",
+            p.issued()
+        );
+        assert_eq!(p.pending(), 0);
+        assert_eq!(p.drain().len(), 0, "nothing left for a frame-end burst");
+    }
+
+    #[test]
+    fn rearming_ablation_hook_reproduces_starvation() {
+        // The legacy behaviour must stay reproducible for the leakage
+        // auditor's negative control: same driver order, zero issues.
+        let mut p = prefetcher();
+        p.schedule(Address::from_low_u64(1), 4);
+        let mut t = 0;
+        for _ in 0..64 {
+            t += 2_000_000;
+            p.on_query_rearming(t);
+            let _ = p.poll(t);
+        }
+        assert_eq!(p.issued(), 0, "rearming hook must starve the queue");
+        assert_eq!(p.pending(), 4);
+        let burst = p.drain();
+        assert_eq!(burst.len(), 4, "starved pages surface as the drain burst");
+        assert_eq!(p.drained(), 4);
+    }
+
+    #[test]
+    fn drain_counts_separately_from_issued() {
+        let mut p = prefetcher();
+        p.schedule(Address::from_low_u64(1), 3);
+        p.on_query(0);
+        assert!(p.poll(10_000_000).is_some());
+        assert_eq!(p.issued(), 1);
+        assert_eq!(p.drained(), 0);
+        let rest = p.drain();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(p.issued(), 1, "drain must not inflate issued");
+        assert_eq!(p.drained(), 2);
+        let stats = p.stats();
+        assert_eq!((stats.issued, stats.drained, stats.pending), (1, 2, 0));
+    }
+
+    #[test]
+    fn pace_consumes_deadline_and_stalls_within_the_floor_band() {
+        let mut p = prefetcher(); // initial gap 1 ms -> floor 250 us
+        p.schedule(Address::from_low_u64(1), 2);
+        p.on_query(0);
+        // Pace consumes the armed deadline: poll cannot double-fire it.
+        let wait = p.pace();
+        assert!((250_000..500_000).contains(&wait), "stall {wait} outside floor band");
+        assert_eq!(p.poll(u64::MAX), None);
+        // Repeated draws stay in [floor, 2*floor) and vary (jitter).
+        let draws: Vec<Nanos> = (0..16).map(|_| p.pace()).collect();
+        assert!(draws.iter().all(|w| (250_000..500_000).contains(w)));
+        assert!(draws.windows(2).any(|w| w[0] != w[1]), "stall must be randomized");
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod fault;
 pub mod queue;
 pub mod resources;
 pub mod stats;
+pub mod telemetry;
 
 pub use clock::{format_ns, Clock, Nanos};
 pub use cost::CostModel;

@@ -1,0 +1,510 @@
+//! Leakage auditor: mechanical checks of the §IV-D indistinguishability
+//! invariants over a recorded [`TelemetryEvent`] stream.
+//!
+//! The paper's defense against memory-bus traffic analysis rests on four
+//! observable properties, each of which this module verifies from the
+//! event stream alone (no access to internal state — the auditor sees
+//! what the adversary sees):
+//!
+//! 1. **Uniform blocks** — every ORAM query moves exactly one
+//!    fixed-size block; a differently sized access immediately types the
+//!    query.
+//! 2. **No code bursts** — demand code-page fetches are never issued in
+//!    tight back-to-back runs longer than a small bound. A burst is a
+//!    maximal run of consecutive `Code`-kind queries whose inter-arrival
+//!    gaps all fall below [`AuditConfig::burst_gap_ns`]; bare wire cost
+//!    with no interleaved pacing is exactly what the starved prefetcher
+//!    produces at frame end.
+//! 3. **Gap indistinguishability** — the inter-query gap distribution of
+//!    prefetch queries must be statistically indistinct from real
+//!    queries: class means within a ratio band, and each class's
+//!    coefficient of variation bounded (a bimodal or spiky class is a
+//!    classifier feature).
+//! 4. **Swap noise** — every call-stack swap's observed page count must
+//!    cover its true page count, and noise must actually be present
+//!    across the run (all-zero noise means sizes leak verbatim).
+//!
+//! A truncated stream (ring-buffer overflow) is itself a violation:
+//! an auditor that silently passes on partial evidence is worse than
+//! none.
+
+use super::{QueryKind, TelemetryEvent};
+use crate::Nanos;
+
+/// Tunable bounds for the audit invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Required uniform ORAM block payload size (paper: 1 KB).
+    pub block_size: u32,
+    /// Maximum tolerated tight code-query run length (N in the issue).
+    pub max_code_burst: usize,
+    /// Gaps below this bound count as "tight" for burst detection.
+    /// Should sit just above the bare wire cost of one query, so a
+    /// back-to-back drain is tight but a paced fetch (stall + query)
+    /// is not.
+    pub burst_gap_ns: Nanos,
+    /// Allowed prefetch-vs-real mean-gap ratio band, ×100
+    /// (`(25, 400)` = prefetch gaps within ¼×–4× of real gaps).
+    pub gap_mean_ratio_x100: (u64, u64),
+    /// Maximum per-class gap coefficient of variation, ×100.
+    pub max_cv_x100: u64,
+    /// Minimum samples per gap class before the statistical checks
+    /// apply (tiny samples would make the CV meaningless).
+    pub min_class_samples: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            block_size: 1024,
+            max_code_burst: 4,
+            // Default cost model: one ORAM query ≈ 2.27 ms on the wire
+            // (RTT + server op + 60 path blocks); 2.6 ms ≈ 1.15× that.
+            burst_gap_ns: 2_600_000,
+            gap_mean_ratio_x100: (25, 400),
+            max_cv_x100: 250,
+            min_class_samples: 8,
+        }
+    }
+}
+
+/// One invariant violation found by the auditor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// An ORAM query moved a non-uniform block size.
+    NonUniformBlock {
+        /// When the query happened.
+        at: Nanos,
+        /// Its classification.
+        kind: QueryKind,
+        /// Bytes observed on the wire.
+        bytes: u32,
+        /// The required uniform size.
+        expected: u32,
+    },
+    /// A tight run of code queries exceeded the burst bound.
+    CodeBurst {
+        /// When the run ended.
+        at: Nanos,
+        /// Length of the offending run.
+        len: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// Prefetch and real mean gaps diverged beyond the ratio band.
+    GapMeanRatio {
+        /// Observed prefetch/real mean-gap ratio, ×100.
+        ratio_x100: u64,
+        /// The allowed band, ×100.
+        band: (u64, u64),
+    },
+    /// A gap class's coefficient of variation exceeded the bound.
+    GapCv {
+        /// `true` for the prefetch class, `false` for real queries.
+        prefetch_class: bool,
+        /// Observed CV, ×100.
+        cv_x100: u64,
+        /// The configured bound, ×100.
+        limit: u64,
+    },
+    /// A swap's observed pages did not cover its true pages.
+    SwapUncovered {
+        /// When the swap happened.
+        at: Nanos,
+        /// Pages actually moved.
+        true_pages: u32,
+        /// Pages visible on the bus.
+        observed_pages: u32,
+    },
+    /// Many swaps, yet zero noise pages across the whole run.
+    SwapNoiseAbsent {
+        /// Swap events seen.
+        swaps: u64,
+    },
+    /// The event ring overflowed: the stream is partial evidence.
+    Truncated {
+        /// Events lost.
+        dropped: u64,
+    },
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Violation::NonUniformBlock { at, kind, bytes, expected } => write!(
+                f,
+                "non-uniform block at {at}: {} query moved {bytes} B (expected {expected} B)",
+                kind.name()
+            ),
+            Violation::CodeBurst { at, len, limit } => {
+                write!(f, "code burst at {at}: {len} tight code queries (limit {limit})")
+            }
+            Violation::GapMeanRatio { ratio_x100, band } => write!(
+                f,
+                "prefetch/real mean-gap ratio {}.{:02} outside [{}.{:02}, {}.{:02}]",
+                ratio_x100 / 100,
+                ratio_x100 % 100,
+                band.0 / 100,
+                band.0 % 100,
+                band.1 / 100,
+                band.1 % 100
+            ),
+            Violation::GapCv { prefetch_class, cv_x100, limit } => write!(
+                f,
+                "{} gap CV {}.{:02} exceeds {}.{:02}",
+                if *prefetch_class { "prefetch" } else { "real" },
+                cv_x100 / 100,
+                cv_x100 % 100,
+                limit / 100,
+                limit % 100
+            ),
+            Violation::SwapUncovered { at, true_pages, observed_pages } => write!(
+                f,
+                "swap at {at}: observed {observed_pages} pages < true {true_pages}"
+            ),
+            Violation::SwapNoiseAbsent { swaps } => {
+                write!(f, "no noise pages across {swaps} swaps: sizes leak verbatim")
+            }
+            Violation::Truncated { dropped } => {
+                write!(f, "event ring dropped {dropped} events: stream is partial")
+            }
+        }
+    }
+}
+
+/// Summary statistics gathered during the audit (for reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AuditStats {
+    /// K-V queries seen.
+    pub kv_queries: u64,
+    /// Demand code queries seen.
+    pub code_queries: u64,
+    /// Prefetch queries seen.
+    pub prefetch_queries: u64,
+    /// Longest tight code-query run observed.
+    pub longest_code_burst: usize,
+    /// Mean inter-arrival gap of real (kv + code) queries, ns.
+    pub real_gap_mean_ns: f64,
+    /// Mean inter-arrival gap of prefetch queries, ns.
+    pub prefetch_gap_mean_ns: f64,
+    /// CV ×100 of the real gap class (0 when not computed).
+    pub real_gap_cv_x100: u64,
+    /// CV ×100 of the prefetch gap class (0 when not computed).
+    pub prefetch_gap_cv_x100: u64,
+    /// Swap events seen.
+    pub swaps: u64,
+    /// Total noise pages across all swaps.
+    pub noise_pages: u64,
+}
+
+/// The auditor's verdict: violations found plus the numbers behind them.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Every invariant violation, in stream order (statistical checks
+    /// last).
+    pub violations: Vec<Violation>,
+    /// Summary statistics.
+    pub stats: AuditStats,
+}
+
+impl AuditReport {
+    /// `true` when no invariant was violated.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn mean_and_cv_x100(samples: &[u64]) -> (f64, u64) {
+    if samples.is_empty() {
+        return (0.0, 0);
+    }
+    let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / samples.len() as f64;
+    if mean == 0.0 {
+        return (0.0, 0);
+    }
+    let var = samples
+        .iter()
+        .map(|&s| {
+            let d = s as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / samples.len() as f64;
+    (mean, (var.sqrt() / mean * 100.0).round() as u64)
+}
+
+/// Replays `events` (with `dropped` ring evictions) against the §IV-D
+/// invariants.
+pub fn audit_events(events: &[TelemetryEvent], dropped: u64, cfg: &AuditConfig) -> AuditReport {
+    let mut report = AuditReport::default();
+
+    if dropped > 0 {
+        report.violations.push(Violation::Truncated { dropped });
+    }
+
+    // Single pass: uniform sizes, burst runs, gap classes, swap noise.
+    let mut last_query: Option<(Nanos, QueryKind)> = None;
+    let mut code_run = 0usize;
+    let mut real_gaps: Vec<u64> = Vec::new();
+    let mut prefetch_gaps: Vec<u64> = Vec::new();
+
+    for ev in events {
+        match *ev {
+            TelemetryEvent::OramQuery { at, kind, bytes } => {
+                if bytes != cfg.block_size {
+                    report.violations.push(Violation::NonUniformBlock {
+                        at,
+                        kind,
+                        bytes,
+                        expected: cfg.block_size,
+                    });
+                }
+                match kind {
+                    QueryKind::Kv => report.stats.kv_queries += 1,
+                    QueryKind::Code => report.stats.code_queries += 1,
+                    QueryKind::Prefetch => report.stats.prefetch_queries += 1,
+                }
+                if let Some((last_at, _)) = last_query {
+                    let gap = at.saturating_sub(last_at);
+                    match kind {
+                        QueryKind::Prefetch => prefetch_gaps.push(gap),
+                        QueryKind::Kv | QueryKind::Code => real_gaps.push(gap),
+                    }
+                    // Burst bookkeeping: a Code query extends the tight
+                    // run only when it follows another query within the
+                    // tight-gap bound; anything else restarts the run.
+                    if kind == QueryKind::Code && gap < cfg.burst_gap_ns {
+                        code_run += 1;
+                    } else {
+                        code_run = usize::from(kind == QueryKind::Code);
+                    }
+                } else {
+                    code_run = usize::from(kind == QueryKind::Code);
+                }
+                report.stats.longest_code_burst =
+                    report.stats.longest_code_burst.max(code_run);
+                if code_run == cfg.max_code_burst + 1 {
+                    // Report each offending burst once, as it crosses
+                    // the bound.
+                    report.violations.push(Violation::CodeBurst {
+                        at,
+                        len: code_run,
+                        limit: cfg.max_code_burst,
+                    });
+                }
+                last_query = Some((at, kind));
+            }
+            TelemetryEvent::Swap { at, true_pages, observed_pages, .. } => {
+                report.stats.swaps += 1;
+                if observed_pages < true_pages {
+                    report.violations.push(Violation::SwapUncovered {
+                        at,
+                        true_pages,
+                        observed_pages,
+                    });
+                }
+                report.stats.noise_pages += u64::from(observed_pages.saturating_sub(true_pages));
+            }
+            _ => {}
+        }
+    }
+
+    // Statistical checks, applied only with enough evidence per class.
+    let (real_mean, real_cv) = mean_and_cv_x100(&real_gaps);
+    let (pf_mean, pf_cv) = mean_and_cv_x100(&prefetch_gaps);
+    report.stats.real_gap_mean_ns = real_mean;
+    report.stats.prefetch_gap_mean_ns = pf_mean;
+    if real_gaps.len() >= cfg.min_class_samples && prefetch_gaps.len() >= cfg.min_class_samples {
+        report.stats.real_gap_cv_x100 = real_cv;
+        report.stats.prefetch_gap_cv_x100 = pf_cv;
+        if real_mean > 0.0 {
+            let ratio_x100 = (pf_mean / real_mean * 100.0).round() as u64;
+            let (lo, hi) = cfg.gap_mean_ratio_x100;
+            if ratio_x100 < lo || ratio_x100 > hi {
+                report
+                    .violations
+                    .push(Violation::GapMeanRatio { ratio_x100, band: (lo, hi) });
+            }
+        }
+        if real_cv > cfg.max_cv_x100 {
+            report.violations.push(Violation::GapCv {
+                prefetch_class: false,
+                cv_x100: real_cv,
+                limit: cfg.max_cv_x100,
+            });
+        }
+        if pf_cv > cfg.max_cv_x100 {
+            report.violations.push(Violation::GapCv {
+                prefetch_class: true,
+                cv_x100: pf_cv,
+                limit: cfg.max_cv_x100,
+            });
+        }
+    }
+
+    // Swap noise must exist across the run once there are enough swaps
+    // for all-zero noise to be a signal rather than chance.
+    if report.stats.swaps >= cfg.min_class_samples as u64 && report.stats.noise_pages == 0 {
+        report
+            .violations
+            .push(Violation::SwapNoiseAbsent { swaps: report.stats.swaps });
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(at: Nanos, kind: QueryKind) -> TelemetryEvent {
+        TelemetryEvent::OramQuery { at, kind, bytes: 1024 }
+    }
+
+    #[test]
+    fn clean_interleaved_stream_passes() {
+        // kv / prefetch / paced-code queries on a ~2.3 ms cadence.
+        let mut events = Vec::new();
+        let mut t = 0;
+        for i in 0..30u64 {
+            t += 2_300_000;
+            events.push(q(t, QueryKind::Kv));
+            t += 2_270_000;
+            events.push(q(t, QueryKind::Prefetch));
+            if i % 3 == 0 {
+                t += 3_000_000; // paced demand fetch: stall + wire
+                events.push(q(t, QueryKind::Code));
+            }
+        }
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.stats.longest_code_burst <= 1);
+        assert!(report.stats.prefetch_queries >= 8);
+    }
+
+    #[test]
+    fn drain_burst_is_detected() {
+        // A realistic frame: sporadic kv queries, then the starved
+        // prefetcher drains 8 code pages back-to-back at bare wire cost.
+        let mut events = Vec::new();
+        let mut t = 0;
+        for _ in 0..10 {
+            t += 2_300_000;
+            events.push(q(t, QueryKind::Kv));
+        }
+        for _ in 0..8 {
+            t += 2_270_000; // tight: bare query cost, no pacing
+            events.push(q(t, QueryKind::Code));
+        }
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::CodeBurst { len: 5, limit: 4, .. })));
+        assert_eq!(report.stats.longest_code_burst, 8);
+    }
+
+    #[test]
+    fn paced_code_queries_are_not_a_burst() {
+        // 8 consecutive Code queries, but each gap includes the pacing
+        // stall — above the tight-gap bound, so no burst.
+        let mut events = Vec::new();
+        let mut t = 0;
+        for _ in 0..8 {
+            t += 3_100_000;
+            events.push(q(t, QueryKind::Code));
+        }
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report.passed(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn non_uniform_block_flagged() {
+        let events = [
+            q(1_000, QueryKind::Kv),
+            TelemetryEvent::OramQuery { at: 2_000_000, kind: QueryKind::Kv, bytes: 512 },
+        ];
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NonUniformBlock { bytes: 512, .. })));
+    }
+
+    #[test]
+    fn divergent_prefetch_gaps_flagged() {
+        // Prefetch queries 10× slower than real ones: mean-ratio breach.
+        let mut events = Vec::new();
+        let mut t = 0;
+        for _ in 0..10 {
+            t += 2_000_000;
+            events.push(q(t, QueryKind::Kv));
+            t += 20_000_000;
+            events.push(q(t, QueryKind::Prefetch));
+        }
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::GapMeanRatio { .. })));
+    }
+
+    #[test]
+    fn small_samples_skip_statistics() {
+        // 2 prefetch queries with wild gaps: not enough evidence.
+        let events = [
+            q(1_000, QueryKind::Kv),
+            q(2_000_000, QueryKind::Prefetch),
+            q(100_000_000, QueryKind::Prefetch),
+            q(102_000_000, QueryKind::Kv),
+        ];
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.stats.prefetch_gap_cv_x100, 0, "not computed");
+    }
+
+    #[test]
+    fn swap_noise_invariants() {
+        // Uncovered swap: observed < true.
+        let bad = [TelemetryEvent::Swap { at: 1, out: true, true_pages: 4, observed_pages: 2 }];
+        let report = audit_events(&bad, 0, &AuditConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SwapUncovered { .. })));
+
+        // Many swaps, all noise-free: flagged.
+        let flat: Vec<TelemetryEvent> = (0..10)
+            .map(|i| TelemetryEvent::Swap { at: i, out: i % 2 == 0, true_pages: 2, observed_pages: 2 })
+            .collect();
+        let report = audit_events(&flat, 0, &AuditConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SwapNoiseAbsent { swaps: 10 })));
+
+        // Covered swaps with some noise: clean.
+        let good: Vec<TelemetryEvent> = (0..10)
+            .map(|i| TelemetryEvent::Swap { at: i, out: true, true_pages: 2, observed_pages: 2 + (i as u32 % 3) })
+            .collect();
+        let report = audit_events(&good, 0, &AuditConfig::default());
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.stats.noise_pages > 0);
+    }
+
+    #[test]
+    fn truncated_stream_is_a_violation() {
+        let report = audit_events(&[], 3, &AuditConfig::default());
+        assert!(!report.passed());
+        assert!(matches!(report.violations[0], Violation::Truncated { dropped: 3 }));
+    }
+
+    #[test]
+    fn violations_render_readably() {
+        let v = Violation::CodeBurst { at: 42, len: 9, limit: 4 };
+        assert!(format!("{v}").contains("9 tight code queries"));
+        let v = Violation::GapMeanRatio { ratio_x100: 1030, band: (25, 400) };
+        assert!(format!("{v}").contains("10.30"));
+    }
+}

@@ -1,0 +1,865 @@
+//! Deterministic telemetry: metrics registry + structured event stream.
+//!
+//! The paper's claims are quantitative — query-type indistinguishability
+//! (§IV-D), consistent ORAM timing, near-line-rate HEVM throughput — so
+//! the repo needs a way to *observe* them. This module supplies:
+//!
+//! * [`Registry`] — monotonic counters, gauges with peak tracking, and
+//!   fixed-bucket histograms, all backed by fixed-size arrays indexed by
+//!   `#[repr(usize)]` enums. No allocation on the record path, matching
+//!   the hypervisor's no-heap constraint on TEE-side code.
+//! * [`TelemetryEvent`] — a `Copy` event record for every instrumented
+//!   layer (service phases, gateway admission, ORAM queries, HEVM swaps,
+//!   node retries), kept in a bounded ring buffer.
+//! * a running keccak **digest chain** over the canonical encoding of
+//!   each event: two runs of the same seed must produce byte-identical
+//!   digests, which makes cross-process replay comparison one string
+//!   compare (the same trick as the gateway [`EventLog`]).
+//! * [`audit`] — the leakage auditor that replays the event stream and
+//!   checks the §IV-D indistinguishability invariants mechanically.
+//!
+//! All timestamps are virtual-clock [`Nanos`]; nothing here reads wall
+//! time, so the whole stream is deterministic by construction.
+//!
+//! [`EventLog`]: crate::queue::EventLog
+
+pub mod audit;
+
+use crate::Nanos;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Default ring-buffer capacity (events). Soak + bench runs stay well
+/// under this; overflow is recorded in [`Telemetry::dropped`] and flagged
+/// by the auditor rather than silently skewing the digest.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 18;
+
+/// Monotonic counters, indexed densely for the heap-free registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+#[allow(missing_docs)] // variant names are the documentation
+pub enum CounterId {
+    /// Bundles fully pre-executed by the service.
+    Bundles,
+    /// Transactions executed across all bundles.
+    Transactions,
+    /// ORAM K-V (account/storage) queries.
+    OramKv,
+    /// ORAM code-page queries issued on demand.
+    OramCode,
+    /// ORAM prefetch queries (timer-issued + dummies).
+    OramPrefetch,
+    /// Code pages issued through the prefetch timer.
+    PrefetchIssued,
+    /// Code pages released by frame-end drains (the burst the §IV-D
+    /// discipline tries to avoid — should be 0 with the fixed driver).
+    PrefetchDrained,
+    /// Layer-2→3 swap-out events.
+    SwapOuts,
+    /// Layer-3→2 swap-in events.
+    SwapIns,
+    /// True call-stack pages moved by swaps.
+    SwapTruePages,
+    /// Noise pages added to swap traffic (observed − true).
+    SwapNoisePages,
+    /// Gateway: bundles admitted.
+    GwAdmitted,
+    /// Gateway: submissions rejected at admission.
+    GwRejected,
+    /// Gateway: admitted bundles shed past deadline.
+    GwShed,
+    /// Gateway: bundles executed successfully.
+    GwExecuted,
+    /// Gateway: bundles that failed in execution.
+    GwFailed,
+    /// Node: sync retries after transient feed faults.
+    NodeRetries,
+    /// Node: circuit-breaker open transitions.
+    BreakerOpens,
+}
+
+impl CounterId {
+    /// Number of counters in the registry.
+    pub const COUNT: usize = 18;
+    /// Every counter, in index order.
+    pub const ALL: [CounterId; Self::COUNT] = [
+        CounterId::Bundles,
+        CounterId::Transactions,
+        CounterId::OramKv,
+        CounterId::OramCode,
+        CounterId::OramPrefetch,
+        CounterId::PrefetchIssued,
+        CounterId::PrefetchDrained,
+        CounterId::SwapOuts,
+        CounterId::SwapIns,
+        CounterId::SwapTruePages,
+        CounterId::SwapNoisePages,
+        CounterId::GwAdmitted,
+        CounterId::GwRejected,
+        CounterId::GwShed,
+        CounterId::GwExecuted,
+        CounterId::GwFailed,
+        CounterId::NodeRetries,
+        CounterId::BreakerOpens,
+    ];
+
+    /// Stable snake_case name (used in reports and JSON output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CounterId::Bundles => "bundles",
+            CounterId::Transactions => "transactions",
+            CounterId::OramKv => "oram_kv_queries",
+            CounterId::OramCode => "oram_code_queries",
+            CounterId::OramPrefetch => "oram_prefetch_queries",
+            CounterId::PrefetchIssued => "prefetch_issued",
+            CounterId::PrefetchDrained => "prefetch_drained",
+            CounterId::SwapOuts => "swap_outs",
+            CounterId::SwapIns => "swap_ins",
+            CounterId::SwapTruePages => "swap_true_pages",
+            CounterId::SwapNoisePages => "swap_noise_pages",
+            CounterId::GwAdmitted => "gw_admitted",
+            CounterId::GwRejected => "gw_rejected",
+            CounterId::GwShed => "gw_shed",
+            CounterId::GwExecuted => "gw_executed",
+            CounterId::GwFailed => "gw_failed",
+            CounterId::NodeRetries => "node_retries",
+            CounterId::BreakerOpens => "breaker_opens",
+        }
+    }
+}
+
+/// Gauges (instantaneous values with peak tracking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum GaugeId {
+    /// Gateway: total queued bundles across tenants.
+    GwQueueDepth,
+    /// Gateway: maximum per-tenant DRR deficit this round.
+    DrrDeficit,
+    /// HEVM: peak layer-2 call-stack page occupancy per bundle.
+    L2PeakPages,
+    /// HEVM: maximum call depth per bundle.
+    CallDepth,
+    /// ORAM: prefetcher inter-query gap EMA (ns).
+    PrefetchGapEmaNs,
+    /// ORAM: client stash occupancy (blocks).
+    OramStash,
+}
+
+impl GaugeId {
+    /// Number of gauges in the registry.
+    pub const COUNT: usize = 6;
+    /// Every gauge, in index order.
+    pub const ALL: [GaugeId; Self::COUNT] = [
+        GaugeId::GwQueueDepth,
+        GaugeId::DrrDeficit,
+        GaugeId::L2PeakPages,
+        GaugeId::CallDepth,
+        GaugeId::PrefetchGapEmaNs,
+        GaugeId::OramStash,
+    ];
+
+    /// Stable snake_case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GaugeId::GwQueueDepth => "gw_queue_depth",
+            GaugeId::DrrDeficit => "drr_deficit",
+            GaugeId::L2PeakPages => "l2_peak_pages",
+            GaugeId::CallDepth => "call_depth",
+            GaugeId::PrefetchGapEmaNs => "prefetch_gap_ema_ns",
+            GaugeId::OramStash => "oram_stash_blocks",
+        }
+    }
+}
+
+/// Fixed-bucket histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HistId {
+    /// Per-bundle total latency (ns).
+    BundleLatencyNs,
+    /// Execute-phase latency (ns).
+    ExecuteNs,
+    /// Inter-arrival gap between consecutive ORAM queries (ns).
+    OramGapNs,
+}
+
+impl HistId {
+    /// Number of histograms in the registry.
+    pub const COUNT: usize = 3;
+    /// Every histogram, in index order.
+    pub const ALL: [HistId; Self::COUNT] = [
+        HistId::BundleLatencyNs,
+        HistId::ExecuteNs,
+        HistId::OramGapNs,
+    ];
+
+    /// Stable snake_case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HistId::BundleLatencyNs => "bundle_latency_ns",
+            HistId::ExecuteNs => "execute_ns",
+            HistId::OramGapNs => "oram_gap_ns",
+        }
+    }
+
+    /// The fixed upper bounds (inclusive) of this histogram's buckets;
+    /// one implicit overflow bucket follows. Chosen once per metric so
+    /// the registry never allocates.
+    pub fn bounds(&self) -> &'static [u64; FixedHistogram::BOUNDS] {
+        // Powers-of-4 ladder from 1 µs to ~4.4 min covers everything
+        // from a single HEVM cycle burst to a watchdog-scale stall.
+        const TIME_NS: [u64; FixedHistogram::BOUNDS] = [
+            1_000,
+            4_000,
+            16_000,
+            64_000,
+            256_000,
+            1_024_000,
+            4_096_000,
+            16_384_000,
+            65_536_000,
+            262_144_000,
+            1_048_576_000,
+            4_194_304_000,
+        ];
+        match self {
+            HistId::BundleLatencyNs | HistId::ExecuteNs | HistId::OramGapNs => &TIME_NS,
+        }
+    }
+}
+
+/// A gauge cell: current value and lifetime peak.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeCell {
+    /// Last recorded value.
+    pub value: u64,
+    /// Highest value ever recorded.
+    pub peak: u64,
+}
+
+/// A fixed-bucket histogram: `BOUNDS` bounded buckets plus one overflow
+/// bucket, with running count/sum/min/max. All storage is inline.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedHistogram {
+    buckets: [u64; FixedHistogram::BOUNDS + 1],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl FixedHistogram {
+    /// Number of bounded buckets (an overflow bucket follows).
+    pub const BOUNDS: usize = 12;
+
+    const fn new() -> Self {
+        FixedHistogram {
+            buckets: [0; FixedHistogram::BOUNDS + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn observe(&mut self, bounds: &[u64; FixedHistogram::BOUNDS], value: u64) {
+        let idx = bounds.iter().position(|&b| value <= b).unwrap_or(FixedHistogram::BOUNDS);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket counts: `BOUNDS` bounded buckets then the overflow bucket.
+    pub fn buckets(&self) -> &[u64; FixedHistogram::BOUNDS + 1] {
+        &self.buckets
+    }
+
+    /// Upper bound (inclusive) such that at least `q` (0..=1) of the
+    /// samples fall at or below it, resolved at bucket granularity;
+    /// `u64::MAX` when the quantile lands in the overflow bucket.
+    pub fn quantile_bound(&self, bounds: &[u64; FixedHistogram::BOUNDS], q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i < FixedHistogram::BOUNDS { bounds[i] } else { u64::MAX };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// The heap-free metrics registry: fixed arrays indexed by the id enums.
+#[derive(Debug, Clone, Copy)]
+pub struct Registry {
+    counters: [u64; CounterId::COUNT],
+    gauges: [GaugeCell; GaugeId::COUNT],
+    hists: [FixedHistogram; HistId::COUNT],
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Registry {
+            counters: [0; CounterId::COUNT],
+            gauges: [GaugeCell { value: 0, peak: 0 }; GaugeId::COUNT],
+            hists: [FixedHistogram::new(); HistId::COUNT],
+        }
+    }
+
+    /// Adds `n` to a counter.
+    pub fn count(&mut self, id: CounterId, n: u64) {
+        self.counters[id as usize] += n;
+    }
+
+    /// Reads a counter.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id as usize]
+    }
+
+    /// Sets a gauge, updating its peak.
+    pub fn gauge(&mut self, id: GaugeId, value: u64) {
+        let cell = &mut self.gauges[id as usize];
+        cell.value = value;
+        cell.peak = cell.peak.max(value);
+    }
+
+    /// Reads a gauge cell.
+    pub fn gauge_cell(&self, id: GaugeId) -> GaugeCell {
+        self.gauges[id as usize]
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&mut self, id: HistId, value: u64) {
+        self.hists[id as usize].observe(id.bounds(), value);
+    }
+
+    /// Reads a histogram.
+    pub fn hist(&self, id: HistId) -> &FixedHistogram {
+        &self.hists[id as usize]
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+/// Which pre-execution phase a [`TelemetryEvent::Phase`] timing covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PhaseKind {
+    /// Transport + AES-GCM open of the bundle on the device.
+    Receive = 0,
+    /// ECDSA verification / decode of the bundle.
+    Decode = 1,
+    /// HEVM execution of every transaction.
+    Execute = 2,
+    /// ECDSA signing of the result.
+    Sign = 3,
+    /// AES-GCM seal of the trace back to the user.
+    Seal = 4,
+}
+
+impl PhaseKind {
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhaseKind::Receive => "receive",
+            PhaseKind::Decode => "decode",
+            PhaseKind::Execute => "execute",
+            PhaseKind::Sign => "sign",
+            PhaseKind::Seal => "seal",
+        }
+    }
+}
+
+/// ORAM query classification as the *adversary on the memory bus* would
+/// need to distinguish it (the §IV-D threat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum QueryKind {
+    /// Account-meta or storage-group (K-V) query.
+    Kv = 0,
+    /// Demand code-page query.
+    Code = 1,
+    /// Timer-issued prefetch (real page or dummy).
+    Prefetch = 2,
+}
+
+impl QueryKind {
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryKind::Kv => "kv",
+            QueryKind::Code => "code",
+            QueryKind::Prefetch => "prefetch",
+        }
+    }
+}
+
+/// One structured telemetry event. `Copy` so the ring buffer and the
+/// auditor never allocate per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryEvent {
+    /// A service phase completed in `ns` virtual time.
+    Phase {
+        /// Virtual time at phase end.
+        at: Nanos,
+        /// Which phase.
+        phase: PhaseKind,
+        /// Phase duration.
+        ns: Nanos,
+    },
+    /// An ORAM query hit the wire.
+    OramQuery {
+        /// Virtual time of the query.
+        at: Nanos,
+        /// Query classification.
+        kind: QueryKind,
+        /// Block payload size on the wire.
+        bytes: u32,
+    },
+    /// Pending prefetch pages were drained without riding the timer.
+    PrefetchDrained {
+        /// Virtual time of the drain.
+        at: Nanos,
+        /// Pages released.
+        pages: u32,
+    },
+    /// A layer-2↔3 call-stack swap.
+    Swap {
+        /// Virtual time of the swap.
+        at: Nanos,
+        /// `true` for swap-out (L2→L3), `false` for swap-in.
+        out: bool,
+        /// Pages actually moved.
+        true_pages: u32,
+        /// Pages visible on the bus (true + noise).
+        observed_pages: u32,
+    },
+    /// Gateway queue-depth sample (taken each scheduling round).
+    QueueDepth {
+        /// Virtual time of the sample.
+        at: Nanos,
+        /// Bundles queued across all tenants.
+        queued: u32,
+        /// Maximum per-tenant DRR deficit.
+        max_deficit: u64,
+    },
+    /// Gateway admitted a submission.
+    Admit {
+        /// Virtual time of admission.
+        at: Nanos,
+        /// Submitting session id.
+        session: u64,
+        /// Ticket assigned.
+        ticket: u64,
+    },
+    /// Gateway rejected a submission at admission.
+    Reject {
+        /// Virtual time of rejection.
+        at: Nanos,
+        /// Submitting session id.
+        session: u64,
+        /// `true` when the tenant's own queue was full (vs the global
+        /// admission budget).
+        tenant_local: bool,
+        /// Suggested retry delay.
+        retry_after: Nanos,
+    },
+    /// Gateway shed an admitted bundle past its deadline.
+    Shed {
+        /// Virtual time of the shed.
+        at: Nanos,
+        /// Owning session id.
+        session: u64,
+        /// Ticket shed.
+        ticket: u64,
+    },
+    /// Circuit-breaker state transition (0=closed, 1=open, 2=half-open).
+    Breaker {
+        /// Virtual time of the transition.
+        at: Nanos,
+        /// New state.
+        state: u8,
+    },
+    /// Node sync retried after a transient fault.
+    NodeRetry {
+        /// Virtual time of the retry decision.
+        at: Nanos,
+        /// Attempt number (1-based).
+        attempt: u32,
+        /// Backoff before the retry.
+        backoff_ns: Nanos,
+    },
+}
+
+impl TelemetryEvent {
+    /// Virtual timestamp of the event.
+    pub fn at(&self) -> Nanos {
+        match *self {
+            TelemetryEvent::Phase { at, .. }
+            | TelemetryEvent::OramQuery { at, .. }
+            | TelemetryEvent::PrefetchDrained { at, .. }
+            | TelemetryEvent::Swap { at, .. }
+            | TelemetryEvent::QueueDepth { at, .. }
+            | TelemetryEvent::Admit { at, .. }
+            | TelemetryEvent::Reject { at, .. }
+            | TelemetryEvent::Shed { at, .. }
+            | TelemetryEvent::Breaker { at, .. }
+            | TelemetryEvent::NodeRetry { at, .. } => at,
+        }
+    }
+
+    /// Canonical fixed-width encoding: a tag byte followed by the fields
+    /// big-endian. Equal streams ⇔ equal encodings ⇔ equal digests.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            TelemetryEvent::Phase { at, phase, ns } => {
+                out.push(0x01);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.push(phase as u8);
+                out.extend_from_slice(&ns.to_be_bytes());
+            }
+            TelemetryEvent::OramQuery { at, kind, bytes } => {
+                out.push(0x02);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.push(kind as u8);
+                out.extend_from_slice(&bytes.to_be_bytes());
+            }
+            TelemetryEvent::PrefetchDrained { at, pages } => {
+                out.push(0x03);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.extend_from_slice(&pages.to_be_bytes());
+            }
+            TelemetryEvent::Swap { at, out: dir, true_pages, observed_pages } => {
+                out.push(0x04);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.push(dir as u8);
+                out.extend_from_slice(&true_pages.to_be_bytes());
+                out.extend_from_slice(&observed_pages.to_be_bytes());
+            }
+            TelemetryEvent::QueueDepth { at, queued, max_deficit } => {
+                out.push(0x05);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.extend_from_slice(&queued.to_be_bytes());
+                out.extend_from_slice(&max_deficit.to_be_bytes());
+            }
+            TelemetryEvent::Admit { at, session, ticket } => {
+                out.push(0x06);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.extend_from_slice(&session.to_be_bytes());
+                out.extend_from_slice(&ticket.to_be_bytes());
+            }
+            TelemetryEvent::Reject { at, session, tenant_local, retry_after } => {
+                out.push(0x07);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.extend_from_slice(&session.to_be_bytes());
+                out.push(tenant_local as u8);
+                out.extend_from_slice(&retry_after.to_be_bytes());
+            }
+            TelemetryEvent::Shed { at, session, ticket } => {
+                out.push(0x08);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.extend_from_slice(&session.to_be_bytes());
+                out.extend_from_slice(&ticket.to_be_bytes());
+            }
+            TelemetryEvent::Breaker { at, state } => {
+                out.push(0x09);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.push(state);
+            }
+            TelemetryEvent::NodeRetry { at, attempt, backoff_ns } => {
+                out.push(0x0a);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.extend_from_slice(&attempt.to_be_bytes());
+                out.extend_from_slice(&backoff_ns.to_be_bytes());
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TelemetryInner {
+    registry: Registry,
+    events: VecDeque<TelemetryEvent>,
+    capacity: usize,
+    dropped: u64,
+    recorded: u64,
+    digest: [u8; 32],
+}
+
+/// A cloneable handle to one shared telemetry sink.
+///
+/// Every layer of the stack (service, gateway, ORAM page store, node
+/// sync) holds a clone; the `Mutex` exists only to satisfy the shared
+/// ownership pattern — the simulation is single-threaded, so the lock is
+/// never contended (and a poisoned lock is recovered rather than
+/// propagated: telemetry must never take the service down).
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    inner: Arc<Mutex<TelemetryInner>>,
+}
+
+impl Telemetry {
+    /// A sink with the default ring capacity.
+    pub fn new() -> Self {
+        Telemetry::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A sink holding at most `capacity` events (older events are
+    /// dropped and counted).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Telemetry {
+            inner: Arc::new(Mutex::new(TelemetryInner {
+                registry: Registry::new(),
+                events: VecDeque::with_capacity(capacity.min(1 << 12)),
+                capacity: capacity.max(1),
+                dropped: 0,
+                recorded: 0,
+                digest: [0; 32],
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TelemetryInner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Adds `n` to a counter.
+    pub fn count(&self, id: CounterId, n: u64) {
+        self.lock().registry.count(id, n);
+    }
+
+    /// Sets a gauge (peak is tracked automatically).
+    pub fn gauge(&self, id: GaugeId, value: u64) {
+        self.lock().registry.gauge(id, value);
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&self, id: HistId, value: u64) {
+        self.lock().registry.observe(id, value);
+    }
+
+    /// Appends an event to the ring and extends the digest chain.
+    /// The digest covers *every* recorded event, including any the ring
+    /// later evicts.
+    pub fn record(&self, event: TelemetryEvent) {
+        let mut inner = self.lock();
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&inner.digest);
+        event.encode(&mut buf);
+        inner.digest = tape_crypto::keccak256(&buf).into_bytes();
+        inner.recorded += 1;
+        if inner.events.len() >= inner.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event);
+    }
+
+    /// Reads a counter.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.lock().registry.counter(id)
+    }
+
+    /// Reads a gauge cell.
+    pub fn gauge_cell(&self, id: GaugeId) -> GaugeCell {
+        self.lock().registry.gauge_cell(id)
+    }
+
+    /// Copies out a histogram.
+    pub fn hist(&self, id: HistId) -> FixedHistogram {
+        *self.lock().registry.hist(id)
+    }
+
+    /// A full copy of the registry (for reporting).
+    pub fn registry(&self) -> Registry {
+        self.lock().registry
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.lock().events.iter().copied().collect()
+    }
+
+    /// Events evicted from the ring (0 in a healthy run).
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Total events ever recorded (buffered + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.lock().recorded
+    }
+
+    /// Hex digest of the running keccak chain over every recorded
+    /// event. Two runs of the same seed must agree byte-for-byte.
+    pub fn digest(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::with_capacity(64);
+        for byte in inner.digest {
+            out.push_str(&format!("{byte:02x}"));
+        }
+        out
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_track() {
+        let t = Telemetry::new();
+        t.count(CounterId::Bundles, 2);
+        t.count(CounterId::Bundles, 1);
+        assert_eq!(t.counter(CounterId::Bundles), 3);
+        assert_eq!(t.counter(CounterId::Transactions), 0);
+
+        t.gauge(GaugeId::GwQueueDepth, 7);
+        t.gauge(GaugeId::GwQueueDepth, 3);
+        let cell = t.gauge_cell(GaugeId::GwQueueDepth);
+        assert_eq!(cell.value, 3);
+        assert_eq!(cell.peak, 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let t = Telemetry::new();
+        for v in [500, 2_000, 2_000, 100_000, 10_000_000_000] {
+            t.observe(HistId::BundleLatencyNs, v);
+        }
+        let h = t.hist(HistId::BundleLatencyNs);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 500);
+        assert_eq!(h.max(), 10_000_000_000);
+        let bounds = HistId::BundleLatencyNs.bounds();
+        // Median lands in the 4_000 bucket (samples 2k, 2k).
+        assert_eq!(h.quantile_bound(bounds, 0.5), 4_000);
+        // The overflow sample drives the p99 bound to MAX.
+        assert_eq!(h.quantile_bound(bounds, 0.99), u64::MAX);
+        // Overflow bucket holds exactly one sample.
+        assert_eq!(h.buckets()[FixedHistogram::BOUNDS], 1);
+    }
+
+    #[test]
+    fn digest_chain_is_deterministic_and_order_sensitive() {
+        let ev1 = TelemetryEvent::OramQuery { at: 10, kind: QueryKind::Kv, bytes: 1024 };
+        let ev2 = TelemetryEvent::OramQuery { at: 20, kind: QueryKind::Code, bytes: 1024 };
+
+        let a = Telemetry::new();
+        a.record(ev1);
+        a.record(ev2);
+        let b = Telemetry::new();
+        b.record(ev1);
+        b.record(ev2);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.digest().len(), 64);
+
+        let c = Telemetry::new();
+        c.record(ev2);
+        c.record(ev1);
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_but_digest_covers_all() {
+        let t = Telemetry::with_capacity(2);
+        for at in 0..5u64 {
+            t.record(TelemetryEvent::PrefetchDrained { at, pages: 1 });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.events()[0].at(), 3, "oldest surviving event");
+
+        // Digest covers all five events, not just the surviving two.
+        let full = Telemetry::new();
+        for at in 0..5u64 {
+            full.record(TelemetryEvent::PrefetchDrained { at, pages: 1 });
+        }
+        assert_eq!(t.digest(), full.digest());
+    }
+
+    #[test]
+    fn encodings_are_unique_per_variant() {
+        // Distinct variants with identical field bits must not collide.
+        let events = [
+            TelemetryEvent::Admit { at: 1, session: 2, ticket: 3 },
+            TelemetryEvent::Shed { at: 1, session: 2, ticket: 3 },
+        ];
+        let mut bufs = Vec::new();
+        for ev in events {
+            let mut buf = Vec::new();
+            ev.encode(&mut buf);
+            bufs.push(buf);
+        }
+        assert_ne!(bufs[0], bufs[1]);
+    }
+
+    #[test]
+    fn id_tables_are_dense_and_named() {
+        for (i, id) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(*id as usize, i);
+            assert!(!id.name().is_empty());
+        }
+        for (i, id) in GaugeId::ALL.iter().enumerate() {
+            assert_eq!(*id as usize, i);
+            assert!(!id.name().is_empty());
+        }
+        for (i, id) in HistId::ALL.iter().enumerate() {
+            assert_eq!(*id as usize, i);
+            assert!(!id.name().is_empty());
+            assert!(id.bounds().windows(2).all(|w| w[0] < w[1]), "bounds sorted");
+        }
+    }
+}

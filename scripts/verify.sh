@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full verification gate for the HarDTAPE reproduction.
 #
-#   scripts/verify.sh [--soak]
+#   scripts/verify.sh [--soak] [--bench]
 #
 # Runs, in order:
 #   1. release build of the whole workspace
@@ -15,7 +15,16 @@
 # With --soak, additionally replays the gateway chaos soak under three
 # fixed seeds, running each seed in two separate processes and failing
 # if the schedule digests differ — cross-process nondeterminism (hash
-# ordering, ambient randomness) has nowhere to hide.
+# ordering, ambient randomness) has nowhere to hide. The soak digest
+# now covers the telemetry stream too, and each run asserts the §IV-D
+# leakage auditor passes on the soak workload.
+#
+# With --bench, runs the deterministic pre-execution benchmark under
+# its fixed baked-in seed, writing BENCH_pre_execute.json. The binary
+# fails if the telemetry digest drifts between two in-process runs or
+# the leakage auditor reports violations; a second run with the
+# prefetcher-starvation ablation (--starve) must *fail* the audit —
+# the negative control proving the auditor has teeth.
 #
 # Everything is hermetic: no network access is required.
 
@@ -23,10 +32,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_SOAK=0
+RUN_BENCH=0
 for arg in "$@"; do
     case "$arg" in
         --soak) RUN_SOAK=1 ;;
-        *) echo "usage: scripts/verify.sh [--soak]" >&2; exit 2 ;;
+        --bench) RUN_BENCH=1 ;;
+        *) echo "usage: scripts/verify.sh [--soak] [--bench]" >&2; exit 2 ;;
     esac
 done
 
@@ -63,6 +74,15 @@ if [[ "$RUN_SOAK" -eq 1 ]]; then
         fi
         echo "seed $seed: $first"
     done
+fi
+
+if [[ "$RUN_BENCH" -eq 1 ]]; then
+    echo "==> pre-execution benchmark (digest drift + leakage audit)"
+    cargo run -q --release -p tape-bench --bin bench_pre_execute -- \
+        --out BENCH_pre_execute.json
+    echo "==> starvation ablation (the auditor must detect the leak)"
+    cargo run -q --release -p tape-bench --bin bench_pre_execute -- \
+        --starve --out target/BENCH_pre_execute.starve.json
 fi
 
 echo "==> verify: all gates passed"

@@ -239,13 +239,19 @@ fn oram_configs_issue_oram_queries() {
     assert!(stats.kv_queries > sync_stats.kv_queries);
     assert_eq!(stats.code_queries, sync_stats.code_queries, "ESO must not fetch code via ORAM");
 
-    // Full: code queries too.
+    // Full: code travels through ORAM too — either as demand code
+    // queries or via the prefetcher's indistinguishable prefetch
+    // queries (both are 1 KB wire accesses).
     let mut device = small_service(SecurityConfig::Full);
     let mut user = device.connect_user(b"full").unwrap();
     let sync_stats = device.oram_stats().unwrap();
     device.pre_execute(&mut user, &bundle).unwrap();
     let stats = device.oram_stats().unwrap();
-    assert!(stats.code_queries > sync_stats.code_queries);
+    assert!(
+        stats.code_queries + stats.prefetch_queries
+            > sync_stats.code_queries + sync_stats.prefetch_queries,
+        "Full must fetch code through ORAM: {stats:?} vs {sync_stats:?}"
+    );
 }
 
 #[test]
