@@ -1,0 +1,444 @@
+//! Abstract interpretation over the recovered CFG.
+//!
+//! One fixpoint pass computes four facts at once, because they share the
+//! same abstract stack:
+//!
+//! * **jump resolution** — constant propagation through `PUSH`/`DUP`/
+//!   `SWAP`/`PC` resolves the direct-jump idioms compilers emit; a jump
+//!   whose target is not a known constant is over-approximated with an
+//!   edge to *every* valid `JUMPDEST` (sound, never precise);
+//! * **reachability** — blocks reached from pc 0 along those edges;
+//! * **stack heights** — per-block entry heights joined with `max`, plus
+//!   the intra-block peak, giving a worst-case operand-stack bound. A
+//!   widening cap turns unbounded push-loops into an explicit
+//!   `unbounded_stack` verdict instead of divergence;
+//! * **CALLDATA taint** — `CALLDATALOAD`/`CALLDATASIZE` mark values,
+//!   `CALLDATACOPY` (and stores of tainted values) mark Memory as a
+//!   whole, and `SLOAD`/`SSTORE`/`MLOAD`/`JUMP`/`JUMPI` sinks with
+//!   tainted operands become [`LintFinding`]s.
+//!
+//! Everything here over-approximates: extra edges, extra taint, and
+//! larger heights are all allowed; missing any of them would be a bug
+//! the differential tests (analysis vs. live interpreter) exist to
+//! catch.
+
+use crate::cfg::{Block, BlockExit, Cfg};
+use crate::{LintFinding, LintKind};
+use std::collections::BTreeSet;
+use tape_evm::opcode::{self, op};
+use tape_primitives::{Address, U256};
+
+/// One abstract stack slot: an optional known constant plus a taint bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AbsVal {
+    /// The value, when constant propagation pinned it down.
+    cv: Option<U256>,
+    /// Whether the value may derive from CALLDATA.
+    tainted: bool,
+}
+
+impl AbsVal {
+    const TOP: AbsVal = AbsVal { cv: None, tainted: false };
+
+    fn constant(v: U256) -> AbsVal {
+        AbsVal { cv: Some(v), tainted: false }
+    }
+
+    fn unknown(tainted: bool) -> AbsVal {
+        AbsVal { cv: None, tainted }
+    }
+
+    fn join(a: AbsVal, b: AbsVal) -> AbsVal {
+        AbsVal {
+            cv: match (a.cv, b.cv) {
+                (Some(x), Some(y)) if x == y => Some(x),
+                _ => None,
+            },
+            tainted: a.tainted || b.tainted,
+        }
+    }
+}
+
+/// Abstract machine state at a block boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AbsState {
+    /// Operand stack, bottom first (`last()` is the top).
+    stack: Vec<AbsVal>,
+    /// Sticky "Memory may hold CALLDATA-derived bytes" bit.
+    mem_tainted: bool,
+}
+
+impl AbsState {
+    fn join_from(&mut self, from: &AbsState) -> bool {
+        let before = self.clone();
+        self.mem_tainted |= from.mem_tainted;
+        if self.stack.len() == from.stack.len() {
+            for (a, b) in self.stack.iter_mut().zip(&from.stack) {
+                *a = AbsVal::join(*a, *b);
+            }
+        } else {
+            // Height mismatch: keep the larger height (sound for the
+            // bound) but degrade constants — a slot's value now depends
+            // on which path ran. Taints are joined top-aligned.
+            let (longer, shorter) = if self.stack.len() >= from.stack.len() {
+                (self.stack.clone(), &from.stack)
+            } else {
+                (from.stack.clone(), &self.stack)
+            };
+            let offset = longer.len() - shorter.len();
+            self.stack = longer
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let other = i.checked_sub(offset).map(|j| shorter[j]);
+                    AbsVal::unknown(v.tainted || other.is_some_and(|o| o.tainted))
+                })
+                .collect();
+        }
+        *self != before
+    }
+}
+
+/// Everything the fixpoint learns about one bytecode image.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Per-block reachability from pc 0.
+    pub reachable: Vec<bool>,
+    /// Per-block worst-case entry height (reachable blocks only).
+    pub entry_height: Vec<Option<usize>>,
+    /// Worst-case operand-stack height anywhere in the program.
+    pub max_stack: usize,
+    /// The widening cap was hit: the stack bound is *not* finite.
+    pub unbounded_stack: bool,
+    /// Some path may pop more than it pushed (runtime underflow fault).
+    pub may_underflow: bool,
+    /// pcs of jumps whose target constant propagation could not resolve.
+    pub unresolved_jumps: BTreeSet<usize>,
+    /// A reachable CALL-family instruction has a non-constant callee.
+    pub dynamic_calls: bool,
+    /// Callee addresses recovered from constant CALL operands.
+    pub call_targets: BTreeSet<Address>,
+    /// A reachable `CODECOPY` reads this contract's own code as data.
+    pub reads_own_code: bool,
+    /// A reachable `EXTCODECOPY`/`EXTCODEHASH` reads another contract's
+    /// code as data.
+    pub reads_foreign_code: bool,
+    /// Secret-dependency lint findings, sorted by pc.
+    pub lints: Vec<LintFinding>,
+}
+
+/// Runs the combined fixpoint. `widen_cap` bounds tracked stack heights;
+/// joins that would exceed it set `unbounded_stack` and clamp, which
+/// guarantees termination.
+pub fn run(code: &[u8], cfg: &Cfg, widen_cap: usize) -> FlowResult {
+    let n = cfg.blocks.len();
+    let mut result = FlowResult {
+        reachable: vec![false; n],
+        entry_height: vec![None; n],
+        max_stack: 0,
+        unbounded_stack: false,
+        may_underflow: false,
+        unresolved_jumps: BTreeSet::new(),
+        dynamic_calls: false,
+        call_targets: BTreeSet::new(),
+        reads_own_code: false,
+        reads_foreign_code: false,
+        lints: Vec::new(),
+    };
+    if n == 0 {
+        return result;
+    }
+
+    let jumpdest_blocks = cfg.jumpdest_blocks();
+    let mut lint_set: BTreeSet<(u32, LintKind)> = BTreeSet::new();
+    let mut entries: Vec<Option<AbsState>> = vec![None; n];
+    entries[0] = Some(AbsState { stack: Vec::new(), mem_tainted: false });
+    result.reachable[0] = true;
+    let mut worklist = vec![0usize];
+
+    // Finite lattice (bounded heights, two-level values) makes this
+    // converge; the processed cap is a pure backstop.
+    let mut budget = (n + 1) * 512;
+    while let Some(block_id) = worklist.pop() {
+        if budget == 0 {
+            result.unbounded_stack = true;
+            break;
+        }
+        budget -= 1;
+        let Some(entry) = entries[block_id].clone() else { continue };
+        result.entry_height[block_id] = Some(
+            result.entry_height[block_id]
+                .unwrap_or(0)
+                .max(entry.stack.len()),
+        );
+        let (out, jump_target) =
+            simulate_block(code, cfg, &cfg.blocks[block_id], entry, &mut result, &mut lint_set);
+
+        let mut successors: Vec<usize> = Vec::new();
+        let block = &cfg.blocks[block_id];
+        match block.exit {
+            BlockExit::Halt => {}
+            BlockExit::FallThrough => {
+                successors.extend(fallthrough_of(cfg, block));
+            }
+            BlockExit::Jump | BlockExit::JumpI => {
+                let target = jump_target.unwrap_or(AbsVal::TOP);
+                match target.cv {
+                    Some(cv) => {
+                        if let Some(dest) = cv.try_into_usize() {
+                            if cfg.is_valid_jumpdest(dest) {
+                                successors.extend(cfg.block_at(dest));
+                            }
+                            // Invalid target: the jump faults, no edge.
+                        }
+                    }
+                    None => {
+                        // Unresolved: over-approximate with every
+                        // valid JUMPDEST.
+                        let pc = cfg.instrs[block.instrs.end - 1].pc;
+                        result.unresolved_jumps.insert(pc);
+                        successors.extend(jumpdest_blocks.iter().copied());
+                    }
+                }
+                if block.exit == BlockExit::JumpI {
+                    successors.extend(fallthrough_of(cfg, block));
+                }
+            }
+        }
+
+        for succ in successors {
+            let mut state = out.clone();
+            if state.stack.len() > widen_cap {
+                result.unbounded_stack = true;
+                let drop = state.stack.len() - widen_cap;
+                state.stack.drain(..drop);
+            }
+            let changed = match &mut entries[succ] {
+                Some(existing) => {
+                    let changed = existing.join_from(&state);
+                    if existing.stack.len() > widen_cap {
+                        result.unbounded_stack = true;
+                        let drop = existing.stack.len() - widen_cap;
+                        existing.stack.drain(..drop);
+                    }
+                    changed
+                }
+                slot @ None => {
+                    *slot = Some(state);
+                    true
+                }
+            };
+            if changed || !result.reachable[succ] {
+                result.reachable[succ] = true;
+                worklist.push(succ);
+            }
+        }
+    }
+
+    result.lints = lint_set
+        .into_iter()
+        .map(|(pc, kind)| LintFinding { pc, kind })
+        .collect();
+    result
+}
+
+fn fallthrough_of(cfg: &Cfg, block: &Block) -> Option<usize> {
+    cfg.instrs.get(block.instrs.end).and_then(|next| cfg.block_at(next.pc))
+}
+
+/// Decodes the (possibly truncated) push immediate; missing trailing
+/// bytes read as zero, exactly as the interpreter sees them.
+fn push_value(code: &[u8], pc: usize, imm_len: usize) -> U256 {
+    let mut buf = [0u8; 32];
+    let start = pc + 1;
+    let avail = code.len().saturating_sub(start).min(imm_len);
+    buf[32 - imm_len..32 - imm_len + avail].copy_from_slice(&code[start..start + avail]);
+    U256::from_be_bytes(buf)
+}
+
+/// Runs one block's instructions over `entry`, recording lints, peak
+/// heights, and CALL/code-read facts. Returns the exit state and, for
+/// jump-terminated blocks, the abstract jump target.
+fn simulate_block(
+    code: &[u8],
+    cfg: &Cfg,
+    block: &Block,
+    entry: AbsState,
+    result: &mut FlowResult,
+    lints: &mut BTreeSet<(u32, LintKind)>,
+) -> (AbsState, Option<AbsVal>) {
+    let mut state = entry;
+    let mut jump_target = None;
+    result.max_stack = result.max_stack.max(state.stack.len());
+
+    for instr in &cfg.instrs[block.instrs.clone()] {
+        let info = opcode::info(instr.opcode);
+        let pc32 = instr.pc as u32;
+        let mut lint = |kind| {
+            lints.insert((pc32, kind));
+        };
+
+        // Backfill phantom slots on underflow so the walk can continue;
+        // the real machine would fault here.
+        let need = usize::from(info.inputs);
+        if state.stack.len() < need {
+            result.may_underflow = true;
+            let missing = need - state.stack.len();
+            state.stack.splice(..0, std::iter::repeat_n(AbsVal::TOP, missing));
+        }
+
+        match instr.opcode {
+            op::PUSH0 => state.stack.push(AbsVal::constant(U256::ZERO)),
+            _ if opcode::is_push(instr.opcode) => {
+                state
+                    .stack
+                    .push(AbsVal::constant(push_value(code, instr.pc, instr.imm_len)));
+            }
+            _ if (op::DUP1..=op::DUP16).contains(&instr.opcode) => {
+                let depth = usize::from(instr.opcode - op::DUP1) + 1;
+                let v = state.stack[state.stack.len() - depth];
+                state.stack.push(v);
+            }
+            _ if (op::SWAP1..=op::SWAP16).contains(&instr.opcode) => {
+                let depth = usize::from(instr.opcode - op::SWAP1) + 1;
+                let top = state.stack.len() - 1;
+                state.stack.swap(top, top - depth);
+            }
+            op::POP => {
+                state.stack.pop();
+            }
+            op::PC => state.stack.push(AbsVal::constant(U256::from(instr.pc as u64))),
+            op::JUMPDEST => {}
+            op::CALLDATALOAD => {
+                state.stack.pop();
+                state.stack.push(AbsVal::unknown(true));
+            }
+            op::CALLDATASIZE => state.stack.push(AbsVal::unknown(true)),
+            op::CALLDATACOPY => {
+                let dest = state.stack.pop().unwrap_or(AbsVal::TOP);
+                state.stack.pop();
+                state.stack.pop();
+                if dest.tainted {
+                    lint(LintKind::TaintedMemoryOffset);
+                }
+                state.mem_tainted = true;
+            }
+            op::MLOAD => {
+                let offset = state.stack.pop().unwrap_or(AbsVal::TOP);
+                if offset.tainted {
+                    lint(LintKind::TaintedMemoryOffset);
+                }
+                state
+                    .stack
+                    .push(AbsVal::unknown(offset.tainted || state.mem_tainted));
+            }
+            op::MSTORE | op::MSTORE8 => {
+                let offset = state.stack.pop().unwrap_or(AbsVal::TOP);
+                let value = state.stack.pop().unwrap_or(AbsVal::TOP);
+                if offset.tainted {
+                    lint(LintKind::TaintedMemoryOffset);
+                }
+                if offset.tainted || value.tainted {
+                    state.mem_tainted = true;
+                }
+            }
+            op::KECCAK256 => {
+                let offset = state.stack.pop().unwrap_or(AbsVal::TOP);
+                let len = state.stack.pop().unwrap_or(AbsVal::TOP);
+                state.stack.push(AbsVal::unknown(
+                    offset.tainted || len.tainted || state.mem_tainted,
+                ));
+            }
+            op::SLOAD => {
+                let key = state.stack.pop().unwrap_or(AbsVal::TOP);
+                if key.tainted {
+                    lint(LintKind::TaintedStorageKey);
+                }
+                state.stack.push(AbsVal::unknown(key.tainted));
+            }
+            op::SSTORE => {
+                let key = state.stack.pop().unwrap_or(AbsVal::TOP);
+                state.stack.pop();
+                if key.tainted {
+                    lint(LintKind::TaintedStorageKey);
+                }
+            }
+            op::JUMP => {
+                let target = state.stack.pop().unwrap_or(AbsVal::TOP);
+                if target.tainted {
+                    lint(LintKind::TaintedBranch);
+                }
+                jump_target = Some(target);
+            }
+            op::JUMPI => {
+                let target = state.stack.pop().unwrap_or(AbsVal::TOP);
+                let cond = state.stack.pop().unwrap_or(AbsVal::TOP);
+                if target.tainted || cond.tainted {
+                    lint(LintKind::TaintedBranch);
+                }
+                jump_target = Some(target);
+            }
+            op::CODECOPY => {
+                let dest = state.stack.pop().unwrap_or(AbsVal::TOP);
+                state.stack.pop();
+                state.stack.pop();
+                if dest.tainted {
+                    lint(LintKind::TaintedMemoryOffset);
+                }
+                result.reads_own_code = true;
+            }
+            op::EXTCODECOPY => {
+                state.stack.pop();
+                let dest = state.stack.pop().unwrap_or(AbsVal::TOP);
+                state.stack.pop();
+                state.stack.pop();
+                if dest.tainted {
+                    lint(LintKind::TaintedMemoryOffset);
+                }
+                result.reads_foreign_code = true;
+            }
+            op::EXTCODEHASH => {
+                state.stack.pop();
+                state.stack.push(AbsVal::unknown(false));
+                result.reads_foreign_code = true;
+            }
+            op::CALL | op::CALLCODE | op::DELEGATECALL | op::STATICCALL => {
+                let mut popped = Vec::with_capacity(need);
+                for _ in 0..need {
+                    popped.push(state.stack.pop().unwrap_or(AbsVal::TOP));
+                }
+                // Operand order is (gas, address, ...): the callee sits
+                // one below the top.
+                match popped[1].cv {
+                    Some(addr) => {
+                        result.call_targets.insert(Address::from_word(addr));
+                    }
+                    None => result.dynamic_calls = true,
+                }
+                let tainted = popped.iter().any(|v| v.tainted) || state.mem_tainted;
+                state.stack.push(AbsVal::unknown(tainted));
+            }
+            op::CREATE | op::CREATE2 => {
+                let mut tainted = state.mem_tainted;
+                for _ in 0..need {
+                    tainted |= state.stack.pop().is_some_and(|v| v.tainted);
+                }
+                state.stack.push(AbsVal::unknown(tainted));
+                // The created child's code comes from Memory; treat it
+                // as an unresolvable callee.
+                result.dynamic_calls = true;
+            }
+            _ => {
+                let mut tainted = false;
+                for _ in 0..need {
+                    tainted |= state.stack.pop().is_some_and(|v| v.tainted);
+                }
+                for _ in 0..info.outputs {
+                    state.stack.push(AbsVal::unknown(tainted));
+                }
+            }
+        }
+        result.max_stack = result.max_stack.max(state.stack.len());
+    }
+    (state, jump_target)
+}

@@ -1,0 +1,140 @@
+//! Differential testing: the static analyzer vs the reference
+//! interpreter over the evaluation workload.
+//!
+//! Every claim the analyzer makes must hold on real executions:
+//!
+//! * **Jump soundness** — every jump the interpreter actually takes
+//!   lands on a `JUMPDEST` the analyzer validated.
+//! * **Stack-bound soundness** — the observed per-frame operand-stack
+//!   depth never exceeds the analyzer's worst-case bound.
+//! * **Page-reachability coverage** — every executed program counter
+//!   sits on a page the analyzer declared reachable (the property the
+//!   prefetch plans and the telemetry cross-check rely on).
+
+use std::collections::HashMap;
+use tape_analysis::{analyze, CodeAnalysis};
+use tape_evm::opcode::op;
+use tape_evm::{Evm, StructTracer};
+use tape_primitives::{Address, U256};
+use tape_state::StateReader as _;
+use tape_workload::{EvalSet, EvalSetConfig};
+
+/// Lazily analyzes the code behind `address` from the genesis state.
+fn analysis_for<'a>(
+    cache: &'a mut HashMap<Address, CodeAnalysis>,
+    set: &EvalSet,
+    address: Address,
+) -> &'a CodeAnalysis {
+    cache
+        .entry(address)
+        .or_insert_with(|| analyze(&set.genesis.code(&address)))
+}
+
+#[test]
+fn analyzer_claims_hold_on_every_workload_execution() {
+    let set = EvalSet::generate(&EvalSetConfig::small());
+    let mut cache: HashMap<Address, CodeAnalysis> = HashMap::new();
+    let mut steps_checked = 0usize;
+    let mut jumps_checked = 0usize;
+
+    for block in &set.blocks {
+        for tx in block {
+            let mut evm =
+                Evm::with_inspector(set.env.clone(), &set.genesis, StructTracer::new());
+            // Failures are fine (reverts happen in the workload); the
+            // trace up to the failure still constrains the analyzer.
+            let _ = evm.transact(tx);
+            let tracer = evm.into_inspector();
+            for step in tracer.steps() {
+                let a = analysis_for(&mut cache, &set, step.address);
+                steps_checked += 1;
+
+                // Coverage: the executed pc's page was declared
+                // reachable — a miss here means the ORAM plan would
+                // zero-fill code the interpreter actually ran.
+                assert!(
+                    a.page_reachable(step.pc),
+                    "pc {} of {} executed on an unplanned page (pages {:?})",
+                    step.pc,
+                    step.address,
+                    a.reachable_pages,
+                );
+
+                // Every executed JUMPDEST must be one the analyzer
+                // validated (push-data bytes cannot masquerade).
+                if step.opcode == op::JUMPDEST {
+                    assert!(
+                        a.is_valid_jumpdest(step.pc),
+                        "executed JUMPDEST at pc {} of {} not statically valid",
+                        step.pc,
+                        step.address,
+                    );
+                }
+
+                // Taken jump targets must be statically valid.
+                let taken = match step.opcode {
+                    op::JUMP => true,
+                    op::JUMPI => {
+                        step.stack.len() >= 2
+                            && step.stack[step.stack.len() - 2] != U256::ZERO
+                    }
+                    _ => false,
+                };
+                if taken {
+                    let target = step.stack.last().expect("jump has a target operand");
+                    let target = target.try_into_usize().expect("in-range target");
+                    jumps_checked += 1;
+                    assert!(
+                        a.is_valid_jumpdest(target),
+                        "interpreter jumped to pc {target} of {} which the analyzer \
+                         does not consider a valid JUMPDEST",
+                        step.address,
+                    );
+                }
+
+                // Stack-bound soundness: observed depth ≤ static bound.
+                assert!(
+                    !a.unbounded_stack,
+                    "workload contract {} reported as unbounded",
+                    step.address
+                );
+                assert!(
+                    step.stack.len() <= a.max_stack,
+                    "observed stack depth {} at pc {} of {} exceeds static bound {}",
+                    step.stack.len(),
+                    step.pc,
+                    step.address,
+                    a.max_stack,
+                );
+            }
+        }
+    }
+
+    assert!(steps_checked > 10_000, "workload too small: {steps_checked} steps");
+    assert!(jumps_checked > 200, "workload too small: {jumps_checked} jumps");
+}
+
+#[test]
+fn workload_analyses_are_precise_where_expected() {
+    let set = EvalSet::generate(&EvalSetConfig::small());
+    let mut cache: HashMap<Address, CodeAnalysis> = HashMap::new();
+
+    // The router CALLs addresses taken from CALLDATA: dynamic targets.
+    let router = analysis_for(&mut cache, &set, set.router).clone();
+    assert!(router.dynamic_calls, "router callee addresses come from CALLDATA");
+
+    // The deep hopper is padded with unreachable filler: the plan must
+    // stay smaller than the padded code (that delta is the traffic the
+    // plans save).
+    let deep = analysis_for(&mut cache, &set, set.deep_hopper).clone();
+    assert!(
+        (deep.reachable_pages.len() as u32) < deep.total_pages,
+        "padded hopper should have unreachable pages (got {:?} of {})",
+        deep.reachable_pages,
+        deep.total_pages,
+    );
+
+    // CALLDATA-driven dispatch in the token must surface taint lints.
+    let token = analysis_for(&mut cache, &set, set.tokens[0]).clone();
+    assert!(!token.lints.is_empty(), "CALLDATA-driven dispatch must lint");
+}

@@ -1,0 +1,291 @@
+//! Property tests: seeded random bytecode generators vs the analyzer.
+//!
+//! Three generator families exercise the analyzer from different angles:
+//!
+//! * **Straight-line programs** — random stack-safe opcode sequences with
+//!   a locally tracked model depth; the analyzer's worst-case stack bound
+//!   must dominate both the model and the depth the real interpreter
+//!   observes.
+//! * **Structured programs** — random forward-only jump graphs (every
+//!   target a `PUSH2` constant), executed through the real EVM; every
+//!   taken jump, executed page, and observed stack depth must be covered
+//!   by the analyzer's claims, and trailing filler pages must stay out of
+//!   the reachability set (the precision the prefetch plans depend on).
+//! * **Byte soup** — fully random bytes; the analyzer must stay total,
+//!   deterministic, and keep every reported artifact inside the code.
+
+use tape_analysis::{analyze, analyze_with, AnalysisConfig};
+use tape_crypto::prop::{check, Gen};
+use tape_evm::opcode::op;
+use tape_evm::{Env, Evm, StructTracer, Transaction};
+use tape_primitives::{Address, U256};
+use tape_state::{Account, InMemoryState};
+
+fn sender() -> Address {
+    Address::from_low_u64(0xAA)
+}
+
+fn target() -> Address {
+    Address::from_low_u64(0xC0DE)
+}
+
+/// Executes `code` as a call and returns the recorded trace steps.
+fn trace(code: &[u8], input: Vec<u8>) -> Vec<tape_evm::TraceStep> {
+    let mut backend = InMemoryState::new();
+    backend.put_account(sender(), Account::with_balance(U256::from(u64::MAX)));
+    backend.put_account(target(), Account::with_code(code.to_vec()));
+    let mut evm = Evm::with_inspector(Env::default(), &backend, StructTracer::new());
+    // Reverts and out-of-gas halts are fine: the prefix trace still
+    // constrains the analyzer.
+    let _ = evm.transact(&Transaction::call(sender(), target(), input));
+    evm.into_inspector().steps().to_vec()
+}
+
+/// Asserts every analyzer claim against an actual execution trace of
+/// `code`, restricted to steps inside the target contract.
+fn assert_sound_on_trace(code: &[u8], input: Vec<u8>) {
+    let a = analyze(code);
+    for step in trace(code, input) {
+        if step.address != target() {
+            continue;
+        }
+        assert!(
+            a.page_reachable(step.pc),
+            "pc {} executed on unplanned page (pages {:?}, code {:02x?})",
+            step.pc,
+            a.reachable_pages,
+            code,
+        );
+        if step.opcode == op::JUMPDEST {
+            assert!(a.is_valid_jumpdest(step.pc), "executed JUMPDEST at {} invalid", step.pc);
+        }
+        let taken = match step.opcode {
+            op::JUMP => true,
+            op::JUMPI => {
+                step.stack.len() >= 2 && step.stack[step.stack.len() - 2] != U256::ZERO
+            }
+            _ => false,
+        };
+        if taken {
+            let dst = step.stack.last().and_then(|t| t.try_into_usize());
+            if let Some(dst) = dst {
+                assert!(
+                    a.is_valid_jumpdest(dst),
+                    "taken jump to {dst} not statically valid (code {code:02x?})"
+                );
+            }
+        }
+        if !a.unbounded_stack {
+            assert!(
+                step.stack.len() <= a.max_stack,
+                "observed depth {} at pc {} exceeds bound {} (code {:02x?})",
+                step.stack.len(),
+                step.pc,
+                a.max_stack,
+                code,
+            );
+        }
+    }
+}
+
+/// Emits a random stack-safe straight-line instruction, updating the
+/// model depth. Returns the bytes appended.
+fn push_straight_line_op(g: &mut Gen, code: &mut Vec<u8>, depth: &mut usize) {
+    // Candidate families gated on the current model depth so execution
+    // never underflows; PUSH capped well below 1024.
+    let pick = g.below(10);
+    match pick {
+        0..=3 => {
+            // PUSH1..PUSH4 with random immediates.
+            let n = g.range(1, 4) as u8;
+            code.push(op::PUSH1 + (n - 1));
+            for _ in 0..n {
+                code.push(g.u8());
+            }
+            *depth += 1;
+        }
+        4 if *depth >= 1 && *depth < 1023 => {
+            let n = g.below((*depth).min(16) as u64) as u8 + 1;
+            code.push(op::DUP1 + (n - 1));
+            *depth += 1;
+        }
+        5 if *depth >= 2 => {
+            let n = g.below((*depth - 1).min(16) as u64) as u8 + 1;
+            code.push(op::SWAP1 + (n - 1));
+        }
+        6 if *depth >= 2 => {
+            code.push(*g.choose(&[op::ADD, op::MUL, op::SUB, op::AND, op::OR, op::XOR]));
+            *depth -= 1;
+        }
+        7 if *depth >= 1 => {
+            code.push(*g.choose(&[op::ISZERO, op::NOT]));
+        }
+        8 if *depth >= 1 => {
+            code.push(op::POP);
+            *depth -= 1;
+        }
+        9 if *depth >= 1 => {
+            // CALLDATALOAD keeps depth and feeds the taint lattice.
+            code.push(op::CALLDATALOAD);
+        }
+        _ => {
+            code.push(op::PUSH1);
+            code.push(g.u8());
+            *depth += 1;
+        }
+    }
+}
+
+#[test]
+fn straight_line_stack_bound_is_sound_and_tight() {
+    check("straight-line stack bound", 64, |g| {
+        let mut code = Vec::new();
+        let mut depth = 0usize;
+        let mut model_max = 0usize;
+        let len = g.range(1, 60);
+        for _ in 0..len {
+            push_straight_line_op(g, &mut code, &mut depth);
+            model_max = model_max.max(depth);
+        }
+        code.push(op::STOP);
+
+        let a = analyze(&code);
+        assert!(!a.unbounded_stack, "straight-line code cannot be unbounded");
+        assert!(!a.may_underflow, "generator never underflows, code {code:02x?}");
+        assert!(
+            a.max_stack >= model_max,
+            "bound {} below model max {} for {:02x?}",
+            a.max_stack,
+            model_max,
+            code,
+        );
+        // Single-path programs admit an exact fixpoint: the bound must
+        // not be looser than the model either.
+        assert_eq!(a.max_stack, model_max, "bound should be tight for {code:02x?}");
+
+        assert_sound_on_trace(&code, vec![g.u8(); 64]);
+    });
+}
+
+/// One block of a structured program: a straight-line body plus a
+/// forward-only terminator.
+struct BlockPlan {
+    body: Vec<u8>,
+    /// `Some((target_block, conditional))`; `None` means `STOP`.
+    jump: Option<(usize, bool)>,
+}
+
+#[test]
+fn structured_forward_jumps_are_sound() {
+    check("structured forward jumps", 48, |g| {
+        let block_count = g.range(2, 8) as usize;
+        let mut plans = Vec::new();
+        for i in 0..block_count {
+            let mut body = Vec::new();
+            let mut depth = 0usize;
+            for _ in 0..g.range(0, 10) {
+                push_straight_line_op(g, &mut body, &mut depth);
+            }
+            // Drain the model stack so JUMPI conditions are explicit
+            // pushes and every block is stack-neutral.
+            for _ in 0..depth {
+                body.push(op::POP);
+            }
+            let jump = if i + 1 < block_count {
+                let target = g.range(i as u64 + 1, block_count as u64) as usize;
+                Some((target, g.bool()))
+            } else {
+                None
+            };
+            plans.push(BlockPlan { body, jump });
+        }
+
+        // Layout pass: JUMPDEST + body + terminator per block, with
+        // fixed-width PUSH2 targets so offsets are stable.
+        let mut offsets = Vec::with_capacity(block_count);
+        let mut at = 0usize;
+        for plan in &plans {
+            offsets.push(at);
+            at += 1 + plan.body.len(); // JUMPDEST + body
+            at += match plan.jump {
+                Some((_, true)) => 3 + 3 + 1,  // PUSH2 cond-as-target? see emit
+                Some((_, false)) => 3 + 1,     // PUSH2 target, JUMP
+                None => 1,                     // STOP
+            };
+        }
+
+        let mut code = Vec::new();
+        for plan in &plans {
+            code.push(op::JUMPDEST);
+            code.extend_from_slice(&plan.body);
+            match plan.jump {
+                Some((tgt, conditional)) => {
+                    let dst = offsets[tgt] as u16;
+                    if conditional {
+                        // PUSH2 cond, PUSH2 target, JUMPI; fallthrough
+                        // lands on the next block's JUMPDEST.
+                        code.push(op::PUSH2);
+                        code.extend_from_slice(&(g.u8() as u16).to_be_bytes());
+                        code.push(op::PUSH2);
+                        code.extend_from_slice(&dst.to_be_bytes());
+                        code.push(op::JUMPI);
+                    } else {
+                        code.push(op::PUSH2);
+                        code.extend_from_slice(&dst.to_be_bytes());
+                        code.push(op::JUMP);
+                    }
+                }
+                None => code.push(op::STOP),
+            }
+        }
+
+        let a = analyze(&code);
+        assert!(!a.unbounded_stack, "forward-only graph must be bounded");
+        assert_eq!(
+            a.unresolved_jumps, 0,
+            "all targets are PUSH2 constants, code {code:02x?}"
+        );
+        assert_sound_on_trace(&code, vec![]);
+
+        // Precision: a page of trailing non-JUMPDEST filler after the
+        // final STOP must stay out of the reachability set — that delta
+        // is exactly the ORAM traffic the prefetch plans save.
+        let page = 1024usize;
+        let mut padded = code.clone();
+        padded.extend(std::iter::repeat_n(0xFEu8, 2 * page));
+        let pa = analyze_with(&padded, &AnalysisConfig { page_size: page, max_stack_words: 1024 });
+        assert!(
+            (pa.reachable_pages.len() as u32) < pa.total_pages,
+            "filler pages must be unreachable (got {:?} of {})",
+            pa.reachable_pages,
+            pa.total_pages,
+        );
+        assert_sound_on_trace(&padded, vec![]);
+    });
+}
+
+#[test]
+fn analyzer_is_total_and_deterministic_on_byte_soup() {
+    check("byte soup totality", 256, |g| {
+        let code = g.bytes(0, 400);
+        let a = analyze(&code);
+        let b = analyze(&code);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "analysis must be deterministic");
+
+        assert_eq!(a.code_len, code.len());
+        assert_eq!(a.total_pages as usize, code.len().div_ceil(a.page_size));
+        for &p in &a.reachable_pages {
+            assert!(p < a.total_pages.max(1), "page {p} out of range");
+        }
+        for pc in &a.jumpdests {
+            assert_eq!(code[*pc], op::JUMPDEST, "jumpdest table points at {:#x}", code[*pc]);
+        }
+        for lint in &a.lints {
+            assert!((lint.pc as usize) < code.len(), "lint pc out of range");
+        }
+
+        // Whatever the soup does when actually executed, the analyzer's
+        // claims must survive contact with the interpreter.
+        assert_sound_on_trace(&code, g.bytes(0, 64));
+    });
+}

@@ -47,13 +47,13 @@ fn main() {
         for i in 0..64u64 {
             client
                 .write(&mut server, &clock, &cost, &keccak256(i.to_be_bytes()), vec![0; 1024])
-                .unwrap();
+                .expect("in-memory ORAM write");
         }
         let before = clock.now();
         for i in 0..64u64 {
             client
                 .read(&mut server, &clock, &cost, &keccak256(i.to_be_bytes()))
-                .unwrap();
+                .expect("in-memory ORAM read");
         }
         println!("  height {height}: {:.3} ms/access", (clock.now() - before) as f64 / 64.0 / 1e6);
     }
@@ -104,12 +104,13 @@ fn main() {
         );
         let clock = Clock::new();
         for i in 0..32u64 {
-            oram.write(&clock, &CostModel::default(), i * 97, vec![0u8; 1024]).unwrap();
+            oram.write(&clock, &CostModel::default(), i * 97, vec![0u8; 1024])
+                .expect("recursive ORAM write");
         }
         let q0 = oram.total_queries();
         let t0 = clock.now();
         for i in 0..32u64 {
-            oram.read(&clock, &CostModel::default(), i * 97).unwrap();
+            oram.read(&clock, &CostModel::default(), i * 97).expect("recursive ORAM read");
         }
         println!(
             "  {label}: {} levels, {:.1} server queries/access, {:.2} ms/access",

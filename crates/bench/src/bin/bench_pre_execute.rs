@@ -10,6 +10,10 @@
 //! * `--starve` — negative control: re-arms the prefetcher deadline on
 //!   every real query (the pre-fix starvation bug) and *expects the
 //!   auditor to fail*. Exit code 0 means the leak was detected.
+//! * `--omit-plan` — negative control for the plan-coverage check: the
+//!   device withholds the last advertised page of every static prefetch
+//!   plan (execution is untouched) and *expects the auditor to flag the
+//!   unadvertised fetch*. Exit code 0 means the gap was detected.
 //! * `--out PATH` — output path (default `BENCH_pre_execute.json`).
 //!
 //! Scale follows `TAPE_EVAL_SCALE` (small unless set).
@@ -38,13 +42,14 @@ struct RunOutcome {
     audit: AuditReport,
 }
 
-fn run(set: &EvalSet, starve: bool, audit_cfg: &AuditConfig) -> RunOutcome {
+fn run(set: &EvalSet, starve: bool, omit_plan: bool, audit_cfg: &AuditConfig) -> RunOutcome {
     let config = ServiceConfig {
         oram_height: 14,
         ..ServiceConfig::at_level(SecurityConfig::Full)
     };
     let mut device = HarDTape::new(config, set.env.clone(), &set.genesis);
     device.set_prefetch_ablation(starve);
+    device.set_plan_ablation(omit_plan);
     let mut user = device.connect_user(b"bench user").expect("attestation");
 
     let mut latencies = Vec::new();
@@ -112,11 +117,13 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     let mut starve = false;
+    let mut omit_plan = false;
     let mut out_path = String::from("BENCH_pre_execute.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--starve" => starve = true,
+            "--omit-plan" => omit_plan = true,
             "--out" => {
                 out_path = args.next().unwrap_or_else(|| {
                     eprintln!("--out requires a path");
@@ -124,7 +131,9 @@ fn main() {
                 });
             }
             other => {
-                eprintln!("usage: bench_pre_execute [--starve] [--out PATH] (got {other:?})");
+                eprintln!(
+                    "usage: bench_pre_execute [--starve] [--omit-plan] [--out PATH] (got {other:?})"
+                );
                 std::process::exit(2);
             }
         }
@@ -132,7 +141,7 @@ fn main() {
 
     let set = EvalSet::generate(&tape_bench::eval_config());
     println!(
-        "bench_pre_execute: {} txs, -full, starve={starve}",
+        "bench_pre_execute: {} txs, -full, starve={starve}, omit_plan={omit_plan}",
         set.len()
     );
 
@@ -147,8 +156,8 @@ fn main() {
         ..AuditConfig::default()
     };
 
-    let first = run(&set, starve, &audit_cfg);
-    let second = run(&set, starve, &audit_cfg);
+    let first = run(&set, starve, omit_plan, &audit_cfg);
+    let second = run(&set, starve, omit_plan, &audit_cfg);
     let digests_match = first.digest == second.digest;
 
     let mut sorted = first.latencies.clone();
@@ -182,6 +191,7 @@ fn main() {
             "  \"chip_tps\": {tps:.3},\n",
             "  \"oram\": {{ \"kv_queries\": {kv}, \"code_queries\": {code}, \"prefetch_queries\": {pf}, \"queries_per_bundle\": {qpb:.2} }},\n",
             "  \"prefetch\": {{ \"issued\": {issued}, \"drained\": {drained}, \"gap_ema_ns\": {ema} }},\n",
+            "  \"plan\": {{ \"omit_plan_ablation\": {omit_plan}, \"planned_pages\": {planned}, \"code_page_fetches\": {cpf}, \"unplanned_fetches\": {unplanned} }},\n",
             "  \"phase_means_ns\": {{ \"execute\": {exec_mean:.0}, \"bundle\": {bundle_mean:.0} }},\n",
             "  \"audit\": {{ \"passed\": {passed}, \"longest_code_burst\": {burst}, \"real_gap_cv_x100\": {rcv}, \"prefetch_gap_cv_x100\": {pcv}, \"violations\": [{violations}] }},\n",
             "  \"determinism\": {{ \"digests_match\": {dmatch}, \"telemetry_digest\": \"{digest}\" }}\n",
@@ -202,6 +212,10 @@ fn main() {
         issued = first.prefetch_issued,
         drained = first.prefetch_drained,
         ema = first.gap_ema_ns,
+        omit_plan = omit_plan,
+        planned = stats.planned_pages,
+        cpf = stats.code_page_fetches,
+        unplanned = stats.unplanned_fetches,
         exec_mean = first.execute_mean_ns,
         bundle_mean = first.bundle_mean_ns,
         passed = first.audit.passed(),
@@ -221,6 +235,10 @@ fn main() {
         "  prefetch issued={} drained={}",
         first.prefetch_issued, first.prefetch_drained
     );
+    println!(
+        "  plan: planned_pages={} code_page_fetches={} unplanned={}",
+        stats.planned_pages, stats.code_page_fetches, stats.unplanned_fetches
+    );
     println!("  audit passed: {}", first.audit.passed());
     for v in &first.audit.violations {
         println!("    violation: {v}");
@@ -233,12 +251,23 @@ fn main() {
         eprintln!("FAIL: telemetry digest drifted between two in-process runs");
         std::process::exit(1);
     }
-    if starve {
+    if starve || omit_plan {
         if first.audit.passed() {
-            eprintln!("FAIL: starvation ablation was NOT detected by the leakage auditor");
+            let which = if starve { "starvation" } else { "plan-omission" };
+            eprintln!("FAIL: {which} ablation was NOT detected by the leakage auditor");
             std::process::exit(1);
         }
-        println!("OK: auditor detected the starvation leak (negative control)");
+        if omit_plan
+            && !first
+                .audit
+                .violations
+                .iter()
+                .any(|v| matches!(v, tape_sim::telemetry::audit::Violation::UnplannedCodePage { .. }))
+        {
+            eprintln!("FAIL: plan omission detected, but not as an UnplannedCodePage violation");
+            std::process::exit(1);
+        }
+        println!("OK: auditor detected the injected leak (negative control)");
     } else if !first.audit.passed() {
         eprintln!("FAIL: leakage auditor found violations on the fixed pipeline");
         std::process::exit(1);

@@ -32,7 +32,7 @@ fn main() {
     let queries = device.oram_stats().expect("oram").total() - sync_queries;
     let per_tx_ns = total_ns / executed;
     // Average gap between ORAM queries from one full-load HEVM.
-    let query_gap_ns = if queries == 0 { u64::MAX } else { elapsed / queries };
+    let query_gap_ns = elapsed.checked_div(queries).unwrap_or(u64::MAX);
 
     let cost = CostModel::default();
     let report = estimate(per_tx_ns, hevm_count, cost.oram_server_op_ns, query_gap_ns);

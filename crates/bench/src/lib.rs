@@ -3,6 +3,7 @@
 //! The evaluation harness: shared plumbing for the binaries that
 //! regenerate every table and figure of the paper (see DESIGN.md's
 //! experiment index) and for the Criterion micro-benchmarks.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use tape_evm::{FrameStart, Inspector, StateAccess, StepInfo};

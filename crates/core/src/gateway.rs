@@ -278,6 +278,15 @@ impl Gateway {
             .get(&session)
             .ok_or(GatewayError::UnknownSession(session))?;
         let now = self.now();
+        // Static admission first: a bundle the analyzer can prove would
+        // blow a hardware stack limit never occupies queue budget or a
+        // core. (The verdict is memoized by code hash, so this costs one
+        // cache probe per callee on the hot path.)
+        if let Err(err) = self.device.admission_check(&bundle) {
+            self.log
+                .record(format!("t={now} reject session={session} static-analysis: {err}"));
+            return Err(GatewayError::Service(err));
+        }
         if self.queued_total >= self.config.admission_budget {
             self.stats.rejected_overloaded += 1;
             let retry_after = self.retry_after_hint();

@@ -42,6 +42,7 @@
 //! assert!(report.signature.is_some());
 //! # Ok::<(), hardtape::ServiceError>(())
 //! ```
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;

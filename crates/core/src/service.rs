@@ -4,12 +4,14 @@
 
 use crate::config::SecurityConfig;
 use crate::reader::HybridState;
+use std::sync::Arc;
+use tape_analysis::{AnalysisConfig, AnalysisReject, CodeAnalysis, Limits, LintFinding};
 use tape_crypto::{PublicKey, SecretKey, SecureRng, Signature};
 use tape_evm::{Env, Transaction, TxResult};
 use tape_hevm::{Hevm, HevmAbort, HevmConfig, HevmStats};
 use tape_node::{BlockFeed, BlockHeader, FeedError, RetryPolicy, StateDelta};
 use tape_oram::{ObliviousState, OramClient, OramConfig, OramError, OramServer};
-use tape_primitives::{rlp, B256};
+use tape_primitives::{rlp, Address, B256};
 use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
 use tape_sim::telemetry::{
     CounterId, GaugeId, HistId, PhaseKind, Telemetry, TelemetryEvent,
@@ -128,6 +130,11 @@ pub struct BundleReport {
     /// Explicit staleness bound, present when the bundle was served
     /// while block synchronization was degraded (feed breaker open).
     pub staleness: Option<StalenessBound>,
+    /// Secret-dependency lint findings from the static pass over every
+    /// top-level callee: CALLDATA-derived storage keys, memory offsets,
+    /// or branches. Sorted by `(address, finding)` so the encoding —
+    /// and therefore the device signature — is deterministic.
+    pub lints: Vec<(Address, LintFinding)>,
 }
 
 impl BundleReport {
@@ -170,6 +177,11 @@ impl BundleReport {
         for addr in &self.changes.selfdestructs {
             items.push(rlp::encode_address(addr));
         }
+        for (addr, finding) in &self.lints {
+            items.push(rlp::encode_address(addr));
+            items.push(rlp::encode_u64(u64::from(finding.pc)));
+            items.push(rlp::encode_bytes(finding.kind.to_string().as_bytes()));
+        }
         rlp::encode_list(&items)
     }
 }
@@ -202,6 +214,15 @@ pub enum ServiceError {
     NoRetryBudget,
     /// Every HEVM core is quarantined; the device cannot serve bundles.
     AllCoresQuarantined,
+    /// The static analyzer refused the bundle at admission: the callee's
+    /// sound stack bound cannot fit the Layer-1/Layer-2 capacities, so
+    /// execution would fault mid-bundle on a hardware limit.
+    AnalysisReject {
+        /// The callee contract that failed admission.
+        address: Address,
+        /// The typed admission verdict.
+        reason: AnalysisReject,
+    },
 }
 
 impl core::fmt::Display for ServiceError {
@@ -223,6 +244,9 @@ impl core::fmt::Display for ServiceError {
             }
             ServiceError::AllCoresQuarantined => {
                 write!(f, "every HEVM core is quarantined; device needs service")
+            }
+            ServiceError::AnalysisReject { address, reason } => {
+                write!(f, "static analysis rejected callee {address}: {reason}")
             }
         }
     }
@@ -292,6 +316,16 @@ pub struct HarDTape {
     revoked: std::collections::HashSet<u64>,
     /// Deterministic telemetry sink shared with every layer.
     telemetry: Telemetry,
+    /// Static analyses memoized by code hash — contract code is
+    /// immutable, so one CFG/dataflow pass serves every bundle that
+    /// calls the same code.
+    analysis_cache: std::collections::HashMap<B256, Arc<CodeAnalysis>>,
+    /// Starvation-ablation side switch: bundles use the legacy dense
+    /// prefetch (no static plans), reproducing the pre-fix pipeline.
+    legacy_prefetch: std::cell::Cell<bool>,
+    /// Hardware capacities the admission gate checks stack bounds
+    /// against (derived from the HEVM memory configuration).
+    limits: Limits,
 }
 
 impl core::fmt::Debug for HarDTape {
@@ -357,6 +391,20 @@ impl HarDTape {
             None
         };
 
+        // Admission limits mirror the real hardware capacities: the
+        // Layer-1 operand stack, plus per-frame bookkeeping (frame-state
+        // registers + world-state cache) that swaps alongside it through
+        // the Layer-2 ring. Requiring two resident worst-case frames is
+        // exactly the engine's §IV-B single-frame rule (a frame larger
+        // than half the ring aborts with `MemoryOverflow`); deeper call
+        // stacks spill to layer 3 and need no admission headroom.
+        let limits = Limits {
+            stack_bytes: config.hevm.mem.stack_bytes,
+            frame_overhead_bytes: config.hevm.mem.frame_state_bytes
+                + config.hevm.mem.state_cache,
+            layer2_bytes: config.hevm.mem.layer2_bytes,
+            min_resident_frames: 2,
+        };
         HarDTape {
             config,
             env,
@@ -371,6 +419,9 @@ impl HarDTape {
             faults: None,
             revoked: std::collections::HashSet::new(),
             telemetry,
+            analysis_cache: std::collections::HashMap::new(),
+            legacy_prefetch: std::cell::Cell::new(false),
+            limits,
         }
     }
 
@@ -383,6 +434,12 @@ impl HarDTape {
     /// Switches the code prefetcher to the pre-fix starving driver —
     /// the leakage auditor's negative control. No-op without an ORAM.
     pub fn set_prefetch_ablation(&self, on: bool) {
+        // The ablation reproduces the *pre-fix* pipeline end to end:
+        // besides the starving driver, bundles fall back to the legacy
+        // dense prefetch (every code page, no static plans), so the
+        // multi-page drain burst the auditor must catch is exactly what
+        // the old system produced.
+        self.legacy_prefetch.set(on);
         if let Some(oram) = &self.oram {
             oram.set_prefetch_ablation(on);
         }
@@ -391,6 +448,71 @@ impl HarDTape {
     /// Prefetcher lifetime stats (None without a code-ORAM prefetcher).
     pub fn prefetch_stats(&self) -> Option<tape_oram::PrefetchStats> {
         self.oram.as_ref().and_then(|o| o.prefetch_stats())
+    }
+
+    /// Replaces the last advertised page of every static prefetch plan
+    /// with a decoy index while leaving the operational plan intact —
+    /// the plan-coverage auditor's negative control. Execution is
+    /// unchanged; the audit must flag the true page's fetch as
+    /// unplanned. No-op without an ORAM.
+    pub fn set_plan_ablation(&self, on: bool) {
+        if let Some(oram) = &self.oram {
+            oram.set_plan_ablation(on);
+        }
+    }
+
+    /// The static analysis of `address`'s code, memoized by code hash
+    /// (`None` for accounts without code). One CFG + dataflow pass per
+    /// distinct bytecode, shared by every later bundle.
+    pub fn analyze_code(&mut self, address: &Address) -> Option<Arc<CodeAnalysis>> {
+        use tape_state::StateReader as _;
+        let info = self.local.account(address)?;
+        if info.code_len == 0 {
+            return None;
+        }
+        if let Some(cached) = self.analysis_cache.get(&info.code_hash) {
+            return Some(cached.clone());
+        }
+        let code = self.local.code(address);
+        let limit_words = self.config.hevm.mem.stack_bytes / 32;
+        let analysis = Arc::new(tape_analysis::analyze_with(
+            &code,
+            &AnalysisConfig {
+                page_size: self.config.hevm.mem.page_size,
+                // Widen well past the admission limit so linear code a
+                // little over budget reports a precise StackOverflow
+                // bound instead of degrading to "unbounded".
+                max_stack_words: limit_words * 4,
+            },
+        ));
+        self.analysis_cache.insert(info.code_hash, analysis.clone());
+        Some(analysis)
+    }
+
+    /// The static admission gate: every top-level callee's sound stack
+    /// bound must fit the Layer-1/Layer-2 capacities, or the bundle is
+    /// refused here with a typed verdict instead of faulting mid-bundle
+    /// on a hardware limit.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::AnalysisReject`] naming the first offending
+    /// callee.
+    pub fn admission_check(&mut self, bundle: &Bundle) -> Result<(), ServiceError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for tx in &bundle.transactions {
+            let Some(to) = tx.to else { continue };
+            if !seen.insert(to) {
+                continue;
+            }
+            if let Some(analysis) = self.analyze_code(&to) {
+                if let Err(reason) = self.limits.admit(&analysis) {
+                    self.telemetry.count(CounterId::AnalysisRejects, 1);
+                    return Err(ServiceError::AnalysisReject { address: to, reason });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Arms a deterministic fault plan across the device's untrusted
@@ -507,6 +629,10 @@ impl HarDTape {
         }
         self.record_phase(PhaseKind::Decode, decode_started);
 
+        // Static admission: refuse bundles whose callees cannot fit the
+        // hardware stack capacities before a core is even assigned.
+        self.admission_check(bundle)?;
+
         // Exclusive HEVM assignment.
         let slot = self.hypervisor.assign(user.session).map_err(|e| match e {
             SlotError::AllQuarantined => ServiceError::AllCoresQuarantined,
@@ -549,7 +675,7 @@ impl HarDTape {
         ) {
             self.revoked.insert(user.session);
         }
-        let (results, changes, per_tx_ns, hevm_stats) = outcome?;
+        let (results, changes, per_tx_ns, hevm_stats, lints) = outcome?;
 
         let mut report = BundleReport {
             results,
@@ -559,6 +685,7 @@ impl HarDTape {
             signature: None,
             hevm_stats,
             staleness: None,
+            lints,
         };
 
         // Device → user: sign and seal the trace.
@@ -661,27 +788,84 @@ impl HarDTape {
     fn run_bundle(
         &mut self,
         bundle: &Bundle,
-    ) -> Result<(Vec<TxResult>, StateChanges, Vec<Nanos>, HevmStats), ServiceError> {
-        // Queue the callee contracts' code pages for background
-        // prefetch (§IV-D): the decode phase already knows every `to`
-        // address, so the prefetcher can interleave their pages with
-        // the bundle's K-V queries instead of fetching them in a burst
-        // at call time. The local mirror supplies the page count; the
-        // pages themselves still travel through the ORAM.
+    ) -> Result<
+        (Vec<TxResult>, StateChanges, Vec<Nanos>, HevmStats, Vec<(Address, LintFinding)>),
+        ServiceError,
+    > {
+        // Static pass over the bundle's top-level callees (§IV-D): the
+        // decode phase already knows every `to` address, and the
+        // analyzer's page-reachability sets turn the old dense prefetch
+        // into a precise plan — only pages some execution path can
+        // actually touch are prefetched, and the same sets are
+        // advertised to the telemetry auditor as the per-contract plan
+        // the observed code traffic must stay inside.
+        let mut callees: Vec<(Address, Arc<CodeAnalysis>)> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for tx in &bundle.transactions {
+            let Some(to) = tx.to else { continue };
+            if seen.insert(to) {
+                if let Some(analysis) = self.analyze_code(&to) {
+                    callees.push((to, analysis));
+                }
+            }
+        }
+
+        // Secret-dependency lints, surfaced per bundle in the signed
+        // report (sorted for a deterministic encoding).
+        let mut lints: Vec<(Address, LintFinding)> = Vec::new();
+        for (addr, analysis) in &callees {
+            lints.extend(analysis.lints.iter().map(|l| (*addr, *l)));
+        }
+        lints.sort_unstable();
+        self.telemetry.count(CounterId::LintFindings, lints.len() as u64);
+
+        // A callee with dynamic call targets (or foreign-code reads) can
+        // reach any code-bearing account, so precise plans must cover
+        // the whole mirror or the auditor would flag honest inner-call
+        // fetches. Collect those extra analyses up front (full-page
+        // plans where the analysis itself reads code dynamically).
+        let plan_everything = callees
+            .iter()
+            .any(|(_, a)| a.dynamic_calls || a.reads_foreign_code);
+        let mut extra_plans: Vec<(Address, Arc<CodeAnalysis>)> = Vec::new();
+        if plan_everything && self.oram.is_some() && self.config.security.oram_code() {
+            let others: Vec<Address> = self
+                .local
+                .iter()
+                .filter(|(a, acc)| !acc.code.is_empty() && !seen.contains(*a))
+                .map(|(a, _)| *a)
+                .collect();
+            for addr in others {
+                if let Some(analysis) = self.analyze_code(&addr) {
+                    extra_plans.push((addr, analysis));
+                }
+            }
+        }
+
         if let Some(oram) = &self.oram {
             if self.config.security.oram_code() {
-                let page_size = self.config.hevm.mem.page_size;
-                let mut seen = std::collections::BTreeSet::new();
-                for tx in &bundle.transactions {
-                    let Some(to) = tx.to else { continue };
-                    if !seen.insert(to) {
-                        continue;
-                    }
+                if self.legacy_prefetch.get() {
+                    // Pre-fix pipeline (starvation ablation): dense
+                    // prefetch of every code page, no plans advertised.
                     use tape_state::StateReader as _;
-                    let code_len =
-                        self.local.account(&to).map(|info| info.code_len).unwrap_or(0);
-                    if code_len > 0 {
-                        oram.schedule_prefetch(to, code_len.div_ceil(page_size) as u32);
+                    let page_size = self.config.hevm.mem.page_size;
+                    for (addr, _) in &callees {
+                        let code_len =
+                            self.local.account(addr).map(|i| i.code_len).unwrap_or(0);
+                        if code_len > 0 {
+                            oram.schedule_prefetch(*addr, code_len.div_ceil(page_size) as u32);
+                        }
+                    }
+                } else {
+                    for (addr, analysis) in &callees {
+                        oram.set_code_plan(*addr, &analysis.reachable_pages);
+                        // Prefetch stays limited to the top-level
+                        // callees: inner-call pages are demand-paced,
+                        // not drained.
+                        oram.schedule_prefetch_pages(*addr, &analysis.reachable_pages);
+                    }
+                    for (addr, analysis) in &extra_plans {
+                        oram.set_code_plan(*addr, &analysis.reachable_pages);
                     }
                 }
             }
@@ -751,7 +935,7 @@ impl HarDTape {
         if let Some(pf) = self.oram.as_ref().and_then(|o| o.prefetch_stats()) {
             self.telemetry.gauge(GaugeId::PrefetchGapEmaNs, pf.avg_gap_ns);
         }
-        Ok((results, changes, per_tx, stats))
+        Ok((results, changes, per_tx, stats, lints))
     }
 
     /// Synchronizes a new block's state delta (paper step 11): verifies

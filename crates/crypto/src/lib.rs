@@ -35,6 +35,7 @@
 //! # Ok::<(), tape_crypto::secp::EcdsaError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod aes;

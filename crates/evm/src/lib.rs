@@ -16,6 +16,7 @@
 //! This engine plays two roles in the evaluation: ground truth for the
 //! §VI-B correctness comparison against the independently implemented
 //! hardware EVM, and the "Geth" baseline for Figures 4 and 5.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asm;

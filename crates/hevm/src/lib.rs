@@ -18,6 +18,7 @@
 //! pipeline cost, making the engine the timing source for Figures 4/5.
 //! Trace-for-trace equivalence with the reference engine (`tape-evm`) is
 //! enforced by the §VI-B differential tests.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engine;

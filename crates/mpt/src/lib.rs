@@ -29,6 +29,7 @@
 //! # Ok::<(), tape_mpt::ProofError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod nibbles;

@@ -9,6 +9,7 @@
 //!
 //! The node is *untrusted* in the threat model: consumers must verify
 //! the Merkle proofs it attaches against block state roots.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod feed;

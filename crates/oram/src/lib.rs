@@ -29,6 +29,7 @@
 //! assert_eq!(client.read(&mut server, &clock, &cost, &id)?, Some(vec![42u8; 64]));
 //! # Ok::<(), tape_oram::OramError>(())
 //! ```
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod pagestore;

@@ -139,6 +139,15 @@ struct Inner {
     synced_groups: std::collections::BTreeMap<Address, std::collections::BTreeSet<U256>>,
     stats: QueryStats,
     page_size: usize,
+    /// Static page-reachability plans, per contract: only planned code
+    /// pages are ever fetched; unplanned ones are served as zero pages
+    /// (zero bytes decode as `STOP`, so a sound plan can never change
+    /// execution — and an unsound one fails safe). Addresses without a
+    /// plan fetch every page, the pre-analysis behaviour.
+    plans: HashMap<Address, std::collections::BTreeSet<u32>>,
+    /// Advertise plans to telemetry minus their last page (negative
+    /// control: the auditor must flag the resulting unplanned fetch).
+    plan_ablation: bool,
     /// The §IV-D code prefetcher, when enabled (`-full` only).
     prefetcher: Option<CodePrefetcher>,
     /// Drives the prefetcher with the legacy unconditionally-re-arming
@@ -183,6 +192,8 @@ impl ObliviousState {
                 synced_groups: std::collections::BTreeMap::new(),
                 stats: QueryStats::default(),
                 page_size,
+                plans: HashMap::new(),
+                plan_ablation: false,
                 prefetcher: None,
                 starve_ablation: false,
                 telemetry: None,
@@ -217,6 +228,60 @@ impl ObliviousState {
         if let Some(pf) = self.inner.borrow_mut().prefetcher.as_mut() {
             pf.schedule(address, pages);
         }
+    }
+
+    /// Queues an explicit set of code pages — a static reachability
+    /// plan — for background prefetch (no-op until
+    /// [`enable_prefetch`](Self::enable_prefetch)).
+    pub fn schedule_prefetch_pages(&self, address: Address, pages: &[u32]) {
+        if let Some(pf) = self.inner.borrow_mut().prefetcher.as_mut() {
+            pf.schedule_pages(address, pages);
+        }
+    }
+
+    /// Installs the static page-reachability plan for `address` (sorted
+    /// page indices) and advertises it to telemetry as
+    /// [`TelemetryEvent::PlanPage`] events, one per planned page.
+    ///
+    /// [`code`](StateReader::code) fetches for `address` then touch
+    /// *only* planned pages; unplanned ones are served as zero pages
+    /// (zeros decode as `STOP`, so a sound plan never changes
+    /// execution). Plans last until [`clear_cache`](Self::clear_cache) —
+    /// one bundle, like the page cache itself.
+    pub fn set_code_plan(&self, address: Address, pages: &[u32]) {
+        let mut inner = self.inner.borrow_mut();
+        let plan: std::collections::BTreeSet<u32> = pages.iter().copied().collect();
+        if let Some(t) = &inner.telemetry {
+            // The ablation mis-advertises: the last planned page is
+            // replaced by a decoy index while the operational plan stays
+            // complete, so execution is unchanged, the contract still
+            // counts as planned, and the auditor must report the true
+            // page's fetch as unplanned — the negative control's leak.
+            // (Dropping the page outright would make single-page
+            // contracts *unplanned*, which the auditor rightly exempts.)
+            let mut advertised: Vec<u32> = plan.iter().copied().collect();
+            if inner.plan_ablation {
+                if let Some(last) = advertised.last_mut() {
+                    *last = last.wrapping_add(0x4000_0000);
+                }
+            }
+            let at = inner.clock.now();
+            t.count(CounterId::PlannedPages, advertised.len() as u64);
+            for page in advertised {
+                t.record(TelemetryEvent::PlanPage {
+                    at,
+                    address: address.into_bytes(),
+                    page,
+                });
+            }
+        }
+        inner.plans.insert(address, plan);
+    }
+
+    /// Turns the plan-advertisement ablation on or off (the auditor's
+    /// plan-vs-observed negative control).
+    pub fn set_plan_ablation(&self, on: bool) {
+        self.inner.borrow_mut().plan_ablation = on;
     }
 
     /// The prefetcher's lifetime stats, when one is enabled.
@@ -340,6 +405,7 @@ impl ObliviousState {
     pub fn clear_cache(&self) {
         let mut inner = self.inner.borrow_mut();
         inner.cache.clear();
+        inner.plans.clear();
         let drained = match inner.prefetcher.as_mut() {
             Some(pf) => pf.drain().len(),
             None => 0,
@@ -392,6 +458,18 @@ impl Inner {
     }
 
     fn fetch_page_uncached(&mut self, key: PageKey) -> Option<Vec<u8>> {
+        // Real code-page fetches (demand, paced, or prefetch — never the
+        // cached-hit dummy) are individually visible to the auditor's
+        // plan-vs-observed cross-check.
+        if let PageKey::CodePage(addr, page) = key {
+            if let Some(t) = &self.telemetry {
+                t.record(TelemetryEvent::CodePageFetch {
+                    at: self.clock.now(),
+                    address: addr.into_bytes(),
+                    page,
+                });
+            }
+        }
         let id = key.block_id();
         let page = self.fetch_raw(&id);
         self.cache.insert(key, page.clone());
@@ -532,15 +610,25 @@ impl StateReader for ObliviousState {
         }
         let page_size = inner.page_size;
         let pages = info.code_len.div_ceil(page_size);
+        let plan = inner.plans.get(address).cloned();
         let mut code = Vec::with_capacity(info.code_len);
         for i in 0..pages {
             let key = PageKey::CodePage(*address, i as u32);
-            // Pages the prefetcher has not delivered yet are fetched on
-            // demand — but *paced* onto the prefetch cadence, otherwise
-            // a cold call would emit `pages` back-to-back code queries
-            // (the burst the starved prefetcher used to produce, which
-            // the ablation mode deliberately reproduces).
-            let page = if inner.pacing_active() && !inner.cache.contains_key(&key) {
+            // Statically unreachable pages (per the analyzer's plan) are
+            // never fetched: the zero fill decodes as STOP, so a sound
+            // plan cannot change execution, and skipping the queries is
+            // the plan's whole traffic win. Unplanned addresses keep
+            // the fetch-everything behaviour.
+            let planned = plan.as_ref().is_none_or(|p| p.contains(&(i as u32)));
+            let page = if !planned {
+                Some(vec![0u8; page_size])
+            } else if inner.pacing_active() && !inner.cache.contains_key(&key) {
+                // Pages the prefetcher has not delivered yet are fetched
+                // on demand — but *paced* onto the prefetch cadence,
+                // otherwise a cold call would emit `pages` back-to-back
+                // code queries (the burst the starved prefetcher used to
+                // produce, which the ablation mode deliberately
+                // reproduces).
                 inner.paced_code_fetch(key)
             } else {
                 inner.fetch_page(key)

@@ -68,6 +68,16 @@ impl CodePrefetcher {
         }
     }
 
+    /// Queues an explicit page set — the static analyzer's reachability
+    /// plan — instead of the dense `0..pages` prefix. Order is the
+    /// caller's (plans arrive sorted, so fetch order stays
+    /// deterministic).
+    pub fn schedule_pages(&mut self, address: tape_primitives::Address, pages: &[u32]) {
+        for &i in pages {
+            self.pending.push_back(PageKey::CodePage(address, i));
+        }
+    }
+
     /// Number of pages still pending.
     pub fn pending(&self) -> usize {
         self.pending.len()

@@ -22,6 +22,7 @@
 //! assert_eq!(owner.into_word().to_be_bytes()[31], 0xFE);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod fixed;

@@ -8,6 +8,7 @@
 //!
 //! See DESIGN.md for the substitution table mapping each constant to the
 //! paper's measurement.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod clock;

@@ -23,6 +23,14 @@
 //! 4. **Swap noise** — every call-stack swap's observed page count must
 //!    cover its true page count, and noise must actually be present
 //!    across the run (all-zero noise means sizes leak verbatim).
+//! 5. **Plan coverage** — for every contract whose static analysis
+//!    advertised a page-reachability plan ([`TelemetryEvent::PlanPage`]),
+//!    every real code-page fetch ([`TelemetryEvent::CodePageFetch`])
+//!    must land inside the advertised set. A fetch outside the plan is
+//!    either a leak (the executor touched code the analyzer proved
+//!    unreachable — data-dependent control flow escaping the model) or
+//!    an analyzer soundness bug; both are reportable. Contracts that
+//!    never advertised a plan are exempt.
 //!
 //! A truncated stream (ring-buffer overflow) is itself a violation:
 //! an auditor that silently passes on partial evidence is worse than
@@ -121,6 +129,16 @@ pub enum Violation {
         /// Swap events seen.
         swaps: u64,
     },
+    /// A real code-page fetch fell outside the contract's advertised
+    /// page-reachability plan: leak-or-bug, either way reportable.
+    UnplannedCodePage {
+        /// When the fetch happened.
+        at: Nanos,
+        /// Contract whose plan was violated.
+        address: [u8; 20],
+        /// The fetched page index.
+        page: u32,
+    },
     /// The event ring overflowed: the stream is partial evidence.
     Truncated {
         /// Events lost.
@@ -165,6 +183,13 @@ impl core::fmt::Display for Violation {
             Violation::SwapNoiseAbsent { swaps } => {
                 write!(f, "no noise pages across {swaps} swaps: sizes leak verbatim")
             }
+            Violation::UnplannedCodePage { at, address, page } => {
+                write!(f, "unplanned code page at {at}: contract 0x")?;
+                for b in address {
+                    write!(f, "{b:02x}")?;
+                }
+                write!(f, " fetched page {page} outside its advertised plan")
+            }
             Violation::Truncated { dropped } => {
                 write!(f, "event ring dropped {dropped} events: stream is partial")
             }
@@ -195,6 +220,12 @@ pub struct AuditStats {
     pub swaps: u64,
     /// Total noise pages across all swaps.
     pub noise_pages: u64,
+    /// Distinct (contract, page) pairs advertised across all plans.
+    pub planned_pages: u64,
+    /// Real code-page fetches seen on the wire.
+    pub code_page_fetches: u64,
+    /// Fetches that fell outside an advertised plan.
+    pub unplanned_fetches: u64,
 }
 
 /// The auditor's verdict: violations found plus the numbers behind them.
@@ -242,7 +273,22 @@ pub fn audit_events(events: &[TelemetryEvent], dropped: u64, cfg: &AuditConfig) 
         report.violations.push(Violation::Truncated { dropped });
     }
 
-    // Single pass: uniform sizes, burst runs, gap classes, swap noise.
+    // Plan pre-pass: collect the full advertised plan per contract. Plans
+    // are registered before execution within a bundle, but a run spans
+    // many bundles and a later bundle may extend a plan; the invariant is
+    // set-membership against everything advertised across the run.
+    let mut plans: std::collections::HashMap<[u8; 20], std::collections::BTreeSet<u32>> =
+        std::collections::HashMap::new();
+    for ev in events {
+        if let TelemetryEvent::PlanPage { address, page, .. } = *ev {
+            if plans.entry(address).or_default().insert(page) {
+                report.stats.planned_pages += 1;
+            }
+        }
+    }
+
+    // Single pass: uniform sizes, burst runs, gap classes, swap noise,
+    // plan coverage.
     let mut last_query: Option<(Nanos, QueryKind)> = None;
     let mut code_run = 0usize;
     let mut real_gaps: Vec<u64> = Vec::new();
@@ -304,6 +350,20 @@ pub fn audit_events(events: &[TelemetryEvent], dropped: u64, cfg: &AuditConfig) 
                     });
                 }
                 report.stats.noise_pages += u64::from(observed_pages.saturating_sub(true_pages));
+            }
+            TelemetryEvent::CodePageFetch { at, address, page } => {
+                report.stats.code_page_fetches += 1;
+                // Only contracts that advertised a plan are bound by it;
+                // an address the analyzer never planned (e.g. discovered
+                // through a dynamic call) stays exempt.
+                if let Some(plan) = plans.get(&address) {
+                    if !plan.contains(&page) {
+                        report.stats.unplanned_fetches += 1;
+                        report
+                            .violations
+                            .push(Violation::UnplannedCodePage { at, address, page });
+                    }
+                }
             }
             _ => {}
         }
@@ -491,6 +551,62 @@ mod tests {
         let report = audit_events(&good, 0, &AuditConfig::default());
         assert!(report.passed(), "violations: {:?}", report.violations);
         assert!(report.stats.noise_pages > 0);
+    }
+
+    #[test]
+    fn plan_coverage_cross_check() {
+        let addr = [0xaa; 20];
+        let plan = |page| TelemetryEvent::PlanPage { at: 100, address: addr, page };
+        let fetch =
+            |at, page| TelemetryEvent::CodePageFetch { at, address: addr, page };
+
+        // Fetches inside the advertised plan: clean.
+        let ok = [plan(0), plan(1), plan(3), fetch(1_000, 0), fetch(2_000, 3)];
+        let report = audit_events(&ok, 0, &AuditConfig::default());
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.stats.planned_pages, 3);
+        assert_eq!(report.stats.code_page_fetches, 2);
+
+        // A fetch outside the plan: leak-or-bug.
+        let bad = [plan(0), plan(1), fetch(1_000, 0), fetch(2_000, 2)];
+        let report = audit_events(&bad, 0, &AuditConfig::default());
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UnplannedCodePage { page: 2, .. })));
+        assert_eq!(report.stats.unplanned_fetches, 1);
+    }
+
+    #[test]
+    fn unplanned_contract_is_exempt() {
+        // One contract advertises a plan; a second never does. Fetches
+        // for the second are unconstrained.
+        let planned = [0xaa; 20];
+        let wild = [0xbb; 20];
+        let events = [
+            TelemetryEvent::PlanPage { at: 100, address: planned, page: 0 },
+            TelemetryEvent::CodePageFetch { at: 1_000, address: planned, page: 0 },
+            TelemetryEvent::CodePageFetch { at: 2_000, address: wild, page: 7 },
+        ];
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.stats.code_page_fetches, 2);
+        assert_eq!(report.stats.unplanned_fetches, 0);
+    }
+
+    #[test]
+    fn plan_after_fetch_still_counts() {
+        // The invariant is run-wide set membership, not ordering: a plan
+        // extension later in the stream covers an earlier fetch.
+        let addr = [0xcc; 20];
+        let events = [
+            TelemetryEvent::PlanPage { at: 100, address: addr, page: 0 },
+            TelemetryEvent::CodePageFetch { at: 1_000, address: addr, page: 4 },
+            TelemetryEvent::PlanPage { at: 5_000, address: addr, page: 4 },
+        ];
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report.passed(), "violations: {:?}", report.violations);
     }
 
     #[test]

@@ -76,11 +76,17 @@ pub enum CounterId {
     NodeRetries,
     /// Node: circuit-breaker open transitions.
     BreakerOpens,
+    /// Bundles refused by the static-analysis admission gate.
+    AnalysisRejects,
+    /// Secret-dependency lint findings surfaced in bundle reports.
+    LintFindings,
+    /// Code pages advertised in static prefetch plans.
+    PlannedPages,
 }
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 21;
     /// Every counter, in index order.
     pub const ALL: [CounterId; Self::COUNT] = [
         CounterId::Bundles,
@@ -101,6 +107,9 @@ impl CounterId {
         CounterId::GwFailed,
         CounterId::NodeRetries,
         CounterId::BreakerOpens,
+        CounterId::AnalysisRejects,
+        CounterId::LintFindings,
+        CounterId::PlannedPages,
     ];
 
     /// Stable snake_case name (used in reports and JSON output).
@@ -124,6 +133,9 @@ impl CounterId {
             CounterId::GwFailed => "gw_failed",
             CounterId::NodeRetries => "node_retries",
             CounterId::BreakerOpens => "breaker_opens",
+            CounterId::AnalysisRejects => "analysis_rejects",
+            CounterId::LintFindings => "lint_findings",
+            CounterId::PlannedPages => "planned_pages",
         }
     }
 }
@@ -534,6 +546,27 @@ pub enum TelemetryEvent {
         /// Backoff before the retry.
         backoff_ns: Nanos,
     },
+    /// The static analyzer declared one code page reachable — part of a
+    /// contract's advertised prefetch plan for the current bundle.
+    PlanPage {
+        /// Virtual time of plan registration.
+        at: Nanos,
+        /// Contract address owning the page.
+        address: [u8; 20],
+        /// Planned page index.
+        page: u32,
+    },
+    /// A *real* code page crossed the ORAM wire (demand, paced, or
+    /// prefetch — cache-hit dummies excluded). The auditor checks every
+    /// one of these against the advertised plan.
+    CodePageFetch {
+        /// Virtual time of the fetch.
+        at: Nanos,
+        /// Contract address owning the page.
+        address: [u8; 20],
+        /// Fetched page index.
+        page: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -549,7 +582,9 @@ impl TelemetryEvent {
             | TelemetryEvent::Reject { at, .. }
             | TelemetryEvent::Shed { at, .. }
             | TelemetryEvent::Breaker { at, .. }
-            | TelemetryEvent::NodeRetry { at, .. } => at,
+            | TelemetryEvent::NodeRetry { at, .. }
+            | TelemetryEvent::PlanPage { at, .. }
+            | TelemetryEvent::CodePageFetch { at, .. } => at,
         }
     }
 
@@ -616,6 +651,18 @@ impl TelemetryEvent {
                 out.extend_from_slice(&at.to_be_bytes());
                 out.extend_from_slice(&attempt.to_be_bytes());
                 out.extend_from_slice(&backoff_ns.to_be_bytes());
+            }
+            TelemetryEvent::PlanPage { at, address, page } => {
+                out.push(0x0b);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.extend_from_slice(&address);
+                out.extend_from_slice(&page.to_be_bytes());
+            }
+            TelemetryEvent::CodePageFetch { at, address, page } => {
+                out.push(0x0c);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.extend_from_slice(&address);
+                out.extend_from_slice(&page.to_be_bytes());
             }
         }
     }

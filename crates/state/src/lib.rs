@@ -28,6 +28,7 @@
 //! assert_eq!(backend.storage(&user, &U256::ONE), U256::ZERO); // untouched
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod account;

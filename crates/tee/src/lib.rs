@@ -12,6 +12,7 @@
 //!   buffering them in Hypervisor memory (the A3 defense).
 //! * [`hypervisor`] — HEVM slot management with exclusive per-bundle
 //!   assignment and a non-preemptive interrupt queue (the A2 defense).
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attestation;

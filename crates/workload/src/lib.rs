@@ -12,6 +12,7 @@
 //!   that measures per-frame memory-like sizes, storage records, and
 //!   call depths from live execution.
 //! * [`microbench`] — Figure 5's per-operation benchmarks.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod contracts;

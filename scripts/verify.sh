@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # Full verification gate for the HarDTAPE reproduction.
 #
-#   scripts/verify.sh [--soak] [--bench]
+#   scripts/verify.sh [--soak] [--bench] [--lint]
 #
 # Runs, in order:
 #   1. release build of the whole workspace
-#   2. the root-package test suite (the tier-1 gate)
+#   2. the root-package test suite (the tier-1 gate; includes the
+#      static-analyzer self-tests via the workspace run below)
 #   3. the full workspace test suite
-#   4. clippy with warnings denied and `.unwrap()` forbidden in the
-#      crates that sit on untrusted boundaries (tape-oram, tape-tee,
-#      tape-evm, tape-state, hardtape). Any allow-listed exception must
-#      carry a justifying comment at the allow site.
+#   4. clippy over EVERY workspace crate with warnings denied and
+#      `.unwrap()` forbidden. Any allow-listed exception must carry a
+#      justifying comment at the allow site.
+#   5. an `#![forbid(unsafe_code)]` assertion: every crate root must
+#      carry the attribute, so no `unsafe` block can enter the TCB
+#      without flipping a tracked line in review.
+#
+# With --lint, stops after the static gates (4 and 5) — no build or
+# test run. Useful as a fast pre-commit hook.
 #
 # With --soak, additionally replays the gateway chaos soak under three
 # fixed seeds, running each seed in two separate processes and failing
@@ -22,9 +28,10 @@
 # With --bench, runs the deterministic pre-execution benchmark under
 # its fixed baked-in seed, writing BENCH_pre_execute.json. The binary
 # fails if the telemetry digest drifts between two in-process runs or
-# the leakage auditor reports violations; a second run with the
-# prefetcher-starvation ablation (--starve) must *fail* the audit —
-# the negative control proving the auditor has teeth.
+# the leakage auditor reports violations. Two negative controls prove
+# the auditor has teeth: --starve (prefetcher starvation, pre-fix
+# pipeline) and --omit-plan (a prefetch plan mis-advertising one page)
+# must each *fail* the audit.
 #
 # Everything is hermetic: no network access is required.
 
@@ -33,13 +40,38 @@ cd "$(dirname "$0")/.."
 
 RUN_SOAK=0
 RUN_BENCH=0
+LINT_ONLY=0
 for arg in "$@"; do
     case "$arg" in
         --soak) RUN_SOAK=1 ;;
         --bench) RUN_BENCH=1 ;;
-        *) echo "usage: scripts/verify.sh [--soak] [--bench]" >&2; exit 2 ;;
+        --lint) LINT_ONLY=1 ;;
+        *) echo "usage: scripts/verify.sh [--soak] [--bench] [--lint]" >&2; exit 2 ;;
     esac
 done
+
+lint_gates() {
+    echo "==> cargo clippy --workspace (deny warnings + unwrap_used, all crates)"
+    cargo clippy --workspace -- -D warnings -D clippy::unwrap_used
+
+    echo "==> forbid(unsafe_code) in every crate root"
+    missing=0
+    for root in src/lib.rs crates/*/src/lib.rs; do
+        if ! grep -q '^#!\[forbid(unsafe_code)\]' "$root"; then
+            echo "missing #![forbid(unsafe_code)]: $root" >&2
+            missing=1
+        fi
+    done
+    if [[ "$missing" -ne 0 ]]; then
+        exit 1
+    fi
+}
+
+if [[ "$LINT_ONLY" -eq 1 ]]; then
+    lint_gates
+    echo "==> verify --lint: static gates passed"
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release
@@ -50,9 +82,7 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> cargo clippy (deny warnings + unwrap_used in boundary crates)"
-cargo clippy -p tape-oram -p tape-tee -p tape-evm -p tape-state -p hardtape -- \
-    -D warnings -D clippy::unwrap_used
+lint_gates
 
 soak_digest() {
     # Prints the SOAK_DIGEST line for one fresh-process chaos run.
@@ -83,6 +113,9 @@ if [[ "$RUN_BENCH" -eq 1 ]]; then
     echo "==> starvation ablation (the auditor must detect the leak)"
     cargo run -q --release -p tape-bench --bin bench_pre_execute -- \
         --starve --out target/BENCH_pre_execute.starve.json
+    echo "==> plan-omission ablation (the auditor must detect the leak)"
+    cargo run -q --release -p tape-bench --bin bench_pre_execute -- \
+        --omit-plan --out target/BENCH_pre_execute.omit_plan.json
 fi
 
 echo "==> verify: all gates passed"

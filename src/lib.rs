@@ -4,7 +4,10 @@
 //! and the runnable examples in `examples/`. The actual library surface
 //! lives in the `hardtape` crate and its substrate crates (`tape-*`).
 
+#![forbid(unsafe_code)]
+
 pub use hardtape;
+pub use tape_analysis as analysis;
 pub use tape_crypto as crypto;
 pub use tape_evm as evm;
 pub use tape_hevm as hevm;
