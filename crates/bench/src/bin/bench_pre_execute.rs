@@ -15,6 +15,12 @@
 //!   plan (execution is untouched) and *expects the auditor to flag the
 //!   unadvertised fetch*. Exit code 0 means the gap was detected.
 //! * `--out PATH` — output path (default `BENCH_pre_execute.json`).
+//! * `--baseline PATH` — regression guard: reads `queries_per_bundle`
+//!   from a previously committed report and fails (exit 1) when the
+//!   fresh run regresses by more than 10% — an accidental extra ORAM
+//!   round-trip per bundle cannot land silently. The baseline is read
+//!   before the output is written, so `--baseline` and `--out` may
+//!   name the same file.
 //!
 //! Scale follows `TAPE_EVAL_SCALE` (small unless set).
 
@@ -47,7 +53,7 @@ fn run(set: &EvalSet, starve: bool, omit_plan: bool, audit_cfg: &AuditConfig) ->
         oram_height: 14,
         ..ServiceConfig::at_level(SecurityConfig::Full)
     };
-    let mut device = HarDTape::new(config, set.env.clone(), &set.genesis);
+    let mut device = HarDTape::new(config, set.env.clone(), &set.genesis).expect("device boots");
     device.set_prefetch_ablation(starve);
     device.set_plan_ablation(omit_plan);
     let mut user = device.connect_user(b"bench user").expect("attestation");
@@ -115,10 +121,33 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Extracts the `"queries_per_bundle": <float>` value from a previously
+/// written report, by hand — the workspace is hermetic (no serde).
+fn baseline_queries_per_bundle(path: &str) -> f64 {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("--baseline: cannot read {path}: {err}");
+        std::process::exit(2);
+    });
+    let key = "\"queries_per_bundle\":";
+    let Some(at) = text.find(key) else {
+        eprintln!("--baseline: {path} has no queries_per_bundle field");
+        std::process::exit(2);
+    };
+    let rest = &text[at + key.len()..];
+    let end = rest
+        .find(|c: char| c != ' ' && c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().unwrap_or_else(|err| {
+        eprintln!("--baseline: {path} queries_per_bundle is not a number: {err}");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let mut starve = false;
     let mut omit_plan = false;
     let mut out_path = String::from("BENCH_pre_execute.json");
+    let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -130,14 +159,23 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--baseline" => {
+                baseline_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--baseline requires a path");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!(
-                    "usage: bench_pre_execute [--starve] [--omit-plan] [--out PATH] (got {other:?})"
+                    "usage: bench_pre_execute [--starve] [--omit-plan] [--out PATH] \
+                     [--baseline PATH] (got {other:?})"
                 );
                 std::process::exit(2);
             }
         }
     }
+    // Read the baseline up front: the fresh report may overwrite it.
+    let baseline = baseline_path.as_deref().map(baseline_queries_per_bundle);
 
     let set = EvalSet::generate(&tape_bench::eval_config());
     println!(
@@ -250,6 +288,19 @@ fn main() {
     if !digests_match {
         eprintln!("FAIL: telemetry digest drifted between two in-process runs");
         std::process::exit(1);
+    }
+    if let Some(baseline) = baseline {
+        let limit = baseline * 1.10;
+        println!(
+            "  baseline queries/bundle: {baseline:.2} (limit {limit:.2}, measured {queries_per_bundle:.2})"
+        );
+        if queries_per_bundle > limit {
+            eprintln!(
+                "FAIL: ORAM queries/bundle regressed >10%: {queries_per_bundle:.2} vs \
+                 baseline {baseline:.2}"
+            );
+            std::process::exit(1);
+        }
     }
     if starve || omit_plan {
         if first.audit.passed() {

@@ -39,7 +39,7 @@ fn main() {
             oram_height: 14,
             ..ServiceConfig::at_level(level)
         };
-        let mut device = HarDTape::new(service_config, set.env.clone(), &set.genesis);
+        let mut device = HarDTape::new(service_config, set.env.clone(), &set.genesis).expect("device boots");
         let mut user = device.connect_user(b"fig4 user").expect("attestation");
         let mut sum = 0u64;
         for tx in set.all_transactions() {

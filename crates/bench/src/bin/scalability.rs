@@ -14,7 +14,7 @@ fn main() {
 
     let service_config = ServiceConfig { oram_height: 14, ..ServiceConfig::at_level(SecurityConfig::Full) };
     let hevm_count = service_config.hevm_count;
-    let mut device = HarDTape::new(service_config, set.env.clone(), &set.genesis);
+    let mut device = HarDTape::new(service_config, set.env.clone(), &set.genesis).expect("device boots");
     let mut user = device.connect_user(b"scalability").expect("attestation");
 
     let sync_queries = device.oram_stats().expect("full config has an ORAM").total();

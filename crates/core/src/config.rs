@@ -111,6 +111,11 @@ pub struct GatewayConfig {
     pub breaker: BreakerConfig,
     /// Per-sync retry discipline (backoff inside one sync attempt).
     pub sync_retry: RetryPolicy,
+    /// When a reorg orphans the block a queued bundle was admitted
+    /// against, re-run admission against the new head instead of
+    /// shedding it outright. Shedding (false) is the conservative
+    /// policy: the tenant is told exactly why via a typed error.
+    pub revalidate_on_reorg: bool,
 }
 
 impl Default for GatewayConfig {
@@ -127,6 +132,7 @@ impl Default for GatewayConfig {
             per_bundle_estimate_ns: 164_400_000,
             breaker: BreakerConfig::default(),
             sync_retry: RetryPolicy::default(),
+            revalidate_on_reorg: true,
         }
     }
 }

@@ -33,9 +33,13 @@
 //! the property the chaos soak harness (`tests/soak.rs`) asserts.
 
 use crate::config::GatewayConfig;
-use crate::service::{Bundle, BundleReport, HarDTape, ServiceError, StalenessBound, UserHandle};
+use crate::service::{
+    Bundle, BundleReport, ForkPoint, HarDTape, ServiceError, StalenessBound, SyncOutcome,
+    UserHandle,
+};
 use std::collections::HashMap;
-use tape_node::{BlockFeed, BreakerState, CircuitBreaker};
+use tape_node::{BlockFeed, BreakerState, CircuitBreaker, FeedSet};
+use tape_primitives::B256;
 use tape_sim::queue::{BoundedQueue, Drr, EventLog, QueueStats};
 use tape_sim::telemetry::{CounterId, GaugeId, TelemetryEvent};
 use tape_sim::Nanos;
@@ -67,6 +71,15 @@ pub enum GatewayError {
     },
     /// The session id is not registered with this gateway.
     UnknownSession(u64),
+    /// The block the bundle was admitted against was orphaned by a
+    /// reorg and the gateway's policy is to shed rather than
+    /// re-validate ([`GatewayConfig::revalidate_on_reorg`] = false).
+    PinnedHeadReorged {
+        /// The admission-time head the bundle was pinned to.
+        pinned: B256,
+        /// The verified fork point the chain rolled back to.
+        fork: ForkPoint,
+    },
     /// The underlying service failed the bundle (typed, per PR 1).
     Service(ServiceError),
 }
@@ -84,6 +97,11 @@ impl core::fmt::Display for GatewayError {
                 write!(f, "feed breaker open; retry after {retry_after} virtual ns")
             }
             GatewayError::UnknownSession(s) => write!(f, "unknown session {s}"),
+            GatewayError::PinnedHeadReorged { pinned, fork } => write!(
+                f,
+                "admission head {pinned} reorged out (fork point {} at height {})",
+                fork.hash, fork.height
+            ),
             GatewayError::Service(e) => write!(f, "service: {e}"),
         }
     }
@@ -110,6 +128,21 @@ pub struct Completion {
     pub outcome: Result<BundleReport, GatewayError>,
 }
 
+/// What one [`Gateway::sync_set`] round did: the chain outcome plus the
+/// fate of every queued bundle the outcome touched.
+#[derive(Debug)]
+pub struct SyncReport {
+    /// The chain-level outcome of the quorum sync.
+    pub outcome: SyncOutcome,
+    /// Completions (typed errors) for queued bundles shed because the
+    /// head they were pinned to was orphaned. Empty unless the sync
+    /// reorged.
+    pub shed: Vec<Completion>,
+    /// Tickets whose bundles were re-validated against the new head and
+    /// re-pinned ([`GatewayConfig::revalidate_on_reorg`] = true).
+    pub revalidated: Vec<u64>,
+}
+
 /// Aggregate gateway counters (instrumentation for tests and ops).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GatewayStats {
@@ -128,6 +161,9 @@ pub struct GatewayStats {
     pub served_stale: u64,
     /// Syncs refused because the breaker was open.
     pub sync_refused: u64,
+    /// Queued bundles shed because the head they were admitted against
+    /// was orphaned by a reorg (includes revalidation failures).
+    pub shed_reorg: u64,
 }
 
 struct Tenant {
@@ -142,6 +178,11 @@ struct Admitted {
     admitted_at: Nanos,
     deadline: Nanos,
     cost: u64,
+    /// The device head at admission time: the world state the static
+    /// admission verdict was computed against. Re-validated (or shed
+    /// with a typed error) if a reorg orphans this block while the
+    /// bundle is still queued.
+    pinned_head: Option<B256>,
 }
 
 /// The front-end between connected users and the HEVM core pool. See
@@ -160,6 +201,10 @@ pub struct Gateway {
     stats: GatewayStats,
     /// Last breaker state reported to telemetry (transition detection).
     last_breaker: BreakerState,
+    /// Fork point of the most recent reorg the device applied: stamped
+    /// into [`StalenessBound`]s so degraded reports disclose that the
+    /// chain behind them was recently rewritten.
+    last_fork: Option<ForkPoint>,
 }
 
 impl core::fmt::Debug for Gateway {
@@ -194,6 +239,7 @@ impl Gateway {
             log: EventLog::new(),
             stats: GatewayStats::default(),
             last_breaker: BreakerState::Closed,
+            last_fork: None,
         }
     }
 
@@ -305,6 +351,7 @@ impl Gateway {
             admitted_at: now,
             deadline: now.saturating_add(self.config.deadline_ns),
             cost,
+            pinned_head: self.device.head(),
         };
         match self.tenants[index].queue.push(admitted) {
             Ok(()) => {
@@ -439,6 +486,7 @@ impl Gateway {
                     report.staleness = Some(StalenessBound {
                         head: self.device.head(),
                         age_ns: now.saturating_sub(self.last_sync_at.unwrap_or(0)),
+                        fork_point: self.last_fork,
                     });
                     self.stats.served_stale += 1;
                 }
@@ -510,6 +558,164 @@ impl Gateway {
                 Err(GatewayError::Service(err))
             }
         }
+    }
+
+    /// Synchronizes the device from a Byzantine-tolerant [`FeedSet`]
+    /// through the circuit breaker. On a reorg, every queued bundle
+    /// whose admission-time head was orphaned is either re-validated
+    /// against the new head and re-pinned
+    /// ([`GatewayConfig::revalidate_on_reorg`] = true) or shed with
+    /// [`GatewayError::PinnedHeadReorged`]; either way each such bundle
+    /// still resolves to exactly one completion.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::FeedBreakerOpen`] while the breaker is open; the
+    /// underlying [`ServiceError`] otherwise (equivocation without a
+    /// quorum winner, finality violations, forged proofs — all of which
+    /// also count toward opening the breaker).
+    pub fn sync_set(&mut self, feeds: &mut FeedSet) -> Result<SyncReport, GatewayError> {
+        let now = self.now();
+        if !self.breaker.call_permitted(now) {
+            self.stats.sync_refused += 1;
+            let retry_after = self.breaker.retry_after(now);
+            self.log.record(format!("t={now} sync-set refused retry_after={retry_after}"));
+            self.note_breaker();
+            return Err(GatewayError::FeedBreakerOpen { retry_after });
+        }
+        match self.device.sync_from_feeds(feeds) {
+            Ok(outcome) => {
+                self.breaker.record_success();
+                self.last_sync_at = Some(self.now());
+                let (shed, revalidated) = match &outcome {
+                    SyncOutcome::Reorged { fork, depth, orphaned, adopted } => {
+                        self.last_fork = Some(*fork);
+                        self.log.record(format!(
+                            "t={} sync-set reorg depth={depth} fork={} adopted={adopted}",
+                            self.now(),
+                            fork.hash,
+                        ));
+                        self.repin_or_shed(*fork, orphaned.clone(), *adopted)
+                    }
+                    SyncOutcome::Advanced { blocks } => {
+                        self.log
+                            .record(format!("t={} sync-set ok blocks={blocks}", self.now()));
+                        (Vec::new(), Vec::new())
+                    }
+                    SyncOutcome::AlreadySynced => {
+                        self.log.record(format!("t={} sync-set ok (no-op)", self.now()));
+                        (Vec::new(), Vec::new())
+                    }
+                };
+                self.note_breaker();
+                Ok(SyncReport { outcome, shed, revalidated })
+            }
+            Err(err) => {
+                let now = self.now();
+                self.breaker.record_failure(now);
+                self.log.record(format!(
+                    "t={now} sync-set err={err} breaker={}",
+                    self.breaker.state(now)
+                ));
+                self.note_breaker();
+                Err(GatewayError::Service(err))
+            }
+        }
+    }
+
+    /// Walks every tenant queue after a reorg: bundles pinned to an
+    /// orphaned head are re-validated and re-pinned to `adopted`, or
+    /// shed with a typed error, per the configured policy. Queue order
+    /// of the survivors is preserved.
+    fn repin_or_shed(
+        &mut self,
+        fork: ForkPoint,
+        orphaned: Vec<B256>,
+        adopted: B256,
+    ) -> (Vec<Completion>, Vec<u64>) {
+        let mut shed = Vec::new();
+        let mut revalidated = Vec::new();
+        for index in 0..self.tenants.len() {
+            let session = self.tenants[index].session;
+            let mut survivors = Vec::new();
+            while let Some(mut admitted) = self.tenants[index].queue.pop() {
+                let reorged_out =
+                    admitted.pinned_head.is_some_and(|pinned| orphaned.contains(&pinned));
+                if !reorged_out {
+                    survivors.push(admitted);
+                    continue;
+                }
+                let now = self.now();
+                let pinned = admitted
+                    .pinned_head
+                    .unwrap_or_else(|| unreachable!("reorged_out implies a pin"));
+                if self.config.revalidate_on_reorg {
+                    match self.device.admission_check(&admitted.bundle) {
+                        Ok(()) => {
+                            admitted.pinned_head = Some(adopted);
+                            revalidated.push(admitted.ticket);
+                            self.log.record(format!(
+                                "t={now} repin session={session} ticket={} head={adopted}",
+                                admitted.ticket
+                            ));
+                            survivors.push(admitted);
+                            continue;
+                        }
+                        Err(err) => {
+                            // The bundle no longer passes admission on
+                            // the new branch: shed with the analyzer's
+                            // typed reason.
+                            self.shed_for_reorg(
+                                &mut shed,
+                                session,
+                                &admitted,
+                                GatewayError::Service(err),
+                            );
+                        }
+                    }
+                } else {
+                    self.shed_for_reorg(
+                        &mut shed,
+                        session,
+                        &admitted,
+                        GatewayError::PinnedHeadReorged { pinned, fork },
+                    );
+                }
+            }
+            for admitted in survivors {
+                if self.tenants[index].queue.push(admitted).is_err() {
+                    unreachable!("re-pushing a drained queue cannot overflow");
+                }
+            }
+        }
+        (shed, revalidated)
+    }
+
+    /// Records one reorg shed: stats, telemetry, log, completion.
+    fn shed_for_reorg(
+        &mut self,
+        shed: &mut Vec<Completion>,
+        session: u64,
+        admitted: &Admitted,
+        error: GatewayError,
+    ) {
+        let now = self.now();
+        self.queued_total -= 1;
+        self.stats.shed_reorg += 1;
+        self.log.record(format!(
+            "t={now} shed-reorg session={session} ticket={} err={error}",
+            admitted.ticket
+        ));
+        let t = self.device.telemetry();
+        t.count(CounterId::GwShed, 1);
+        t.record(TelemetryEvent::Shed { at: now, session, ticket: admitted.ticket });
+        shed.push(Completion { ticket: admitted.ticket, session, outcome: Err(error) });
+    }
+
+    /// The fork point of the most recent reorg the device applied
+    /// through this gateway (`None` if none yet).
+    pub fn last_fork(&self) -> Option<ForkPoint> {
+        self.last_fork
     }
 
     /// The breaker's current state (cooldown transitions applied).

@@ -30,7 +30,7 @@
 //!     ServiceConfig::at_level(SecurityConfig::Es),
 //!     Env::default(),
 //!     &genesis,
-//! );
+//! )?;
 //! let mut session = device.connect_user(b"doc user")?;
 //! let bundle = Bundle::single(Transaction::transfer(
 //!     user,
@@ -52,9 +52,10 @@ pub mod scalability;
 mod service;
 
 pub use config::{BreakerConfig, GatewayConfig, SecurityConfig};
-pub use gateway::{Completion, Gateway, GatewayError, GatewayStats};
+pub use gateway::{Completion, Gateway, GatewayError, GatewayStats, SyncReport};
 pub use reader::HybridState;
 pub use scalability::{estimate, ScalabilityReport, ETHEREUM_TPS};
 pub use service::{
-    Bundle, BundleReport, HarDTape, ServiceConfig, ServiceError, StalenessBound, UserHandle,
+    Bundle, BundleReport, ForkPoint, HarDTape, ServiceConfig, ServiceError, StalenessBound,
+    SyncOutcome, UserHandle,
 };

@@ -9,7 +9,7 @@ use tape_analysis::{AnalysisConfig, AnalysisReject, CodeAnalysis, Limits, LintFi
 use tape_crypto::{PublicKey, SecretKey, SecureRng, Signature};
 use tape_evm::{Env, Transaction, TxResult};
 use tape_hevm::{Hevm, HevmAbort, HevmConfig, HevmStats};
-use tape_node::{BlockFeed, BlockHeader, FeedError, RetryPolicy, StateDelta};
+use tape_node::{BlockFeed, BlockHeader, FeedError, FeedSet, RetryPolicy, StateDelta};
 use tape_oram::{ObliviousState, OramClient, OramConfig, OramError, OramServer};
 use tape_primitives::{rlp, Address, B256};
 use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
@@ -17,7 +17,7 @@ use tape_sim::telemetry::{
     CounterId, GaugeId, HistId, PhaseKind, Telemetry, TelemetryEvent,
 };
 use tape_sim::{Clock, CostModel, Nanos};
-use tape_state::{InMemoryState, StateChanges};
+use tape_state::{InMemoryState, StateChanges, UndoDelta, UndoRing};
 use tape_tee::attestation::{session_key, Attester, Manufacturer, Verifier};
 use tape_tee::channel::{sign_bundle, verify_bundle, Channel};
 use tape_tee::hypervisor::{Hypervisor, SlotError};
@@ -35,6 +35,14 @@ pub struct ServiceConfig {
     pub hevm_count: usize,
     /// Deterministic seed for all device randomness.
     pub seed: u64,
+    /// Deepest reorg the device will follow: a winning branch forking
+    /// more than this many blocks below the head is refused with
+    /// [`ServiceError::FinalityViolation`].
+    pub finality_depth: u64,
+    /// Block deltas retained for in-place rollback (the undo ring).
+    /// Must be at least `finality_depth`, or deep-but-legal reorgs die
+    /// on an exhausted window.
+    pub undo_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -50,6 +58,8 @@ impl Default for ServiceConfig {
             oram_height: 14,
             hevm_count: 3,
             seed: 0x7A9E,
+            finality_depth: 8,
+            undo_capacity: 16,
         }
     }
 }
@@ -108,6 +118,44 @@ pub struct StalenessBound {
     /// Virtual time elapsed since that head was attested (since boot
     /// when `head` is `None`).
     pub age_ns: Nanos,
+    /// When the degradation was caused by a reorg, the verified fork
+    /// point the chain rolled back to; the world state behind the
+    /// report is canonical only up to this block.
+    pub fork_point: Option<ForkPoint>,
+}
+
+/// A verified position on the chain: the common ancestor a reorg rolled
+/// the world state back to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForkPoint {
+    /// The fork-point block number.
+    pub height: u64,
+    /// The fork-point block hash.
+    pub hash: B256,
+}
+
+/// The outcome of one [`HarDTape::sync_from_feeds`] round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncOutcome {
+    /// The quorum's head is already the device's head.
+    AlreadySynced,
+    /// The head extended the device's chain by `blocks` blocks.
+    Advanced {
+        /// Blocks applied (1 for a plain head sync, more for catch-up).
+        blocks: usize,
+    },
+    /// The quorum's head lives on a different branch: the device rolled
+    /// back to the fork point and replayed the winning branch.
+    Reorged {
+        /// The common ancestor the world state was rolled back to.
+        fork: ForkPoint,
+        /// Blocks unapplied below the old head.
+        depth: u64,
+        /// Hashes of the abandoned blocks, newest first.
+        orphaned: Vec<B256>,
+        /// The newly adopted head hash.
+        adopted: B256,
+    },
 }
 
 /// The per-bundle report returned to the user: per-transaction results
@@ -223,6 +271,39 @@ pub enum ServiceError {
         /// The typed admission verdict.
         reason: AnalysisReject,
     },
+    /// A verified head does not extend the device's chain: the block at
+    /// `height` is on a different branch. A single-feed sync refuses it
+    /// outright; the multi-feed path resolves it via fork-choice,
+    /// rollback, and replay.
+    ReorgDetected {
+        /// The head the device expected the new block to build on.
+        expected: B256,
+        /// The conflicting hash actually served (the block itself at or
+        /// below the device's height, or its non-matching parent).
+        got: B256,
+        /// The height the conflict was observed at.
+        height: u64,
+    },
+    /// A feed served two verified sibling heads at the same height —
+    /// cryptographic evidence of Byzantine equivocation. Surfaced when
+    /// the evidence leaves no verified winner to sync from.
+    Equivocation {
+        /// The contested height.
+        height: u64,
+        /// One verified head hash.
+        a: B256,
+        /// The other verified head hash.
+        b: B256,
+    },
+    /// The winning branch forks deeper below the head than the
+    /// configured finality depth (or below the retained undo window):
+    /// following it would rewrite state the device treats as final.
+    FinalityViolation {
+        /// Blocks the branch would unapply.
+        depth: u64,
+        /// The configured finality depth it exceeds.
+        finality: u64,
+    },
 }
 
 impl core::fmt::Display for ServiceError {
@@ -247,6 +328,18 @@ impl core::fmt::Display for ServiceError {
             }
             ServiceError::AnalysisReject { address, reason } => {
                 write!(f, "static analysis rejected callee {address}: {reason}")
+            }
+            ServiceError::ReorgDetected { expected, got, height } => {
+                write!(f, "reorg detected at height {height}: expected {expected}, got {got}")
+            }
+            ServiceError::Equivocation { height, a, b } => {
+                write!(f, "feed equivocated at height {height}: {a} vs {b}")
+            }
+            ServiceError::FinalityViolation { depth, finality } => {
+                write!(
+                    f,
+                    "branch forks {depth} blocks below the head, past finality depth {finality}"
+                )
             }
         }
     }
@@ -309,6 +402,18 @@ pub struct HarDTape {
     local: InMemoryState,
     oram: Option<ObliviousState>,
     expected_head: Option<B256>,
+    /// Height of the expected head (`None` until the first sync).
+    head_height: Option<u64>,
+    /// Recently applied `(height, hash)` heads — the window a reorg's
+    /// fork point is searched in. Bounded by `undo_capacity + 1`.
+    recent_heads: Vec<(u64, B256)>,
+    /// Per-block world-state pre-images enabling in-place rollback.
+    undo: UndoRing,
+    /// Rollback-ablation switch: restores only the local mirror during
+    /// a rollback, skipping the ORAM writes while still advertising
+    /// them — the §IV-D auditor's negative control (the reorg must be
+    /// *observable* as missing sync traffic).
+    rollback_ablation: std::cell::Cell<bool>,
     /// Deterministic adversary schedule, when armed (see [`FaultPlan`]).
     faults: Option<FaultPlan>,
     /// Sessions revoked after an integrity failure: their bundles are
@@ -341,7 +446,18 @@ impl HarDTape {
     /// Boots a device, provisions it with a fresh Manufacturer, and
     /// synchronizes the genesis world state (into the ORAM when the
     /// configuration calls for one).
-    pub fn new(config: ServiceConfig, env: Env, genesis: &InMemoryState) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Oram`] when the initial full-state sync hits an
+    /// ORAM integrity failure — an undersized tree (genesis larger than
+    /// the configured `oram_height` can hold) surfaces here as a typed
+    /// error instead of a panic.
+    pub fn new(
+        config: ServiceConfig,
+        env: Env,
+        genesis: &InMemoryState,
+    ) -> Result<Self, ServiceError> {
         let manufacturer = Manufacturer::new(&config.seed.to_be_bytes());
         let mut rng = SecureRng::from_seed(&(config.seed ^ 0xDE51u64).to_be_bytes());
         let firmware = b"hardtape hypervisor firmware v1.0";
@@ -385,7 +501,7 @@ impl HarDTape {
             accounts.sort_by_key(|(a, _)| *a);
             state
                 .sync_full_state(accounts.into_iter())
-                .expect("fresh ORAM sync cannot fail");
+                .map_err(ServiceError::Oram)?;
             Some(state)
         } else {
             None
@@ -405,7 +521,8 @@ impl HarDTape {
             layer2_bytes: config.hevm.mem.layer2_bytes,
             min_resident_frames: 2,
         };
-        HarDTape {
+        let undo = UndoRing::new(config.undo_capacity);
+        Ok(HarDTape {
             config,
             env,
             clock,
@@ -416,13 +533,17 @@ impl HarDTape {
             local: genesis.clone(),
             oram,
             expected_head: None,
+            head_height: None,
+            recent_heads: Vec::new(),
+            undo,
+            rollback_ablation: std::cell::Cell::new(false),
             faults: None,
             revoked: std::collections::HashSet::new(),
             telemetry,
             analysis_cache: std::collections::HashMap::new(),
             legacy_prefetch: std::cell::Cell::new(false),
             limits,
-        }
+        })
     }
 
     /// The device's telemetry sink (shared with the gateway and every
@@ -939,13 +1060,22 @@ impl HarDTape {
     }
 
     /// Synchronizes a new block's state delta (paper step 11): verifies
-    /// the Merkle proofs against the block header, then updates the local
-    /// mirror and the ORAM.
+    /// the Merkle proofs against the block header, checks that the block
+    /// extends the device's chain, then updates the local mirror and the
+    /// ORAM — capturing per-account pre-images in the undo ring first,
+    /// so a later reorg can roll the block back in place.
+    ///
+    /// Re-syncing the current head is an idempotent no-op. A verified
+    /// block at or below the device's height, or one whose parent does
+    /// not match the expected head, is refused with
+    /// [`ServiceError::ReorgDetected`] — the single-feed path cannot
+    /// resolve forks; [`Self::sync_from_feeds`] can.
     ///
     /// # Errors
     ///
-    /// [`ServiceError`] if the header or any proof fails verification —
-    /// nothing is applied in that case (A6).
+    /// [`ServiceError`] if the header or any proof fails verification,
+    /// or the block conflicts with the device's chain — nothing is
+    /// applied in either case (A6).
     pub fn sync_block(
         &mut self,
         header: &BlockHeader,
@@ -955,6 +1085,60 @@ impl HarDTape {
             return Err(ServiceError::HeaderMismatch);
         }
         delta.verify().map_err(ServiceError::BadDelta)?;
+
+        let hash = header.hash();
+        if self.expected_head == Some(hash) {
+            // The quorum (or a recovered feed) re-served the current
+            // head: already applied, nothing to do.
+            return Ok(());
+        }
+        if let (Some(expected), Some(height)) = (self.expected_head, self.head_height) {
+            if header.number <= height {
+                // A verified sibling (or ancestor) of an applied block:
+                // this branch conflicts with ours.
+                return Err(ServiceError::ReorgDetected {
+                    expected,
+                    got: hash,
+                    height: header.number,
+                });
+            }
+            if header.number == height + 1 && header.parent_hash != expected {
+                return Err(ServiceError::ReorgDetected {
+                    expected,
+                    got: header.parent_hash,
+                    height,
+                });
+            }
+            // `number > height + 1` is a gap: the device missed blocks
+            // and this is plain catch-up — apply (legacy behaviour; the
+            // multi-feed path downloads the gap instead).
+        }
+        self.apply_block(header, delta)
+    }
+
+    /// Applies a verified, chain-consistent block: captures undo
+    /// pre-images, writes the delta through the local mirror and the
+    /// ORAM, and advances the head bookkeeping.
+    fn apply_block(
+        &mut self,
+        header: &BlockHeader,
+        delta: &StateDelta,
+    ) -> Result<(), ServiceError> {
+        let hash = header.hash();
+        // Pre-images first: everything this block is about to overwrite
+        // (or delete), exactly what unapplying it must restore.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut pre: Vec<(Address, Option<tape_state::Account>)> = Vec::new();
+        for address in delta
+            .accounts
+            .iter()
+            .map(|e| e.address)
+            .chain(delta.deleted.iter().map(|e| e.address))
+        {
+            if seen.insert(address) {
+                pre.push((address, self.local.account_full(&address).cloned()));
+            }
+        }
 
         for entry in &delta.accounts {
             self.local.put_account(entry.address, entry.account.clone());
@@ -969,9 +1153,200 @@ impl HarDTape {
                 oram.remove_account(&entry.address).map_err(ServiceError::Oram)?;
             }
         }
-        self.local.put_block_hash(header.number, header.hash());
-        self.expected_head = Some(header.hash());
+        self.undo.push(UndoDelta { height: header.number, block_hash: hash, pre });
+        self.local.put_block_hash(header.number, hash);
+        self.expected_head = Some(hash);
+        self.head_height = Some(header.number);
+        self.recent_heads.retain(|&(h, _)| h < header.number);
+        self.recent_heads.push((header.number, hash));
+        let cap = self.config.undo_capacity + 1;
+        if self.recent_heads.len() > cap {
+            let excess = self.recent_heads.len() - cap;
+            self.recent_heads.drain(..excess);
+        }
         Ok(())
+    }
+
+    /// Synchronizes from a Byzantine-tolerant [`FeedSet`]: polls every
+    /// feed, lets the set quarantine forgers/equivocators/stalls, and
+    /// follows the fork-choice winner — extending the chain, catching up
+    /// over gaps, or rolling back to a verified fork point and replaying
+    /// the winning branch (paper step 11, under threat A1/A6).
+    ///
+    /// The rollback travels through the normal ORAM sync path, so on the
+    /// wire it is shaped exactly like forward synchronization (§IV-D);
+    /// the telemetry auditor's reorg lens checks precisely that.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Equivocation`] when equivocation evidence leaves
+    /// no verified winner; [`ServiceError::NodeUnavailable`] when no
+    /// feed serves a verifiable head; [`ServiceError::FinalityViolation`]
+    /// when the winning branch forks below the finality depth (or the
+    /// undo window); any [`Self::sync_block`] error from the replay.
+    pub fn sync_from_feeds(&mut self, feeds: &mut FeedSet) -> Result<SyncOutcome, ServiceError> {
+        let report = feeds.poll();
+        if !report.equivocations.is_empty() {
+            self.telemetry
+                .count(CounterId::EquivocationsDetected, report.equivocations.len() as u64);
+        }
+        if !report.newly_quarantined.is_empty() {
+            self.telemetry
+                .count(CounterId::FeedsQuarantined, report.newly_quarantined.len() as u64);
+        }
+        let Some((winner, header, delta)) = report.winner else {
+            // No verified head. Equivocation evidence explains *why*
+            // the quorum failed; surface it over a generic outage.
+            if let Some(ev) = report.equivocations.first() {
+                return Err(ServiceError::Equivocation { height: ev.height, a: ev.a, b: ev.b });
+            }
+            return Err(ServiceError::NodeUnavailable);
+        };
+
+        let adopted = header.hash();
+        if self.expected_head == Some(adopted) {
+            return Ok(SyncOutcome::AlreadySynced);
+        }
+        let (Some(expected), Some(height)) = (self.expected_head, self.head_height) else {
+            // First sync ever: adopt the winner directly.
+            self.apply_block(&header, &delta)?;
+            return Ok(SyncOutcome::Advanced { blocks: 1 });
+        };
+        if header.number == height + 1 && header.parent_hash == expected {
+            self.apply_block(&header, &delta)?;
+            return Ok(SyncOutcome::Advanced { blocks: 1 });
+        }
+
+        // The winner is not a direct extension: walk its ancestry down
+        // (verifying every block) until it attaches to our chain —
+        // either at the head (pure catch-up) or at an earlier applied
+        // block (reorg).
+        let finality = self.config.finality_depth;
+        let mut branch: Vec<(BlockHeader, StateDelta)> = vec![(header, delta)];
+        let fork: ForkPoint = loop {
+            let lowest = &branch.last().expect("branch starts non-empty").0;
+            let parent = lowest.parent_hash;
+            let Some(parent_number) = lowest.number.checked_sub(1) else {
+                // Ran out of chain below the branch without attaching.
+                return Err(ServiceError::FinalityViolation { depth: height, finality });
+            };
+            if parent == expected && parent_number == height {
+                break ForkPoint { height, hash: expected };
+            }
+            if self
+                .recent_heads
+                .iter()
+                .any(|&(h, hh)| h == parent_number && hh == parent)
+            {
+                break ForkPoint { height: parent_number, hash: parent };
+            }
+            // Refuse to dig below finality before fetching further.
+            if parent_number < height.saturating_sub(finality) {
+                return Err(ServiceError::FinalityViolation {
+                    depth: height - parent_number,
+                    finality,
+                });
+            }
+            let (parent_header, parent_delta) = feeds
+                .fetch_block(winner, parent_number)
+                .map_err(|_| ServiceError::NodeUnavailable)?;
+            if parent_header.hash() != parent {
+                // The feed's history does not match the head it served.
+                return Err(ServiceError::HeaderMismatch);
+            }
+            if parent_delta.block_hash != parent
+                || parent_delta.state_root != parent_header.state_root
+            {
+                return Err(ServiceError::HeaderMismatch);
+            }
+            parent_delta.verify().map_err(ServiceError::BadDelta)?;
+            branch.push((parent_header, parent_delta));
+        };
+
+        let depth = height - fork.height;
+        if depth > finality {
+            return Err(ServiceError::FinalityViolation { depth, finality });
+        }
+        let orphaned = if depth > 0 { self.rollback_to(&fork, depth)? } else { Vec::new() };
+
+        // Replay the winning branch, oldest first, through the normal
+        // sync path (each block re-captures undo pre-images).
+        let blocks = branch.len();
+        for (branch_header, branch_delta) in branch.iter().rev() {
+            self.sync_block(branch_header, branch_delta)?;
+        }
+        if depth > 0 {
+            Ok(SyncOutcome::Reorged { fork, depth, orphaned, adopted })
+        } else {
+            Ok(SyncOutcome::Advanced { blocks })
+        }
+    }
+
+    /// Rolls the world state back to `fork` by replaying the undo ring's
+    /// pre-images — through the normal ORAM write path, so rollback
+    /// traffic is indistinguishable from forward sync. Returns the
+    /// orphaned block hashes, newest first.
+    fn rollback_to(&mut self, fork: &ForkPoint, depth: u64) -> Result<Vec<B256>, ServiceError> {
+        let finality = self.config.finality_depth;
+        let Some(popped) = self.undo.pop_above(fork.height) else {
+            // The undo window no longer reaches the fork point.
+            return Err(ServiceError::FinalityViolation { depth, finality });
+        };
+        let accounts: u32 = popped.iter().map(|d| d.pre.len() as u32).sum();
+        // Advertise the ORAM coverage the rollback owes: zero without an
+        // ORAM (nothing oblivious to restore). The ablation keeps the
+        // honest advertisement while skipping the writes — the auditor
+        // must catch the gap.
+        let advertised = if self.oram.is_some() { accounts } else { 0 };
+        self.telemetry.record(TelemetryEvent::RollbackBegin {
+            at: self.clock.now(),
+            height: fork.height,
+            depth: depth as u32,
+            accounts: advertised,
+        });
+        let mut pages = 0u64;
+        for undo in &popped {
+            for (address, pre) in &undo.pre {
+                match pre {
+                    Some(account) => {
+                        self.local.put_account(*address, account.clone());
+                        if let Some(oram) = &self.oram {
+                            if !self.rollback_ablation.get() {
+                                pages += oram
+                                    .sync_account(address, account)
+                                    .map_err(ServiceError::Oram)?;
+                            }
+                        }
+                    }
+                    None => {
+                        self.local.remove_account(address);
+                        if let Some(oram) = &self.oram {
+                            if !self.rollback_ablation.get() {
+                                pages += oram
+                                    .remove_account(address)
+                                    .map_err(ServiceError::Oram)?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.telemetry
+            .record(TelemetryEvent::RollbackEnd { at: self.clock.now(), pages: pages as u32 });
+        self.telemetry.observe(HistId::ReorgDepth, depth);
+        self.telemetry.count(CounterId::ReorgsApplied, 1);
+
+        self.expected_head = Some(fork.hash);
+        self.head_height = Some(fork.height);
+        self.recent_heads.retain(|&(h, _)| h <= fork.height);
+        Ok(popped.iter().map(|d| d.block_hash).collect())
+    }
+
+    /// Switches the rollback to local-mirror-only (ORAM writes skipped
+    /// while still advertised) — the reorg auditor's negative control.
+    /// No-op for configurations without an ORAM.
+    pub fn set_rollback_ablation(&self, on: bool) {
+        self.rollback_ablation.set(on);
     }
 
     /// Pulls the head block from a (possibly adversarial, possibly
@@ -1037,6 +1412,11 @@ impl HarDTape {
     /// The most recently synchronized block hash.
     pub fn head(&self) -> Option<B256> {
         self.expected_head
+    }
+
+    /// The most recently synchronized block height.
+    pub fn head_height(&self) -> Option<u64> {
+        self.head_height
     }
 
     /// Fresh randomness from the device RNG (used by examples).

@@ -8,6 +8,8 @@
 //! per the plan's deterministic schedule.
 
 use crate::{BlockHeader, Node, StateDelta};
+use tape_evm::Transaction;
+use tape_primitives::Address;
 use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
 use tape_sim::Nanos;
 
@@ -43,6 +45,12 @@ impl std::error::Error for FeedError {}
 pub struct BlockFeed {
     node: Node,
     faults: Option<FaultPlan>,
+    /// Which of the two equivocating sibling heads the feed serves next
+    /// ([`FaultKind::Equivocate`] alternates this every fetch).
+    equivocate_flip: bool,
+    /// Monotone counter salting the replacement branches produced by
+    /// [`FaultKind::Reorg`], so each reorg yields fresh block content.
+    reorg_seq: u64,
 }
 
 impl core::fmt::Debug for BlockFeed {
@@ -57,7 +65,7 @@ impl core::fmt::Debug for BlockFeed {
 impl BlockFeed {
     /// Wraps a node in an (initially honest) feed.
     pub fn new(node: Node) -> Self {
-        BlockFeed { node, faults: None }
+        BlockFeed { node, faults: None, equivocate_flip: false, reorg_seq: 0 }
     }
 
     /// Makes the feed adversarial: fetches consult the plan at
@@ -87,10 +95,10 @@ impl BlockFeed {
     /// [`FeedError::NoBlock`] before the first block,
     /// [`FeedError::Unavailable`] when an armed fault drops the request.
     pub fn fetch_head(&mut self) -> Result<(BlockHeader, StateDelta), FeedError> {
-        let header = self.node.head().ok_or(FeedError::NoBlock)?.header.clone();
+        let mut header = self.node.head().ok_or(FeedError::NoBlock)?.header.clone();
         let mut delta = self.node.head_state_delta().ok_or(FeedError::NoBlock)?;
 
-        if let Some(plan) = &self.faults {
+        if let Some(plan) = self.faults.clone() {
             if let Some(decision) = plan.decide_for(
                 FaultSite::NodeFeed,
                 &[
@@ -98,12 +106,51 @@ impl BlockFeed {
                     FaultKind::ContentLie,
                     FaultKind::HeaderMismatch,
                     FaultKind::Unavailable,
+                    FaultKind::Equivocate,
+                    FaultKind::Reorg { depth: 0 },
+                    FaultKind::StallHead,
                 ],
             ) {
                 match decision.kind {
                     FaultKind::Unavailable => return Err(FeedError::Unavailable),
                     FaultKind::BadProof => forge_proof(&mut delta, decision.param),
                     FaultKind::ContentLie => lie_about_content(&mut delta, decision.param),
+                    // Equivocation: every other fetch serves a *verified
+                    // sibling* of the honest head — same height, same
+                    // state root, different hash. Both variants pass
+                    // every cryptographic check; only cross-fetch memory
+                    // can catch the feed alternating.
+                    FaultKind::Equivocate => {
+                        self.equivocate_flip = !self.equivocate_flip;
+                        if self.equivocate_flip {
+                            header.timestamp ^= 1;
+                            delta.block_hash = header.hash();
+                        }
+                    }
+                    // The feed reorganizes its own chain: the top
+                    // `depth` blocks vanish and a (one block taller)
+                    // replacement branch appears. Everything served
+                    // afterwards is honest *for the new branch*.
+                    FaultKind::Reorg { depth } => {
+                        self.self_reorg(depth);
+                        header = self.node.head().ok_or(FeedError::NoBlock)?.header.clone();
+                        delta = self.node.head_state_delta().ok_or(FeedError::NoBlock)?;
+                    }
+                    // A frozen feed: serve the block *below* the head,
+                    // verifiably — staleness, not forgery.
+                    FaultKind::StallHead => {
+                        if self.node.height() >= 2 {
+                            let index = self.node.height() - 2;
+                            header = self
+                                .node
+                                .block(index)
+                                .ok_or(FeedError::NoBlock)?
+                                .header
+                                .clone();
+                            delta =
+                                self.node.state_delta(index).ok_or(FeedError::NoBlock)?;
+                        }
+                    }
                     // HeaderMismatch: serve a delta claiming a different
                     // block — the device must notice before verifying any
                     // proof.
@@ -115,22 +162,113 @@ impl BlockFeed {
         }
         Ok((header, delta))
     }
+
+    /// Serves one historical block's `(header, delta)` — the download
+    /// path a consumer walks to replay a branch after a reorg. Served
+    /// honestly for whatever branch the node currently holds: the
+    /// consumer verifies proofs and parent links regardless, so a
+    /// withheld or substituted block surfaces as a verification failure
+    /// on their side.
+    ///
+    /// # Errors
+    ///
+    /// [`FeedError::NoBlock`] when `number` is not on the feed's chain.
+    pub fn fetch_block(&mut self, number: u64) -> Result<(BlockHeader, StateDelta), FeedError> {
+        let index = self.node.block_index(number).ok_or(FeedError::NoBlock)?;
+        let header = self.node.block(index).ok_or(FeedError::NoBlock)?.header.clone();
+        let delta = self.node.state_delta(index).ok_or(FeedError::NoBlock)?;
+        Ok((header, delta))
+    }
+
+    /// Abandons the top `depth` blocks and produces a `depth + 1` block
+    /// replacement branch (so the new head out-weighs the old in any
+    /// height-first fork-choice). The branch blocks carry nonce-bumping
+    /// self-transfers from the richest account, salted by `reorg_seq` so
+    /// they never collide with the abandoned blocks' content.
+    fn self_reorg(&mut self, depth: u32) {
+        let height = self.node.height();
+        let d = (depth as usize).min(height.saturating_sub(1));
+        if !self.node.revert_to(height - d) {
+            return;
+        }
+        self.reorg_seq += 1;
+        let Some(payer) = richest_account(self.node.state()) else {
+            return;
+        };
+        for i in 0..=d as u64 {
+            let salt = self.reorg_seq * 1_000 + i + 1;
+            self.node.produce_block(vec![Transaction::transfer(
+                payer,
+                payer,
+                tape_primitives::U256::from(salt),
+            )]);
+        }
+    }
 }
 
-/// Truncates (or, for very short proofs, corrupts) one account's Merkle
-/// proof — attack A6 on the proof itself.
+/// The funded account a self-reorging feed uses to mint branch content
+/// (largest balance; smallest address breaks ties deterministically).
+fn richest_account(state: &tape_state::InMemoryState) -> Option<Address> {
+    let mut best: Option<(Address, tape_primitives::U256)> = None;
+    for (address, account) in state.iter() {
+        let replace = match &best {
+            None => account.balance > tape_primitives::U256::ZERO,
+            Some((best_addr, best_bal)) => {
+                account.balance > *best_bal
+                    || (account.balance == *best_bal && *address < *best_addr)
+            }
+        };
+        if replace {
+            best = Some((*address, account.balance));
+        }
+    }
+    best.map(|(addr, _)| addr)
+}
+
+/// Forges the proof layer of a delta — attack A6 on the authentication
+/// itself, in one of three shapes selected by `param`:
+///
+/// * mode 0 — truncates (or, for very short proofs, corrupts) one
+///   account's Merkle proof;
+/// * mode 1 — tampers with a storage slot of one account while keeping
+///   its (now stale) proof: a forged storage-slot "proof", caught
+///   because the account RLP commits to the storage contents;
+/// * mode 2 — flips the delta's claimed state root: a forged header
+///   root, caught by the header/delta binding check before any proof is
+///   even verified.
 fn forge_proof(delta: &mut StateDelta, param: u64) {
     if delta.accounts.is_empty() {
         delta.block_hash.0[1] ^= 0x01;
         return;
     }
-    let victim = (param % delta.accounts.len() as u64) as usize;
-    let proof = &mut delta.accounts[victim].proof;
-    if proof.len() > 1 {
-        proof.pop();
-    } else if let Some(first) = proof.first_mut() {
-        if let Some(byte) = first.first_mut() {
-            *byte ^= 0xFF;
+    let victim = ((param / 3) % delta.accounts.len() as u64) as usize;
+    match param % 3 {
+        0 => {
+            let proof = &mut delta.accounts[victim].proof;
+            if proof.len() > 1 {
+                proof.pop();
+            } else if let Some(first) = proof.first_mut() {
+                if let Some(byte) = first.first_mut() {
+                    *byte ^= 0xFF;
+                }
+            }
+        }
+        1 => {
+            let account = &mut delta.accounts[victim].account;
+            match account.storage.iter().next().map(|(k, v)| (*k, *v)) {
+                Some((key, value)) => {
+                    let forged = value.wrapping_add(tape_primitives::U256::ONE);
+                    account.storage.insert(key, forged);
+                }
+                None => {
+                    account
+                        .storage
+                        .insert(tape_primitives::U256::ONE, tape_primitives::U256::ONE);
+                }
+            }
+        }
+        _ => {
+            delta.state_root.0[0] ^= 0x01;
         }
     }
 }

@@ -13,7 +13,11 @@
 #![warn(missing_docs)]
 
 pub mod feed;
+pub mod feedset;
 pub use feed::{BlockFeed, BreakerState, CircuitBreaker, FeedError, RetryPolicy};
+pub use feedset::{
+    Equivocation, FeedSet, FeedSetConfig, FeedStatus, PollReport, QuarantineReason,
+};
 
 use std::collections::BTreeSet;
 use tape_crypto::keccak256;
@@ -166,16 +170,23 @@ impl StateDelta {
     }
 }
 
+/// Addresses touched and deleted by one produced block (parallel to
+/// `Node::blocks`), retained so a delta can be rebuilt for *any* block —
+/// the raw material for serving branch replays after a reorg.
+#[derive(Debug, Clone, Default)]
+struct TouchLog {
+    touched: Vec<Address>,
+    deleted: Vec<Address>,
+}
+
 /// The full-node simulator.
 pub struct Node {
     state: InMemoryState,
     blocks: Vec<Block>,
     /// State snapshot *before* each block (for historical tracing).
     snapshots: Vec<InMemoryState>,
-    /// Addresses touched by the most recent block.
-    last_touched: Vec<Address>,
-    /// Addresses deleted (selfdestructed) by the most recent block.
-    last_deleted: Vec<Address>,
+    /// Per-block touched/deleted addresses.
+    history: Vec<TouchLog>,
     base_env: Env,
 }
 
@@ -195,8 +206,7 @@ impl Node {
             state: genesis,
             blocks: Vec::new(),
             snapshots: Vec::new(),
-            last_touched: Vec::new(),
-            last_deleted: Vec::new(),
+            history: Vec::new(),
             base_env,
         }
     }
@@ -228,7 +238,37 @@ impl Node {
 
     /// Addresses touched by the most recent block.
     pub fn last_touched(&self) -> &[Address] {
-        &self.last_touched
+        self.history.last().map(|log| log.touched.as_slice()).unwrap_or(&[])
+    }
+
+    /// Maps a block *number* to its index in this node's chain, if the
+    /// node has produced it.
+    pub fn block_index(&self, number: u64) -> Option<usize> {
+        let index = number.checked_sub(self.base_env.block_number)?;
+        let index = usize::try_from(index).ok()?;
+        (index < self.blocks.len()).then_some(index)
+    }
+
+    /// Reorganizes the node's own chain: discards every block above
+    /// `height` (keeping the first `height` blocks) and restores the
+    /// world state as of that point. Returns `false` (and changes
+    /// nothing) when `height` exceeds the current chain length.
+    ///
+    /// This is how the simulator models an upstream reorg: revert, then
+    /// `produce_block` a competing branch.
+    pub fn revert_to(&mut self, height: usize) -> bool {
+        if height > self.blocks.len() {
+            return false;
+        }
+        if height < self.blocks.len() {
+            // snapshots[height] is the state *before* block `height`,
+            // i.e. after the first `height` blocks.
+            self.state = self.snapshots[height].clone();
+            self.blocks.truncate(height);
+            self.snapshots.truncate(height);
+            self.history.truncate(height);
+        }
+        true
     }
 
     /// The environment a new block would execute under.
@@ -298,11 +338,14 @@ impl Node {
                 touched.insert(addr);
                 self.state.account_mut(addr).code = std::sync::Arc::new(code);
             }
-            self.last_deleted = changes.selfdestructs.clone();
             for addr in &changes.selfdestructs {
                 touched.remove(addr);
                 self.state.remove_account(addr);
             }
+            self.history.push(TouchLog {
+                touched: Vec::new(), // filled below once `touched` settles
+                deleted: changes.selfdestructs.clone(),
+            });
         }
 
         let state_root = self.state.state_root();
@@ -327,7 +370,9 @@ impl Node {
             gas_used: gas_total,
         };
         self.state.put_block_hash(header.number, header.hash());
-        self.last_touched = touched.into_iter().collect();
+        if let Some(log) = self.history.last_mut() {
+            log.touched = touched.into_iter().collect();
+        }
         self.blocks.push(Block { header, transactions, receipts });
         self.blocks.last().expect("just pushed")
     }
@@ -338,19 +383,30 @@ impl Node {
     /// The delta carries the *post-block* account records of every
     /// touched account, proven against the head state root.
     pub fn head_state_delta(&self) -> Option<StateDelta> {
-        let block = self.blocks.last()?;
-        let trie = self.build_state_trie();
-        let accounts = self
-            .last_touched
+        self.state_delta(self.blocks.len().checked_sub(1)?)
+    }
+
+    /// Builds the proof-carrying state delta for *any* produced block —
+    /// what a feed serves when a consumer downloads a replacement branch
+    /// block by block after a reorg.
+    pub fn state_delta(&self, index: usize) -> Option<StateDelta> {
+        let block = self.blocks.get(index)?;
+        let log = self.history.get(index)?;
+        // The state *after* block `index` is the snapshot taken before
+        // `index + 1`, or the live state for the head block.
+        let post_state = self.snapshots.get(index + 1).unwrap_or(&self.state);
+        let trie = build_state_trie(post_state);
+        let accounts = log
+            .touched
             .iter()
             .filter_map(|addr| {
-                let account = self.state.account_full(addr)?.clone();
+                let account = post_state.account_full(addr)?.clone();
                 let proof = trie.prove(addr.as_bytes());
                 Some(ProvenAccount { address: *addr, account, proof })
             })
             .collect();
-        let deleted = self
-            .last_deleted
+        let deleted = log
+            .deleted
             .iter()
             .map(|addr| DeletedAccount { address: *addr, proof: trie.prove(addr.as_bytes()) })
             .collect();
@@ -362,20 +418,10 @@ impl Node {
         })
     }
 
-    fn build_state_trie(&self) -> SecureTrie {
-        let mut trie = SecureTrie::new();
-        for (address, account) in self.state.iter() {
-            if !account.is_empty() || !account.storage.is_empty() {
-                trie.insert(address.as_bytes(), &account.rlp_encode());
-            }
-        }
-        trie
-    }
-
     /// Proves one account of the *current* state against the head root.
     pub fn prove_account(&self, address: &Address) -> Option<ProvenAccount> {
         let account = self.state.account_full(address)?.clone();
-        let trie = self.build_state_trie();
+        let trie = build_state_trie(&self.state);
         Some(ProvenAccount {
             address: *address,
             account,
@@ -412,6 +458,17 @@ impl Node {
         let result = final_result?;
         Some((evm.into_inspector(), result))
     }
+}
+
+/// Builds the secure state trie over `state` (non-empty accounts only).
+fn build_state_trie(state: &InMemoryState) -> SecureTrie {
+    let mut trie = SecureTrie::new();
+    for (address, account) in state.iter() {
+        if !account.is_empty() || !account.storage.is_empty() {
+            trie.insert(address.as_bytes(), &account.rlp_encode());
+        }
+    }
+    trie
 }
 
 #[cfg(test)]
@@ -553,6 +610,60 @@ mod tests {
         let number = block.header.number;
         let hash = block.header.hash();
         assert_eq!(node.state().block_hash(number), hash);
+    }
+
+    #[test]
+    fn historical_state_delta_verifies() {
+        let (state, alice, bob) = genesis();
+        let mut node = Node::new(state, Env::default());
+        for value in [1u64, 2, 3] {
+            node.produce_block(vec![Transaction::transfer(alice, bob, U256::from(value))]);
+        }
+        // Every block's delta must verify against its own state root.
+        for index in 0..3 {
+            let delta = node.state_delta(index).expect("produced block");
+            assert_eq!(delta.block_hash, node.block(index).unwrap().header.hash());
+            delta.verify().expect("historical delta verifies");
+            let entry = delta.accounts.iter().find(|a| a.address == bob).unwrap();
+            assert_eq!(
+                entry.account.balance,
+                U256::from(1_000u64 + (1..=index as u64 + 1).sum::<u64>())
+            );
+        }
+        assert!(node.state_delta(3).is_none());
+        let base = Env::default().block_number;
+        assert_eq!(node.block_index(base + 1), Some(1));
+        assert_eq!(node.block_index(base + 3), None);
+        assert_eq!(node.block_index(base.wrapping_sub(1)), None);
+    }
+
+    #[test]
+    fn revert_to_restores_state_and_rebuilds_branch() {
+        let (state, alice, bob) = genesis();
+        let mut node = Node::new(state, Env::default());
+        node.produce_block(vec![Transaction::transfer(alice, bob, U256::from(10u64))]);
+        let b1 = node.block(0).unwrap().header.hash();
+        node.produce_block(vec![Transaction::transfer(alice, bob, U256::from(20u64))]);
+        node.produce_block(vec![Transaction::transfer(alice, bob, U256::from(30u64))]);
+        assert!(!node.revert_to(4), "cannot revert above the chain");
+
+        assert!(node.revert_to(1));
+        assert_eq!(node.height(), 1);
+        assert_eq!(node.state().account(&bob).unwrap().balance, U256::from(1_010u64));
+        assert_eq!(node.head().unwrap().header.hash(), b1);
+
+        // The replacement branch links to the fork point and re-uses
+        // the abandoned heights (same numbers, different content).
+        let block = node.produce_block(vec![Transaction::transfer(
+            alice,
+            bob,
+            U256::from(999u64),
+        )]);
+        assert_eq!(block.header.number, Env::default().block_number + 1);
+        assert_eq!(block.header.parent_hash, b1);
+        let delta = node.head_state_delta().expect("branch delta");
+        delta.verify().expect("branch delta verifies");
+        assert_eq!(node.state().account(&bob).unwrap().balance, U256::from(2_009u64));
     }
 
     #[test]

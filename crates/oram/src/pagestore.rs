@@ -321,22 +321,26 @@ impl ObliviousState {
     }
 
     /// Writes one account's meta page, code pages, and storage groups
-    /// into the ORAM.
+    /// into the ORAM. Returns the number of pages written (rollback
+    /// telemetry advertises these).
     ///
     /// # Errors
     ///
     /// Propagates [`OramError`] from the underlying writes.
-    pub fn sync_account(&self, address: &Address, account: &Account) -> Result<(), OramError> {
+    pub fn sync_account(&self, address: &Address, account: &Account) -> Result<u64, OramError> {
         let mut inner = self.inner.borrow_mut();
         let page_size = inner.page_size;
+        let mut pages = 0u64;
 
         let meta = encode_meta(&account.info(), page_size);
         inner.write_page(PageKey::AccountMeta(*address), meta)?;
+        pages += 1;
 
         for (i, chunk) in account.code.chunks(page_size).enumerate() {
             let mut page = vec![0u8; page_size];
             page[..chunk.len()].copy_from_slice(chunk);
             inner.write_page(PageKey::CodePage(*address, i as u32), page)?;
+            pages += 1;
         }
 
         // Group storage records 32-per-page. BTreeMap: write order must
@@ -356,32 +360,39 @@ impl ObliviousState {
                 page[index * 32..(index + 1) * 32].copy_from_slice(&value.to_be_bytes());
             }
             inner.write_page(PageKey::StorageGroup(*address, group), page)?;
+            pages += 1;
         }
         // Zero out groups whose last record was cleared on-chain; a stale
         // page would otherwise keep serving the old values.
         let old_groups = inner.synced_groups.remove(address).unwrap_or_default();
         for stale in old_groups.difference(&new_groups) {
             inner.write_page(PageKey::StorageGroup(*address, *stale), vec![0u8; page_size])?;
+            pages += 1;
         }
         inner.synced_groups.insert(*address, new_groups);
-        Ok(())
+        Ok(pages)
     }
 
     /// Removes an account (on-chain SELFDESTRUCT observed during block
     /// sync): the meta page is rewritten as nonexistent and every synced
-    /// storage group is zeroed.
+    /// storage group is zeroed. Returns the number of pages written
+    /// (always at least the meta page, so even a removal is visible to
+    /// the rollback-coverage audit).
     ///
     /// # Errors
     ///
     /// Propagates [`OramError`] from the underlying writes.
-    pub fn remove_account(&self, address: &Address) -> Result<(), OramError> {
+    pub fn remove_account(&self, address: &Address) -> Result<u64, OramError> {
         let mut inner = self.inner.borrow_mut();
         let page_size = inner.page_size;
+        let mut pages = 0u64;
         // Meta page with the `exists` byte clear: reads decode to None.
         inner.write_page(PageKey::AccountMeta(*address), vec![0u8; page_size])?;
+        pages += 1;
         let groups = inner.synced_groups.remove(address).unwrap_or_default();
         for group in groups {
             inner.write_page(PageKey::StorageGroup(*address, group), vec![0u8; page_size])?;
+            pages += 1;
         }
         // Invalidate any cached pages of the account.
         inner.cache.retain(|key, _| match key {
@@ -389,7 +400,7 @@ impl ObliviousState {
                 a != address
             }
         });
-        Ok(())
+        Ok(pages)
     }
 
     /// Fetch statistics by query type.
@@ -443,7 +454,26 @@ impl Inner {
         let id = key.block_id();
         self.client
             .write(&mut self.server, &self.clock, &self.cost, &id, page)?;
+        self.record_sync_write();
         Ok(())
+    }
+
+    /// Records one sync-path page write. Sync writes share the uniform
+    /// wire shape (one block each) but stay out of the gap/burst
+    /// bookkeeping on purpose: they happen between bundles, and the
+    /// §IV-D statistics describe query traffic, not synchronization —
+    /// a rollback must look exactly like forward sync, and neither may
+    /// skew the demand-path gap histogram.
+    fn record_sync_write(&mut self) {
+        let Some(t) = &self.telemetry else {
+            return;
+        };
+        t.count(CounterId::OramSync, 1);
+        t.record(TelemetryEvent::OramQuery {
+            at: self.clock.now(),
+            kind: QueryKind::Sync,
+            bytes: self.page_size as u32,
+        });
     }
 
     fn fetch_raw(&mut self, id: &BlockId) -> Option<Vec<u8>> {
@@ -488,6 +518,7 @@ impl Inner {
                 QueryKind::Kv => CounterId::OramKv,
                 QueryKind::Code => CounterId::OramCode,
                 QueryKind::Prefetch => CounterId::OramPrefetch,
+                QueryKind::Sync => unreachable!("sync writes use record_sync_write"),
             },
             1,
         );
@@ -821,6 +852,43 @@ mod tests {
         assert_eq!(t.counter(CounterId::PrefetchDrained), 3, "starved pages drain");
         let stats = state.prefetch_stats().expect("prefetcher enabled");
         assert_eq!((stats.issued, stats.drained), (0, 3));
+    }
+
+    #[test]
+    fn sync_writes_emit_sync_telemetry_without_gap_pollution() {
+        let state = oblivious_with(vec![]);
+        let t = Telemetry::new();
+        state.set_telemetry(t.clone());
+
+        let addr = Address::from_low_u64(5);
+        let mut account = Account::with_code(vec![1u8; 2048]); // 2 code pages
+        account.storage.insert(U256::ONE, U256::from(9u64));
+        let pages = state.sync_account(&addr, &account).unwrap();
+        assert_eq!(pages, 4, "meta + 2 code + 1 storage group");
+        assert_eq!(t.counter(CounterId::OramSync), 4);
+        let sync_events = t
+            .events()
+            .iter()
+            .filter(|ev| {
+                matches!(
+                    ev,
+                    TelemetryEvent::OramQuery { kind: QueryKind::Sync, bytes: 1024, .. }
+                )
+            })
+            .count();
+        assert_eq!(sync_events, 4, "each sync write is one uniform wire block");
+        // Sync writes are invisible to the demand-path statistics: no
+        // kv/code counters, and no gap sample even for the first demand
+        // query that follows.
+        assert_eq!(t.counter(CounterId::OramKv), 0);
+        state.account(&addr);
+        assert_eq!(t.counter(CounterId::OramKv), 1);
+        assert_eq!(t.hist(HistId::OramGapNs).count(), 0);
+
+        // Removal rewrites the meta page and zeroes the one group.
+        let removed = state.remove_account(&addr).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(t.counter(CounterId::OramSync), 6);
     }
 
     #[test]

@@ -102,6 +102,18 @@ pub enum FaultKind {
     HeaderMismatch,
     /// Full node temporarily refuses to answer.
     Unavailable,
+    /// Feed alternates between two verified sibling heads at the same
+    /// height (Byzantine equivocation).
+    Equivocate,
+    /// Feed reorganizes its own chain: abandon the top `depth` blocks
+    /// and serve a freshly produced competing branch.
+    Reorg {
+        /// Blocks abandoned below the old head.
+        depth: u32,
+    },
+    /// Feed freezes: keeps serving a stale head while the rest of the
+    /// network advances.
+    StallHead,
 }
 
 /// A fault the plan has decided to inject *now*.
@@ -243,10 +255,17 @@ impl FaultPlan {
     /// operation can only express a subset of the armed kinds — e.g. a
     /// path *read* cannot drop a *write* — uses this so inapplicable
     /// draws are discarded rather than silently eating the budget.
+    ///
+    /// Kinds are matched by *variant*, not field values, so an accept
+    /// list can name `FaultKind::Reorg { depth: 0 }` to admit a reorg
+    /// armed with any depth.
     pub fn decide_for(&self, site: FaultSite, accept: &[FaultKind]) -> Option<FaultDecision> {
         let mut inner = self.inner.lock().expect("fault plan lock");
         let decision = self.draw(&mut inner, site)?;
-        if !accept.contains(&decision.kind) {
+        let wanted = accept
+            .iter()
+            .any(|k| core::mem::discriminant(k) == core::mem::discriminant(&decision.kind));
+        if !wanted {
             return None;
         }
         self.commit(&mut inner, site, decision);

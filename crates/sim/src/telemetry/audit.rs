@@ -32,9 +32,20 @@
 //!    an analyzer soundness bug; both are reportable. Contracts that
 //!    never advertised a plan are exempt.
 //!
+//! 6. **Reorg lens** — a world-state rollback
+//!    ([`TelemetryEvent::RollbackBegin`] … [`RollbackEnd`]) must look
+//!    exactly like forward block sync on the bus: only sync-shaped page
+//!    writes may appear inside the window (a K-V/code/prefetch query
+//!    during rollback types the operation), and the window must carry at
+//!    least one page write per account the rollback advertises — a
+//!    rollback applied *outside* the ORAM query path (mirror-only
+//!    restore) produces a visibly empty window and fails the audit.
+//!
 //! A truncated stream (ring-buffer overflow) is itself a violation:
 //! an auditor that silently passes on partial evidence is worse than
 //! none.
+//!
+//! [`RollbackEnd`]: TelemetryEvent::RollbackEnd
 
 use super::{QueryKind, TelemetryEvent};
 use crate::Nanos;
@@ -139,6 +150,30 @@ pub enum Violation {
         /// The fetched page index.
         page: u32,
     },
+    /// A non-sync ORAM query appeared inside a rollback window: the
+    /// rollback is distinguishable from forward sync on the bus.
+    RollbackLeak {
+        /// When the query happened.
+        at: Nanos,
+        /// Its classification.
+        kind: QueryKind,
+    },
+    /// A rollback window carried fewer sync page writes than the
+    /// accounts it advertised — the world state was (at least partly)
+    /// restored outside the ORAM query path.
+    RollbackUncovered {
+        /// When the rollback ended.
+        at: Nanos,
+        /// Accounts the rollback advertised.
+        expected: u32,
+        /// Sync page writes observed inside the window.
+        observed: u64,
+    },
+    /// A rollback began but never ended within the stream.
+    UnterminatedRollback {
+        /// When the rollback began.
+        at: Nanos,
+    },
     /// The event ring overflowed: the stream is partial evidence.
     Truncated {
         /// Events lost.
@@ -190,6 +225,19 @@ impl core::fmt::Display for Violation {
                 }
                 write!(f, " fetched page {page} outside its advertised plan")
             }
+            Violation::RollbackLeak { at, kind } => write!(
+                f,
+                "rollback leak at {at}: {} query inside a rollback window",
+                kind.name()
+            ),
+            Violation::RollbackUncovered { at, expected, observed } => write!(
+                f,
+                "rollback at {at} restored {expected} accounts with only {observed} sync \
+                 page writes: applied outside the ORAM query path"
+            ),
+            Violation::UnterminatedRollback { at } => {
+                write!(f, "rollback begun at {at} never ended: stream is partial")
+            }
             Violation::Truncated { dropped } => {
                 write!(f, "event ring dropped {dropped} events: stream is partial")
             }
@@ -226,6 +274,12 @@ pub struct AuditStats {
     pub code_page_fetches: u64,
     /// Fetches that fell outside an advertised plan.
     pub unplanned_fetches: u64,
+    /// Sync page writes seen (forward sync + rollback).
+    pub sync_queries: u64,
+    /// Rollback windows seen.
+    pub rollbacks: u64,
+    /// Sync page writes inside rollback windows.
+    pub rollback_sync_writes: u64,
 }
 
 /// The auditor's verdict: violations found plus the numbers behind them.
@@ -293,6 +347,9 @@ pub fn audit_events(events: &[TelemetryEvent], dropped: u64, cfg: &AuditConfig) 
     let mut code_run = 0usize;
     let mut real_gaps: Vec<u64> = Vec::new();
     let mut prefetch_gaps: Vec<u64> = Vec::new();
+    // Open rollback window: (begin time, advertised accounts, sync
+    // writes observed so far).
+    let mut rollback: Option<(Nanos, u32, u64)> = None;
 
     for ev in events {
         match *ev {
@@ -305,16 +362,37 @@ pub fn audit_events(events: &[TelemetryEvent], dropped: u64, cfg: &AuditConfig) 
                         expected: cfg.block_size,
                     });
                 }
+                if let Some((_, _, sync_writes)) = &mut rollback {
+                    if kind == QueryKind::Sync {
+                        *sync_writes += 1;
+                        report.stats.rollback_sync_writes += 1;
+                    } else {
+                        // Anything read-shaped inside the window types
+                        // the operation as a rollback, not a sync.
+                        report.violations.push(Violation::RollbackLeak { at, kind });
+                    }
+                }
+                if kind == QueryKind::Sync {
+                    // Sync page writes form their own class: they are
+                    // checked for uniform size (above) and for rollback
+                    // shape, but deliberately do not enter the gap or
+                    // burst statistics — those model in-bundle query
+                    // traffic, and sync happens between bundles.
+                    report.stats.sync_queries += 1;
+                    continue;
+                }
                 match kind {
                     QueryKind::Kv => report.stats.kv_queries += 1,
                     QueryKind::Code => report.stats.code_queries += 1,
                     QueryKind::Prefetch => report.stats.prefetch_queries += 1,
+                    QueryKind::Sync => unreachable!("handled above"),
                 }
                 if let Some((last_at, _)) = last_query {
                     let gap = at.saturating_sub(last_at);
                     match kind {
                         QueryKind::Prefetch => prefetch_gaps.push(gap),
                         QueryKind::Kv | QueryKind::Code => real_gaps.push(gap),
+                        QueryKind::Sync => unreachable!("sync queries skip gap classes"),
                     }
                     // Burst bookkeeping: a Code query extends the tight
                     // run only when it follows another query within the
@@ -365,8 +443,33 @@ pub fn audit_events(events: &[TelemetryEvent], dropped: u64, cfg: &AuditConfig) 
                     }
                 }
             }
+            TelemetryEvent::RollbackBegin { at, accounts, .. } => {
+                // A begin inside an open window means the previous one
+                // never terminated.
+                if let Some((begun, _, _)) = rollback.replace((at, accounts, 0)) {
+                    report.violations.push(Violation::UnterminatedRollback { at: begun });
+                }
+                report.stats.rollbacks += 1;
+            }
+            TelemetryEvent::RollbackEnd { at, .. } => {
+                // A stray end (begin evicted from the ring) is already
+                // covered by the Truncated violation.
+                if let Some((_, expected, observed)) = rollback.take() {
+                    if observed < u64::from(expected) {
+                        report.violations.push(Violation::RollbackUncovered {
+                            at,
+                            expected,
+                            observed,
+                        });
+                    }
+                }
+            }
             _ => {}
         }
+    }
+
+    if let Some((begun, _, _)) = rollback {
+        report.violations.push(Violation::UnterminatedRollback { at: begun });
     }
 
     // Statistical checks, applied only with enough evidence per class.
@@ -607,6 +710,92 @@ mod tests {
         ];
         let report = audit_events(&events, 0, &AuditConfig::default());
         assert!(report.passed(), "violations: {:?}", report.violations);
+    }
+
+    fn sync(at: Nanos) -> TelemetryEvent {
+        TelemetryEvent::OramQuery { at, kind: QueryKind::Sync, bytes: 1024 }
+    }
+
+    #[test]
+    fn sync_writes_do_not_skew_gap_statistics() {
+        // A clean paced stream, then a back-to-back sync burst: without
+        // the sync class the tight burst would wreck the real-gap CV.
+        let mut events = Vec::new();
+        let mut t = 0;
+        for _ in 0..20u64 {
+            t += 2_300_000;
+            events.push(q(t, QueryKind::Kv));
+            t += 2_270_000;
+            events.push(q(t, QueryKind::Prefetch));
+        }
+        for _ in 0..50 {
+            t += 1_000; // bare write-back cadence, far below burst_gap_ns
+            events.push(sync(t));
+        }
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.stats.sync_queries, 50);
+    }
+
+    #[test]
+    fn rollback_window_shaped_like_sync_passes() {
+        let events = [
+            sync(1_000), // forward sync
+            TelemetryEvent::RollbackBegin { at: 10_000, height: 5, depth: 3, accounts: 2 },
+            sync(11_000),
+            sync(12_000),
+            sync(13_000),
+            TelemetryEvent::RollbackEnd { at: 14_000, pages: 3 },
+            sync(20_000), // replay of the winning branch
+        ];
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.stats.rollbacks, 1);
+        assert_eq!(report.stats.rollback_sync_writes, 3);
+    }
+
+    #[test]
+    fn read_shaped_query_inside_rollback_is_a_leak() {
+        let events = [
+            TelemetryEvent::RollbackBegin { at: 10_000, height: 5, depth: 1, accounts: 1 },
+            sync(11_000),
+            q(12_000, QueryKind::Kv),
+            TelemetryEvent::RollbackEnd { at: 14_000, pages: 1 },
+        ];
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::RollbackLeak { kind: QueryKind::Kv, .. })));
+    }
+
+    #[test]
+    fn rollback_without_oram_writes_is_uncovered() {
+        // The mirror-only ablation: accounts advertised, zero page
+        // writes on the bus.
+        let events = [
+            TelemetryEvent::RollbackBegin { at: 10_000, height: 5, depth: 3, accounts: 4 },
+            TelemetryEvent::RollbackEnd { at: 11_000, pages: 0 },
+        ];
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(
+                v,
+                Violation::RollbackUncovered { expected: 4, observed: 0, .. }
+            )));
+    }
+
+    #[test]
+    fn unterminated_rollback_is_a_violation() {
+        let events =
+            [TelemetryEvent::RollbackBegin { at: 9_000, height: 2, depth: 1, accounts: 1 }];
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UnterminatedRollback { at: 9_000 })));
     }
 
     #[test]

@@ -82,11 +82,20 @@ pub enum CounterId {
     LintFindings,
     /// Code pages advertised in static prefetch plans.
     PlannedPages,
+    /// ORAM page writes issued by block synchronization (forward sync
+    /// *and* rollback — the two must be indistinguishable on the bus).
+    OramSync,
+    /// Feed equivocations detected by the multi-feed quorum.
+    EquivocationsDetected,
+    /// Feeds quarantined (forged proofs, equivocation, stalled heads).
+    FeedsQuarantined,
+    /// Reorgs applied: rollback to a fork point + winning-branch replay.
+    ReorgsApplied,
 }
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 25;
     /// Every counter, in index order.
     pub const ALL: [CounterId; Self::COUNT] = [
         CounterId::Bundles,
@@ -110,6 +119,10 @@ impl CounterId {
         CounterId::AnalysisRejects,
         CounterId::LintFindings,
         CounterId::PlannedPages,
+        CounterId::OramSync,
+        CounterId::EquivocationsDetected,
+        CounterId::FeedsQuarantined,
+        CounterId::ReorgsApplied,
     ];
 
     /// Stable snake_case name (used in reports and JSON output).
@@ -136,6 +149,10 @@ impl CounterId {
             CounterId::AnalysisRejects => "analysis_rejects",
             CounterId::LintFindings => "lint_findings",
             CounterId::PlannedPages => "planned_pages",
+            CounterId::OramSync => "oram_sync_writes",
+            CounterId::EquivocationsDetected => "equivocations_detected",
+            CounterId::FeedsQuarantined => "feeds_quarantined",
+            CounterId::ReorgsApplied => "reorgs_applied",
         }
     }
 }
@@ -194,16 +211,19 @@ pub enum HistId {
     ExecuteNs,
     /// Inter-arrival gap between consecutive ORAM queries (ns).
     OramGapNs,
+    /// Depth of each applied reorg (blocks rolled back).
+    ReorgDepth,
 }
 
 impl HistId {
     /// Number of histograms in the registry.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
     /// Every histogram, in index order.
     pub const ALL: [HistId; Self::COUNT] = [
         HistId::BundleLatencyNs,
         HistId::ExecuteNs,
         HistId::OramGapNs,
+        HistId::ReorgDepth,
     ];
 
     /// Stable snake_case name.
@@ -212,6 +232,7 @@ impl HistId {
             HistId::BundleLatencyNs => "bundle_latency_ns",
             HistId::ExecuteNs => "execute_ns",
             HistId::OramGapNs => "oram_gap_ns",
+            HistId::ReorgDepth => "reorg_depth",
         }
     }
 
@@ -235,8 +256,13 @@ impl HistId {
             1_048_576_000,
             4_194_304_000,
         ];
+        // Block-count ladder for reorg depths: single-digit reorgs are
+        // routine, anything past the finality depth is an incident.
+        const DEPTH_BLOCKS: [u64; FixedHistogram::BOUNDS] =
+            [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
         match self {
             HistId::BundleLatencyNs | HistId::ExecuteNs | HistId::OramGapNs => &TIME_NS,
+            HistId::ReorgDepth => &DEPTH_BLOCKS,
         }
     }
 }
@@ -438,6 +464,9 @@ pub enum QueryKind {
     Code = 1,
     /// Timer-issued prefetch (real page or dummy).
     Prefetch = 2,
+    /// Block-sync page write (forward sync or rollback; §IV-D requires
+    /// the two to be indistinguishable on the bus).
+    Sync = 3,
 }
 
 impl QueryKind {
@@ -447,6 +476,7 @@ impl QueryKind {
             QueryKind::Kv => "kv",
             QueryKind::Code => "code",
             QueryKind::Prefetch => "prefetch",
+            QueryKind::Sync => "sync",
         }
     }
 }
@@ -567,6 +597,28 @@ pub enum TelemetryEvent {
         /// Fetched page index.
         page: u32,
     },
+    /// World-state rollback to a fork point began. Everything between
+    /// this and the matching [`RollbackEnd`](TelemetryEvent::RollbackEnd)
+    /// is the *rollback window*: the auditor requires it to contain only
+    /// sync-shaped ORAM traffic, and at least one page write per account
+    /// the rollback advertises.
+    RollbackBegin {
+        /// Virtual time the rollback started.
+        at: Nanos,
+        /// Height of the fork point being rolled back to.
+        height: u64,
+        /// Blocks being undone.
+        depth: u32,
+        /// Accounts whose pre-images will be restored.
+        accounts: u32,
+    },
+    /// World-state rollback completed.
+    RollbackEnd {
+        /// Virtual time the rollback finished.
+        at: Nanos,
+        /// ORAM page writes issued by the rollback.
+        pages: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -584,7 +636,9 @@ impl TelemetryEvent {
             | TelemetryEvent::Breaker { at, .. }
             | TelemetryEvent::NodeRetry { at, .. }
             | TelemetryEvent::PlanPage { at, .. }
-            | TelemetryEvent::CodePageFetch { at, .. } => at,
+            | TelemetryEvent::CodePageFetch { at, .. }
+            | TelemetryEvent::RollbackBegin { at, .. }
+            | TelemetryEvent::RollbackEnd { at, .. } => at,
         }
     }
 
@@ -663,6 +717,18 @@ impl TelemetryEvent {
                 out.extend_from_slice(&at.to_be_bytes());
                 out.extend_from_slice(&address);
                 out.extend_from_slice(&page.to_be_bytes());
+            }
+            TelemetryEvent::RollbackBegin { at, height, depth, accounts } => {
+                out.push(0x0d);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.extend_from_slice(&height.to_be_bytes());
+                out.extend_from_slice(&depth.to_be_bytes());
+                out.extend_from_slice(&accounts.to_be_bytes());
+            }
+            TelemetryEvent::RollbackEnd { at, pages } => {
+                out.push(0x0e);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.extend_from_slice(&pages.to_be_bytes());
             }
         }
     }

@@ -34,9 +34,11 @@
 mod account;
 mod backend;
 mod journal;
+mod undo;
 
 pub use account::{Account, AccountInfo, Log, EMPTY_CODE_HASH};
 pub use backend::{EmptyState, InMemoryState, StateReader};
 pub use journal::{
     Checkpoint, InsufficientBalance, JournaledState, SloadResult, SstoreResult, StateChanges,
 };
+pub use undo::{UndoDelta, UndoRing};

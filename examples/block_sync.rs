@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut node = Node::new(genesis.clone(), Env::default());
     // ...and a HarDTAPE device synchronized from the same genesis.
     let config = ServiceConfig { oram_height: 12, ..ServiceConfig::at_level(SecurityConfig::Full) };
-    let mut device = HarDTape::new(config, Env::default(), &genesis);
+    let mut device = HarDTape::new(config, Env::default(), &genesis).expect("device boots");
     let mut session = device.connect_user(b"sync watcher")?;
 
     // Three blocks land on-chain.

@@ -54,7 +54,7 @@ fn observe_intention(
         seed,
         ..ServiceConfig::at_level(SecurityConfig::Full)
     };
-    let mut device = HarDTape::new(config, Env::default(), genesis);
+    let mut device = HarDTape::new(config, Env::default(), genesis).expect("device boots");
     let mut session = device.connect_user(b"hft user").expect("attestation");
 
     let before = device.oram_stats().expect("full config").total();

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     genesis.put_account(token, t);
 
     let config = ServiceConfig { oram_height: 12, ..ServiceConfig::at_level(SecurityConfig::Full) };
-    let mut device = HarDTape::new(config, Env::default(), &genesis);
+    let mut device = HarDTape::new(config, Env::default(), &genesis).expect("device boots");
     let mut session = device.connect_user(b"hft warm user")?;
 
     // The strategy under test: a 10-transfer bundle against one token.

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 2. Boot the device at the -full security level ------------------
     // (secure boot, attestation keys, ORAM built from the genesis state)
     let config = ServiceConfig { oram_height: 12, ..ServiceConfig::at_level(SecurityConfig::Full) };
-    let mut device = HarDTape::new(config, Env::default(), &genesis);
+    let mut device = HarDTape::new(config, Env::default(), &genesis).expect("device boots");
     println!("device booted at {} security", device.security());
 
     // --- 3. Remote attestation + DHKE secure channel ---------------------

@@ -94,7 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServiceConfig { oram_height: 12, ..ServiceConfig::at_level(SecurityConfig::Full) },
         Env::default(),
         &genesis,
-    );
+    ).expect("device boots");
     let mut session = device.connect_user(b"cautious victim")?;
 
     // The victim's plan: deposit 1,000,000 wei, then withdraw it back.

@@ -23,15 +23,20 @@
 # if the schedule digests differ — cross-process nondeterminism (hash
 # ordering, ambient randomness) has nowhere to hide. The soak digest
 # now covers the telemetry stream too, and each run asserts the §IV-D
-# leakage auditor passes on the soak workload.
+# leakage auditor passes on the soak workload. The same discipline is
+# applied to the seeded reorg schedule (REORG_DIGEST): a mid-run
+# depth-3 reorg must shed/re-pin queued work exactly-once and replay
+# byte-identically across processes.
 #
 # With --bench, runs the deterministic pre-execution benchmark under
 # its fixed baked-in seed, writing BENCH_pre_execute.json. The binary
 # fails if the telemetry digest drifts between two in-process runs or
-# the leakage auditor reports violations. Two negative controls prove
-# the auditor has teeth: --starve (prefetcher starvation, pre-fix
-# pipeline) and --omit-plan (a prefetch plan mis-advertising one page)
-# must each *fail* the audit.
+# the leakage auditor reports violations, and — when a committed
+# BENCH_pre_execute.json exists — if ORAM queries per bundle regress
+# more than 10% against it. Two negative controls prove the auditor
+# has teeth: --starve (prefetcher starvation, pre-fix pipeline) and
+# --omit-plan (a prefetch plan mis-advertising one page) must each
+# *fail* the audit.
 #
 # Everything is hermetic: no network access is required.
 
@@ -91,6 +96,14 @@ soak_digest() {
         | grep -E '^SOAK_DIGEST '
 }
 
+reorg_digest() {
+    # Prints the REORG_DIGEST line for one fresh-process reorg-schedule
+    # run (depth-3 reorg mid-schedule, exactly-once asserted in-test).
+    HARDTAPE_SOAK_SEED="$1" cargo test -q --test soak \
+        seeded_reorg_schedule_is_deterministic_and_exactly_once -- --nocapture \
+        | grep -E '^REORG_DIGEST '
+}
+
 if [[ "$RUN_SOAK" -eq 1 ]]; then
     echo "==> gateway chaos soak (determinism across processes)"
     for seed in 1337 424242 12648430; do
@@ -104,12 +117,31 @@ if [[ "$RUN_SOAK" -eq 1 ]]; then
         fi
         echo "seed $seed: $first"
     done
+    echo "==> reorg schedule soak (byte-identical digests across a depth-3 reorg)"
+    for seed in 1337 424242 12648430; do
+        first="$(reorg_digest "$seed")"
+        second="$(reorg_digest "$seed")"
+        if [[ "$first" != "$second" ]]; then
+            echo "reorg soak: NONDETERMINISM at seed $seed" >&2
+            echo "  run 1: $first" >&2
+            echo "  run 2: $second" >&2
+            exit 1
+        fi
+        echo "seed $seed: $first"
+    done
 fi
 
 if [[ "$RUN_BENCH" -eq 1 ]]; then
-    echo "==> pre-execution benchmark (digest drift + leakage audit)"
+    echo "==> pre-execution benchmark (digest drift + leakage audit + regression guard)"
+    # The committed report is the regression baseline: a fresh run may
+    # not add more than 10% ORAM queries per bundle. The binary reads
+    # the baseline before overwriting it.
+    BASELINE_ARGS=()
+    if git ls-files --error-unmatch BENCH_pre_execute.json >/dev/null 2>&1; then
+        BASELINE_ARGS=(--baseline BENCH_pre_execute.json)
+    fi
     cargo run -q --release -p tape-bench --bin bench_pre_execute -- \
-        --out BENCH_pre_execute.json
+        --out BENCH_pre_execute.json "${BASELINE_ARGS[@]}"
     echo "==> starvation ablation (the auditor must detect the leak)"
     cargo run -q --release -p tape-bench --bin bench_pre_execute -- \
         --starve --out target/BENCH_pre_execute.starve.json

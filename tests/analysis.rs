@@ -61,7 +61,7 @@ fn device(genesis: &InMemoryState) -> HarDTape {
         oram_height: 10,
         ..ServiceConfig::at_level(SecurityConfig::Full)
     };
-    HarDTape::new(config, Env::default(), genesis)
+    HarDTape::new(config, Env::default(), genesis).expect("device boots")
 }
 
 fn hog_bundle() -> Bundle {

@@ -83,7 +83,7 @@ fn erc20_transfer_bundle() -> Bundle {
 
 fn small_service(level: SecurityConfig) -> HarDTape {
     let config = ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(level) };
-    HarDTape::new(config, Env::default(), &genesis())
+    HarDTape::new(config, Env::default(), &genesis()).expect("device boots")
 }
 
 /// Arms `plan` on a fresh device at `level` (after genesis sync, so the
@@ -244,7 +244,7 @@ fn layer3_tamper_aborts_bundle_and_device_recovers() {
         ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(SecurityConfig::Raw) };
     // Tiny layer 2: the self-calling hog forces swap traffic to layer 3.
     config.hevm.mem = MemoryConfig { layer2_bytes: 128 * 1024, ..MemoryConfig::default() };
-    let mut device = HarDTape::new(config, Env::default(), &genesis_with_hog());
+    let mut device = HarDTape::new(config, Env::default(), &genesis_with_hog()).expect("device boots");
     let plan = FaultPlan::new(31, device.clock());
     plan.arm(
         FaultSite::PageStore,
@@ -294,7 +294,7 @@ fn watchdog_aborts_runaway_execution() {
     // 5 virtual ms: an honest bundle finishes well under it at Raw, the
     // 30M-gas spin loop burns tens of virtual ms.
     config.hevm.watchdog_ns = Some(5_000_000);
-    let mut device = HarDTape::new(config, Env::default(), &state);
+    let mut device = HarDTape::new(config, Env::default(), &state).expect("device boots");
     let mut user = device.connect_user(b"spinner").unwrap();
 
     let mut tx = Transaction::call(alice(), spin, vec![]);
@@ -326,7 +326,7 @@ fn persistently_failing_core_is_quarantined_and_the_rest_keep_serving() {
         ..ServiceConfig::at_level(SecurityConfig::Raw)
     };
     config.hevm.watchdog_ns = Some(5_000_000);
-    let mut device = HarDTape::new(config, Env::default(), &state);
+    let mut device = HarDTape::new(config, Env::default(), &state).expect("device boots");
     let mut user = device.connect_user(b"quarantine driver").unwrap();
 
     let spin_bundle = || {

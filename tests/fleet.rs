@@ -33,7 +33,7 @@ fn three_devices_serve_bundles_in_parallel() {
                     seed: 0x1000 + device_id,
                     ..ServiceConfig::at_level(SecurityConfig::Full)
                 };
-                let mut device = HarDTape::new(config, Env::default(), genesis);
+                let mut device = HarDTape::new(config, Env::default(), genesis).expect("device boots");
                 let mut user = device
                     .connect_user(format!("fleet user {device_id}").as_bytes())
                     .expect("attestation");
@@ -64,7 +64,7 @@ fn user_verifies_the_device_trace_signature() {
         ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(SecurityConfig::Es) },
         Env::default(),
         &genesis(),
-    );
+    ).expect("device boots");
     let mut user = device.connect_user(b"verifying user").unwrap();
     let tx = Transaction::transfer(
         Address::from_low_u64(0x1000),
@@ -120,7 +120,7 @@ fn sequential_sessions_reuse_devices_cleanly() {
         ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(SecurityConfig::Full) },
         Env::default(),
         &genesis,
-    );
+    ).expect("device boots");
     let from = Address::from_low_u64(0x1000);
     let to = Address::from_low_u64(0x1001);
     let mut first_report = None;

@@ -77,7 +77,7 @@ fn selfdestruct_propagates_through_block_sync() {
         ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(SecurityConfig::Full) },
         Env::default(),
         &genesis,
-    );
+    ).expect("device boots");
     let mut user = device.connect_user(b"sd sync").unwrap();
 
     // The kill transaction lands on-chain.
@@ -131,7 +131,7 @@ fn forged_deletion_rejected() {
         ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(SecurityConfig::Full) },
         Env::default(),
         &genesis,
-    );
+    ).expect("device boots");
     assert!(device.sync_block(&header, &delta).is_err());
 }
 
@@ -253,7 +253,7 @@ fn trace_signature_covers_log_topics() {
         ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(SecurityConfig::Es) },
         Env::default(),
         &genesis,
-    );
+    ).expect("device boots");
     let mut user = device.connect_user(b"topics").unwrap();
     let mut tx = Transaction::call(owner, emitter, vec![]);
     tx.gas_limit = 100_000;

@@ -46,7 +46,7 @@ fn erc20_transfer_bundle() -> Bundle {
 
 fn small_service(level: SecurityConfig) -> HarDTape {
     let config = ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(level) };
-    HarDTape::new(config, Env::default(), &genesis())
+    HarDTape::new(config, Env::default(), &genesis()).expect("device boots")
 }
 
 #[test]
@@ -151,7 +151,7 @@ fn hevm_slots_exhaust_and_recover() {
         oram_height: 10,
         ..ServiceConfig::at_level(SecurityConfig::Raw)
     };
-    let mut device = HarDTape::new(config, Env::default(), &genesis());
+    let mut device = HarDTape::new(config, Env::default(), &genesis()).expect("device boots");
     let mut u1 = device.connect_user(b"u1").unwrap();
     let _u2 = device.connect_user(b"u2").unwrap();
 
@@ -267,7 +267,7 @@ fn memory_overflow_bundle_reported_as_attack() {
         ),
     );
     let config = ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(SecurityConfig::Raw) };
-    let mut device = HarDTape::new(config, Env::default(), &state);
+    let mut device = HarDTape::new(config, Env::default(), &state).expect("device boots");
     let mut user = device.connect_user(b"attacker").unwrap();
     let mut tx = Transaction::call(alice(), hog, vec![]);
     tx.gas_limit = 10_000_000;

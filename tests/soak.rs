@@ -19,11 +19,11 @@
 
 use hardtape::{
     Bundle, BreakerConfig, Completion, Gateway, GatewayConfig, GatewayError, HarDTape,
-    SecurityConfig, ServiceConfig, ServiceError,
+    SecurityConfig, ServiceConfig, ServiceError, SyncOutcome,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use tape_evm::{Env, Transaction};
-use tape_node::{BlockFeed, BreakerState, Node};
+use tape_node::{BlockFeed, BreakerState, FeedSet, FeedSetConfig, Node};
 use tape_primitives::{Address, U256};
 use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
 use tape_sim::queue::interleave;
@@ -62,7 +62,7 @@ fn transfer_bundle(tenant: usize, step: usize) -> Bundle {
 /// the soak exercises scheduling, not the memory hierarchy).
 fn soak_gateway(config: GatewayConfig) -> Gateway {
     let service = ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(SecurityConfig::Es) };
-    Gateway::new(HarDTape::new(service, Env::default(), &soak_genesis()), config)
+    Gateway::new(HarDTape::new(service, Env::default(), &soak_genesis()).expect("device boots"), config)
 }
 
 fn soak_feed() -> BlockFeed {
@@ -73,6 +73,39 @@ fn soak_feed() -> BlockFeed {
         U256::from(500u64),
     )]);
     BlockFeed::new(node)
+}
+
+/// Three independent feeds over identical nodes (a fresh quorum).
+fn soak_feedset() -> FeedSet {
+    FeedSet::new(
+        (0..3).map(|_| BlockFeed::new(Node::new(soak_genesis(), Env::default()))).collect(),
+        FeedSetConfig::default(),
+    )
+}
+
+/// Produces one identical block on every feed in the set.
+fn produce_on_all(feeds: &mut FeedSet, step: u64) {
+    for i in 0..feeds.len() {
+        feeds.feed_mut(i).expect("feed exists").node_mut().produce_block(vec![
+            Transaction::transfer(tenant_addr(0), sink_addr(0), U256::from(500 + step)),
+        ]);
+    }
+}
+
+/// Rewinds every feed to one block and builds a heavier replacement
+/// branch of `blocks` blocks, salted by `salt` for per-seed variety.
+fn reorg_all(feeds: &mut FeedSet, blocks: u64, salt: u64) {
+    for i in 0..feeds.len() {
+        let node = feeds.feed_mut(i).expect("feed exists").node_mut();
+        assert!(node.revert_to(1), "every soak chain keeps its first block");
+        for s in 0..blocks {
+            node.produce_block(vec![Transaction::transfer(
+                tenant_addr(1),
+                sink_addr(1),
+                U256::from(700 + salt % 97 + s),
+            )]);
+        }
+    }
 }
 
 fn soak_seed() -> u64 {
@@ -194,7 +227,7 @@ fn chaos_run(seed: u64) -> (String, Vec<(u64, usize)>) {
     assert_eq!(stats.admitted as usize, admitted.len());
     assert_eq!(stats.rejected_overloaded as usize, rejected);
     assert_eq!(
-        stats.completed_ok + stats.completed_err + stats.shed_deadline,
+        stats.completed_ok + stats.completed_err + stats.shed_deadline + stats.shed_reorg,
         stats.admitted,
         "every admitted bundle must be accounted to exactly one outcome"
     );
@@ -463,7 +496,7 @@ fn tenant_local_rejection_hints_shrink_as_the_backlog_drains() {
         ..ServiceConfig::at_level(SecurityConfig::Es)
     };
     let mut gateway = Gateway::new(
-        HarDTape::new(service, Env::default(), &soak_genesis()),
+        HarDTape::new(service, Env::default(), &soak_genesis()).expect("device boots"),
         GatewayConfig { queue_depth: 4, admission_budget: 24, ..GatewayConfig::default() },
     );
     let victim = gateway.connect(b"hint tenant A").expect("attestation succeeds");
@@ -512,4 +545,206 @@ fn tenant_local_rejection_hints_shrink_as_the_backlog_drains() {
         .filter(|e| matches!(e, TelemetryEvent::Reject { tenant_local: true, .. }))
         .count();
     assert_eq!(tenant_local_rejects, 3, "rejections must be recorded as tenant-local");
+}
+
+#[test]
+fn reorged_pins_are_revalidated_and_fork_point_reaches_degraded_reports() {
+    let mut gateway = soak_gateway(GatewayConfig {
+        breaker: BreakerConfig { failure_threshold: 2, cooldown_ns: 50_000_000 },
+        ..GatewayConfig::default()
+    });
+    let session = gateway.connect(b"reorg tenant").expect("attestation succeeds");
+    let mut feeds = soak_feedset();
+    produce_on_all(&mut feeds, 0);
+    gateway.sync_set(&mut feeds).expect("first quorum sync succeeds");
+    produce_on_all(&mut feeds, 1);
+    gateway.sync_set(&mut feeds).expect("extension sync succeeds");
+    let pinned_head = gateway.device().head().expect("sync set the head");
+
+    // Queue a bundle against the current head — and leave it queued
+    // while the chain underneath it is rewritten.
+    let ticket = gateway.submit(session, transfer_bundle(0, 0)).expect("admitted");
+
+    // Every feed adopts a heavier branch forking one block down.
+    reorg_all(&mut feeds, 2, 0);
+    let sync = gateway.sync_set(&mut feeds).expect("quorum resolves the reorg");
+    let SyncOutcome::Reorged { fork, ref orphaned, .. } = sync.outcome else {
+        panic!("expected a reorg, got {:?}", sync.outcome);
+    };
+    assert!(orphaned.contains(&pinned_head), "the pinned head was orphaned");
+    assert_eq!(sync.revalidated, vec![ticket], "queued bundle re-validated, not shed");
+    assert!(sync.shed.is_empty(), "revalidation policy sheds nothing");
+    assert_eq!(gateway.last_fork(), Some(fork));
+
+    // A persistent outage opens the breaker (two failed quorum syncs).
+    for i in 0..feeds.len() {
+        let plan = FaultPlan::new(21 + i as u64, gateway.device().clock());
+        plan.arm(FaultSite::NodeFeed, &[FaultKind::Unavailable], 1, 64);
+        feeds.feed_mut(i).expect("feed exists").arm_faults(plan);
+    }
+    for _ in 0..2 {
+        match gateway.sync_set(&mut feeds) {
+            Err(GatewayError::Service(ServiceError::NodeUnavailable)) => {}
+            other => panic!("expected NodeUnavailable, got {other:?}"),
+        }
+    }
+    assert_eq!(gateway.breaker_state(), BreakerState::Open);
+
+    // The pre-reorg bundle finally executes, degraded: its report's
+    // staleness bound carries the fork point — the user learns both how
+    // old the head is and that the chain behind it was rewritten.
+    let completions = gateway.run_until_idle();
+    let completion = completions
+        .iter()
+        .find(|c| c.ticket == ticket)
+        .expect("queued bundle completes exactly once");
+    let report = completion.outcome.as_ref().expect("revalidated bundle executes");
+    let bound = report.staleness.expect("degraded report must carry a staleness bound");
+    assert_eq!(bound.head, gateway.device().head());
+    assert_eq!(bound.fork_point, Some(fork), "fork point survives queueing into the report");
+
+    let stats = gateway.stats();
+    assert_eq!(stats.shed_reorg, 0);
+    assert_eq!(
+        stats.completed_ok + stats.completed_err + stats.shed_deadline + stats.shed_reorg,
+        stats.admitted,
+        "exactly-once must hold across the reorg"
+    );
+}
+
+#[test]
+fn reorged_pins_are_shed_with_typed_errors_when_revalidation_is_off() {
+    let mut gateway = soak_gateway(GatewayConfig {
+        revalidate_on_reorg: false,
+        ..GatewayConfig::default()
+    });
+    let session = gateway.connect(b"shed tenant").expect("attestation succeeds");
+    let mut feeds = soak_feedset();
+    produce_on_all(&mut feeds, 0);
+    gateway.sync_set(&mut feeds).expect("first quorum sync succeeds");
+    produce_on_all(&mut feeds, 1);
+    gateway.sync_set(&mut feeds).expect("extension sync succeeds");
+    let pinned_head = gateway.device().head().expect("sync set the head");
+
+    let tickets = [
+        gateway.submit(session, transfer_bundle(0, 0)).expect("admitted"),
+        gateway.submit(session, transfer_bundle(0, 1)).expect("admitted"),
+    ];
+
+    reorg_all(&mut feeds, 2, 1);
+    let sync = gateway.sync_set(&mut feeds).expect("quorum resolves the reorg");
+    let SyncOutcome::Reorged { fork, .. } = sync.outcome else {
+        panic!("expected a reorg, got {:?}", sync.outcome);
+    };
+    assert!(sync.revalidated.is_empty(), "shed policy re-validates nothing");
+    assert_eq!(sync.shed.len(), 2, "both queued bundles shed");
+    for completion in &sync.shed {
+        assert!(tickets.contains(&completion.ticket));
+        match &completion.outcome {
+            Err(GatewayError::PinnedHeadReorged { pinned, fork: shed_fork }) => {
+                assert_eq!(*pinned, pinned_head);
+                assert_eq!(*shed_fork, fork);
+            }
+            other => panic!("expected PinnedHeadReorged, got {other:?}"),
+        }
+    }
+    assert_eq!(gateway.queued(), 0, "shed bundles freed their queue slots");
+    let stats = gateway.stats();
+    assert_eq!(stats.shed_reorg, 2);
+    assert_eq!(
+        stats.completed_ok + stats.completed_err + stats.shed_deadline + stats.shed_reorg,
+        stats.admitted,
+        "every admitted bundle is accounted to exactly one outcome"
+    );
+
+    // The gateway is fully operational on the new branch.
+    gateway.submit(session, transfer_bundle(0, 2)).expect("admitted after the reorg");
+    let completions = gateway.run_until_idle();
+    assert!(completions.iter().all(|c| c.outcome.is_ok()));
+}
+
+/// One seeded chaos run with a mid-schedule depth-3 reorg: interleaved
+/// submissions, periodic quorum syncs, the reorg shedding pinned work
+/// (revalidation off, so the typed shed path lands in the digest), and
+/// a full drain. Returns the combined schedule + telemetry digest.
+fn reorg_chaos_run(seed: u64) -> String {
+    let mut gateway = soak_gateway(GatewayConfig {
+        queue_depth: 6,
+        admission_budget: 18,
+        revalidate_on_reorg: false,
+        ..GatewayConfig::default()
+    });
+    let mut feeds = soak_feedset();
+    let mut sessions = Vec::new();
+    for i in 0..TENANTS {
+        sessions.push(
+            gateway
+                .connect(format!("reorg soak tenant {i}").as_bytes())
+                .expect("attestation succeeds"),
+        );
+    }
+
+    let counts = [30usize, 24, 18, 12];
+    let order = interleave(&counts, seed);
+    let mut steps = vec![0usize; TENANTS];
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut produced = 0u64;
+    let mut reorged = false;
+
+    for (op, &tenant) in order.iter().enumerate() {
+        let step = steps[tenant];
+        steps[tenant] += 1;
+        match gateway.submit(sessions[tenant], transfer_bundle(tenant, step)) {
+            Ok(_) => {}
+            Err(GatewayError::Overloaded { .. }) => {
+                completions.extend(gateway.run_round());
+            }
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+        if op % 5 == 4 {
+            completions.extend(gateway.run_round());
+        }
+        if op % 12 == 11 && produced < 4 {
+            produced += 1;
+            produce_on_all(&mut feeds, produced);
+            gateway.sync_set(&mut feeds).expect("quorum sync succeeds");
+        }
+        if op == 60 && !reorged {
+            reorged = true;
+            // Depth-3 rewrite: blocks 2..4 abandoned for a heavier branch.
+            reorg_all(&mut feeds, 5, seed);
+            let sync = gateway.sync_set(&mut feeds).expect("reorg sync succeeds");
+            match sync.outcome {
+                SyncOutcome::Reorged { depth, .. } => assert_eq!(depth, 3),
+                other => panic!("schedule must produce a depth-3 reorg, got {other:?}"),
+            }
+            completions.extend(sync.shed);
+        }
+    }
+    completions.extend(gateway.run_until_idle());
+    assert!(reorged, "the schedule must have hit the reorg point");
+
+    // Exactly-once across the reorg: admitted = ok + err + shed
+    // (deadline and reorg), and no ticket completes twice.
+    let stats = gateway.stats();
+    assert_eq!(
+        stats.completed_ok + stats.completed_err + stats.shed_deadline + stats.shed_reorg,
+        stats.admitted,
+        "seed {seed}: exactly-once broke across the reorg"
+    );
+    let tickets: BTreeSet<u64> = completions.iter().map(|c| c.ticket).collect();
+    assert_eq!(tickets.len(), completions.len(), "seed {seed}: a ticket completed twice");
+    assert_eq!(stats.admitted as usize, completions.len(), "seed {seed}: lost completions");
+
+    format!("{}:{}", gateway.log().digest(), gateway.device().telemetry().digest())
+}
+
+#[test]
+fn seeded_reorg_schedule_is_deterministic_and_exactly_once() {
+    let seed = soak_seed();
+    let digest_a = reorg_chaos_run(seed);
+    let digest_b = reorg_chaos_run(seed);
+    assert_eq!(digest_a, digest_b, "seed {seed}: reorg schedules diverged across runs");
+    // Greppable witness for scripts/verify.sh --soak.
+    println!("REORG_DIGEST seed={seed} digest={digest_a}");
 }
