@@ -21,6 +21,14 @@
 //!   ([`tape_sim::queue::Drr`]); a bundle costs its transaction count,
 //!   so a tenant submitting heavyweight bundles is served
 //!   proportionally fewer of them and cannot starve light tenants.
+//! * **Preemption** — when the device is configured with a `gas_slice`,
+//!   a long-running bundle yields its core at the slice boundary and is
+//!   re-queued at the *back* of its tenant queue carrying its typed
+//!   checkpoint ([`crate::service::BundlePause`]); short bundles jump
+//!   ahead, so one gas-bomb tenant cannot monopolize a core for a whole
+//!   bundle's worth of virtual time. `retry_after` hints are computed
+//!   from the *remaining-segment* backlog, so a queue of nearly-done
+//!   bundles no longer inflates the hint to whole-bundle cost.
 //! * **Circuit breaking** — block-feed syncs go through a
 //!   [`CircuitBreaker`]; a persistent outage opens it, later syncs are
 //!   refused cheaply ([`GatewayError::FeedBreakerOpen`]) without
@@ -34,8 +42,8 @@
 
 use crate::config::GatewayConfig;
 use crate::service::{
-    Bundle, BundleReport, ForkPoint, HarDTape, ServiceError, StalenessBound, SyncOutcome,
-    UserHandle,
+    Bundle, BundlePause, BundleReport, ForkPoint, HarDTape, PreExecOutcome, ServiceError,
+    StalenessBound, SyncOutcome, UserHandle,
 };
 use std::collections::HashMap;
 use tape_node::{BlockFeed, BreakerState, CircuitBreaker, FeedSet};
@@ -164,6 +172,10 @@ pub struct GatewayStats {
     /// Queued bundles shed because the head they were admitted against
     /// was orphaned by a reorg (includes revalidation failures).
     pub shed_reorg: u64,
+    /// Segment preemptions: a bundle yielded its core at a gas-slice
+    /// boundary and was re-queued with its checkpoint. One bundle can
+    /// contribute many preemptions before its single completion.
+    pub preempted: u64,
 }
 
 struct Tenant {
@@ -183,6 +195,13 @@ struct Admitted {
     /// with a typed error) if a reorg orphans this block while the
     /// bundle is still queued.
     pinned_head: Option<B256>,
+    /// Mid-execution checkpoint from a preempted segment. `Some` means
+    /// the bundle already ran at least one gas slice and re-queued; the
+    /// next dequeue resumes it instead of starting over. Deadline and
+    /// reorg policy still apply while re-queued — a shed preempted
+    /// bundle discards the pause (its overlay simply evaporates) and
+    /// still resolves to exactly one typed completion.
+    pause: Option<BundlePause>,
 }
 
 /// The front-end between connected users and the HEVM core pool. See
@@ -352,6 +371,7 @@ impl Gateway {
             deadline: now.saturating_add(self.config.deadline_ns),
             cost,
             pinned_head: self.device.head(),
+            pause: None,
         };
         match self.tenants[index].queue.push(admitted) {
             Ok(()) => {
@@ -450,7 +470,9 @@ impl Gateway {
                     .pop()
                     .unwrap_or_else(|| unreachable!("peeked head exists"));
                 self.queued_total -= 1;
-                completions.push(self.execute(index, admitted));
+                if let Some(completion) = self.execute(index, admitted) {
+                    completions.push(completion);
+                }
             }
         }
         completions
@@ -467,19 +489,46 @@ impl Gateway {
         completions
     }
 
-    fn execute(&mut self, index: usize, admitted: Admitted) -> Completion {
+    /// Runs one *segment* of the admitted bundle: until it finishes, a
+    /// typed error kills it, or its gas slice runs out. Returns `None`
+    /// on preemption — the bundle re-queued at the back of its tenant
+    /// queue carrying its checkpoint, and its completion will come from
+    /// a later dequeue (exactly-once is preserved; the pause is not
+    /// clonable).
+    fn execute(&mut self, index: usize, mut admitted: Admitted) -> Option<Completion> {
         let session = self.tenants[index].session;
         let now = self.now();
         self.log.record(format!(
-            "t={now} execute session={session} ticket={}",
-            admitted.ticket
+            "t={now} execute session={session} ticket={} segment={}",
+            admitted.ticket,
+            admitted.pause.as_ref().map_or(0, BundlePause::segments),
         ));
         self.note_breaker();
         let degraded = self.last_breaker != BreakerState::Closed;
-        let outcome = self
+        let resume = admitted.pause.take();
+        let outcome = match self
             .device
-            .pre_execute(&mut self.tenants[index].handle, &admitted.bundle)
-            .map(|mut report| {
+            .pre_execute_preemptible(&mut self.tenants[index].handle, &admitted.bundle, resume)
+        {
+            Ok(PreExecOutcome::Preempted(pause)) => {
+                // Gas slice exhausted: back of the line. Short bundles
+                // queued behind this one jump ahead; the checkpoint
+                // rides along so no work is lost or repeated.
+                self.stats.preempted += 1;
+                let now = self.now();
+                self.log.record(format!(
+                    "t={now} preempt session={session} ticket={} segment={}",
+                    admitted.ticket,
+                    pause.segments(),
+                ));
+                admitted.pause = Some(pause);
+                self.queued_total += 1;
+                if self.tenants[index].queue.push(admitted).is_err() {
+                    unreachable!("re-queueing a just-popped bundle cannot overflow");
+                }
+                return None;
+            }
+            Ok(PreExecOutcome::Done(mut report)) => {
                 if degraded {
                     // The feed is out: the report is served from the
                     // last attested head, and says so.
@@ -490,9 +539,10 @@ impl Gateway {
                     });
                     self.stats.served_stale += 1;
                 }
-                report
-            })
-            .map_err(GatewayError::Service);
+                Ok(report)
+            }
+            Err(err) => Err(GatewayError::Service(err)),
+        };
         self.device.telemetry().count(
             if outcome.is_ok() { CounterId::GwExecuted } else { CounterId::GwFailed },
             1,
@@ -517,7 +567,7 @@ impl Gateway {
                 ));
             }
         }
-        Completion { ticket: admitted.ticket, session, outcome }
+        Some(Completion { ticket: admitted.ticket, session, outcome })
     }
 
     /// Synchronizes the device from `feed` through the circuit breaker.
@@ -767,9 +817,37 @@ impl Gateway {
 
     /// Deterministic drain-time estimate for shed load: how long until
     /// the backlog ahead of a retry has moved through the cores.
+    ///
+    /// The backlog is summed per queued bundle from its *remaining*
+    /// work, not its whole-bundle cost: a fresh bundle owes the full
+    /// [`GatewayConfig::per_bundle_estimate_ns`], while a preempted
+    /// bundle owes only the fraction of its admitted gas still
+    /// unburned. A queue of nearly-finished gas-bombs therefore hints a
+    /// short retry instead of quoting every bomb at full price.
     fn retry_after_hint(&self) -> Nanos {
-        let cores = self.device.config().hevm_count.max(1) as u64;
-        let backlog_per_core = (self.queued_total as u64).div_ceil(cores).max(1);
-        backlog_per_core.saturating_mul(self.config.per_bundle_estimate_ns.max(1))
+        let cores = u128::from(self.device.config().hevm_count.max(1) as u64);
+        let est = u128::from(self.config.per_bundle_estimate_ns.max(1));
+        let mut backlog_ns: u128 = 0;
+        for tenant in &self.tenants {
+            for entry in tenant.queue.iter() {
+                backlog_ns += match &entry.pause {
+                    None => est,
+                    Some(pause) => {
+                        let total: u64 = entry
+                            .bundle
+                            .transactions
+                            .iter()
+                            .map(|tx| tx.gas_limit)
+                            .sum();
+                        let total = u128::from(total.max(1));
+                        let rest =
+                            u128::from(pause.remaining_gas(&entry.bundle)).min(total);
+                        (est * rest).div_ceil(total).max(1)
+                    }
+                };
+            }
+        }
+        let per_core = backlog_ns.div_ceil(cores).max(est);
+        u64::try_from(per_core).unwrap_or(Nanos::MAX)
     }
 }

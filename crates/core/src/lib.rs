@@ -56,6 +56,6 @@ pub use gateway::{Completion, Gateway, GatewayError, GatewayStats, SyncReport};
 pub use reader::HybridState;
 pub use scalability::{estimate, ScalabilityReport, ETHEREUM_TPS};
 pub use service::{
-    Bundle, BundleReport, ForkPoint, HarDTape, ServiceConfig, ServiceError, StalenessBound,
-    SyncOutcome, UserHandle,
+    Bundle, BundlePause, BundleReport, ForkPoint, HarDTape, PreExecOutcome, ServiceConfig,
+    ServiceError, StalenessBound, SyncOutcome, UserHandle,
 };

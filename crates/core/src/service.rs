@@ -8,7 +8,7 @@ use std::sync::Arc;
 use tape_analysis::{AnalysisConfig, AnalysisReject, CodeAnalysis, Limits, LintFinding};
 use tape_crypto::{PublicKey, SecretKey, SecureRng, Signature};
 use tape_evm::{Env, Transaction, TxResult};
-use tape_hevm::{Hevm, HevmAbort, HevmConfig, HevmStats};
+use tape_hevm::{Checkpoint, Hevm, HevmAbort, HevmConfig, HevmStats, SliceOutcome};
 use tape_node::{BlockFeed, BlockHeader, FeedError, FeedSet, RetryPolicy, StateDelta};
 use tape_oram::{ObliviousState, OramClient, OramConfig, OramError, OramServer};
 use tape_primitives::{rlp, Address, B256};
@@ -234,6 +234,83 @@ impl BundleReport {
     }
 }
 
+/// How one preemptible pre-execution call ended.
+// Variant sizes differ (a pause embeds the full checkpoint), but the
+// outcome is a transient return value consumed at the call site —
+// never stored in bulk — so boxing would only add an allocation per
+// segment yield on the preemption hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum PreExecOutcome {
+    /// The bundle ran to completion; the report is final and signed.
+    Done(BundleReport),
+    /// The current transaction's gas slice ran out. The core has been
+    /// released; pass the pause back to
+    /// [`HarDTape::pre_execute_preemptible`] to run the next segment.
+    Preempted(BundlePause),
+}
+
+/// A paused, partially executed bundle: the engine's typed
+/// [`Checkpoint`] plus the bundle-level progress (results of completed
+/// transactions, per-transaction timing, lints, and the phase clock).
+///
+/// Deliberately *not* `Clone` — a pause resumes exactly once, which is
+/// what the gateway's exactly-once accounting for preempted bundles
+/// leans on. Dropping a pause discards the bundle cleanly (the journal
+/// overlay simply evaporates).
+#[derive(Debug)]
+pub struct BundlePause {
+    checkpoint: Checkpoint,
+    hevm_config: HevmConfig,
+    results: Vec<TxResult>,
+    per_tx: Vec<Nanos>,
+    /// Index of the transaction the checkpoint pauses.
+    tx_index: usize,
+    /// Execution time already spent on the paused transaction.
+    tx_elapsed: Nanos,
+    lints: Vec<(Address, LintFinding)>,
+    /// Virtual time the bundle entered the service (for `total_ns`).
+    started: Nanos,
+    /// The submitting session; resume is refused for any other.
+    session: u64,
+}
+
+impl BundlePause {
+    /// 1-based index of the segment that yielded.
+    pub fn segments(&self) -> u32 {
+        self.checkpoint.segment()
+    }
+
+    /// Gas left unexecuted in the paused transaction plus the gas
+    /// limits of the bundle's not-yet-started transactions: the basis
+    /// for remaining-segment estimates (gateway `retry_after` hints).
+    pub fn remaining_gas(&self, bundle: &Bundle) -> u64 {
+        let rest: u64 = bundle
+            .transactions
+            .iter()
+            .skip(self.tx_index + 1)
+            .map(|tx| tx.gas_limit)
+            .sum();
+        self.checkpoint.remaining_gas().saturating_add(rest)
+    }
+
+    /// The session that submitted the paused bundle.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+}
+
+/// How one `run_bundle_segment` call ended (internal).
+// Same transient-return-value argument as `PreExecOutcome` for the
+// variant-size disparity.
+#[allow(clippy::type_complexity, clippy::large_enum_variant)]
+enum SegmentOutcome {
+    /// Every transaction retired; the bundle-level artifacts follow.
+    Finished(Vec<TxResult>, StateChanges, Vec<Nanos>, HevmStats, Vec<(Address, LintFinding)>),
+    /// The current transaction's gas slice ran out mid-execution.
+    Yielded(BundlePause),
+}
+
 /// Service-level failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
@@ -428,6 +505,10 @@ pub struct HarDTape {
     /// Starvation-ablation side switch: bundles use the legacy dense
     /// prefetch (no static plans), reproducing the pre-fix pipeline.
     legacy_prefetch: std::cell::Cell<bool>,
+    /// Checkpoint-cover ablation switch: suspensions capture frames
+    /// in-enclave with no swap traffic while the segment window still
+    /// advertises them — the §IV-D segment lens's negative control.
+    checkpoint_ablation: std::cell::Cell<bool>,
     /// Hardware capacities the admission gate checks stack bounds
     /// against (derived from the HEVM memory configuration).
     limits: Limits,
@@ -542,6 +623,7 @@ impl HarDTape {
             telemetry,
             analysis_cache: std::collections::HashMap::new(),
             legacy_prefetch: std::cell::Cell::new(false),
+            checkpoint_ablation: std::cell::Cell::new(false),
             limits,
         })
     }
@@ -569,6 +651,14 @@ impl HarDTape {
     /// Prefetcher lifetime stats (None without a code-ORAM prefetcher).
     pub fn prefetch_stats(&self) -> Option<tape_oram::PrefetchStats> {
         self.oram.as_ref().and_then(|o| o.prefetch_stats())
+    }
+
+    /// Switches checkpoint suspensions to in-enclave capture (no cover
+    /// swap traffic, frames still advertised) — the §IV-D segment
+    /// lens's negative control. Only observable when `gas_slice` is
+    /// configured and bundles actually preempt.
+    pub fn set_checkpoint_ablation(&self, on: bool) {
+        self.checkpoint_ablation.set(on);
     }
 
     /// Replaces the last advertised page of every static prefetch plan
@@ -717,6 +807,13 @@ impl HarDTape {
     /// Pre-executes a bundle on a dedicated HEVM (paper Fig. 3 steps
     /// 3–10). World-state modifications are discarded at the end.
     ///
+    /// When `hevm.gas_slice` is configured this drives the segmented
+    /// engine back-to-back — every preemption is immediately resumed on
+    /// the same device, with checkpoint cover traffic and segment
+    /// telemetry at each boundary. Callers who want to interleave other
+    /// work between segments (the gateway's preemption scheduler) use
+    /// [`Self::pre_execute_preemptible`] directly.
+    ///
     /// # Errors
     ///
     /// [`ServiceError`] on channel failures, busy devices, or HEVM
@@ -726,42 +823,92 @@ impl HarDTape {
         user: &mut UserHandle,
         bundle: &Bundle,
     ) -> Result<BundleReport, ServiceError> {
+        let mut outcome = self.pre_execute_preemptible(user, bundle, None)?;
+        loop {
+            match outcome {
+                PreExecOutcome::Done(report) => return Ok(report),
+                PreExecOutcome::Preempted(pause) => {
+                    outcome = self.pre_execute_preemptible(user, bundle, Some(pause))?;
+                }
+            }
+        }
+    }
+
+    /// Runs one gas-slice segment of a bundle: with `resume` absent the
+    /// bundle enters the service (channel, signature, admission), takes
+    /// a core, and executes until its current transaction's gas slice
+    /// runs out or the whole bundle finishes; with `resume` present the
+    /// paused bundle re-takes a core and continues. The core is
+    /// released on *every* exit, so a preempted bundle never holds
+    /// hardware while queued.
+    ///
+    /// Exactly-once: the [`BundlePause`] is consumed by value and is
+    /// not `Clone`, so a segment can never be replayed. An error
+    /// consumes the pause too — a failed bundle is dead, exactly like a
+    /// failed un-segmented bundle.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::pre_execute`]. `resume` must carry a pause produced
+    /// for the same `user` session and `bundle`.
+    pub fn pre_execute_preemptible(
+        &mut self,
+        user: &mut UserHandle,
+        bundle: &Bundle,
+        resume: Option<BundlePause>,
+    ) -> Result<PreExecOutcome, ServiceError> {
         if self.revoked.contains(&user.session) {
             return Err(ServiceError::ReattestationRequired);
         }
-        let started = self.clock.now();
         let security = self.config.security;
-        let payload = bundle.encode();
+        let (started, pause) = match resume {
+            Some(pause) => {
+                assert_eq!(
+                    pause.session, user.session,
+                    "pause resumed by a different session"
+                );
+                (pause.started, Some(pause))
+            }
+            None => {
+                let started = self.clock.now();
+                let payload = bundle.encode();
 
-        // User → device: sign and seal the bundle. The wire between the
-        // two is untrusted — an armed fault plan may tamper, drop, or
-        // replay the sealed message in transit.
-        let signature = security.signature().then(|| sign_bundle(&user.user_key, &payload));
-        if security.encryption() {
-            let opened = self.deliver_to_device(user, &payload)?;
-            debug_assert_eq!(opened, payload);
-        }
-        self.record_phase(PhaseKind::Receive, started);
-        let decode_started = self.clock.now();
-        if let Some(sig) = &signature {
-            // Device verifies the user's bundle signature on the A53.
-            self.clock.advance(self.cost.ecdsa_verify_ns);
-            verify_bundle(&user.public_key(), &payload, sig).map_err(ServiceError::Channel)?;
-        }
-        self.record_phase(PhaseKind::Decode, decode_started);
+                // User → device: sign and seal the bundle. The wire
+                // between the two is untrusted — an armed fault plan may
+                // tamper, drop, or replay the sealed message in transit.
+                let signature =
+                    security.signature().then(|| sign_bundle(&user.user_key, &payload));
+                if security.encryption() {
+                    let opened = self.deliver_to_device(user, &payload)?;
+                    debug_assert_eq!(opened, payload);
+                }
+                self.record_phase(PhaseKind::Receive, started);
+                let decode_started = self.clock.now();
+                if let Some(sig) = &signature {
+                    // Device verifies the user's bundle signature on the A53.
+                    self.clock.advance(self.cost.ecdsa_verify_ns);
+                    verify_bundle(&user.public_key(), &payload, sig)
+                        .map_err(ServiceError::Channel)?;
+                }
+                self.record_phase(PhaseKind::Decode, decode_started);
 
-        // Static admission: refuse bundles whose callees cannot fit the
-        // hardware stack capacities before a core is even assigned.
-        self.admission_check(bundle)?;
+                // Static admission: refuse bundles whose callees cannot
+                // fit the hardware stack capacities before a core is
+                // even assigned.
+                self.admission_check(bundle)?;
+                (started, None)
+            }
+        };
 
-        // Exclusive HEVM assignment.
+        // Exclusive HEVM assignment (per segment: a paused bundle holds
+        // no core).
         let slot = self.hypervisor.assign(user.session).map_err(|e| match e {
             SlotError::AllQuarantined => ServiceError::AllCoresQuarantined,
             _ => ServiceError::Busy,
         })?;
 
         let execute_started = self.clock.now();
-        let outcome = self.run_bundle(bundle);
+        let outcome = self.run_bundle_segment(bundle, pause);
         self.record_phase(PhaseKind::Execute, execute_started);
         self.telemetry
             .observe(HistId::ExecuteNs, self.clock.now() - execute_started);
@@ -769,6 +916,8 @@ impl HarDTape {
         // Hardware-level failures (layer-3 integrity violations, watchdog
         // trips) count against the core; three in a row quarantine it —
         // a quarantined core is pulled from rotation instead of released.
+        // A preemption is a success: the core did its slice and returns
+        // to the pool.
         let core_failure = matches!(
             &outcome,
             Err(ServiceError::Hevm(HevmAbort::Layer3Tampered | HevmAbort::Watchdog { .. }))
@@ -786,7 +935,9 @@ impl HarDTape {
                 .expect("slot was assigned above");
         }
         if let Some(oram) = &self.oram {
-            oram.clear_cache(); // bundle-end: on-chip caches cleared
+            // Segment/bundle end: on-chip caches cleared before the core
+            // can serve another tenant.
+            oram.clear_cache();
         }
         // Integrity failures revoke the session: the bundle is aborted
         // and the user must re-attest before submitting another one.
@@ -796,7 +947,16 @@ impl HarDTape {
         ) {
             self.revoked.insert(user.session);
         }
-        let (results, changes, per_tx_ns, hevm_stats, lints) = outcome?;
+        let (results, changes, per_tx_ns, hevm_stats, lints) = match outcome? {
+            SegmentOutcome::Yielded(mut pause) => {
+                pause.started = started;
+                pause.session = user.session;
+                return Ok(PreExecOutcome::Preempted(pause));
+            }
+            SegmentOutcome::Finished(results, changes, per_tx, stats, lints) => {
+                (results, changes, per_tx, stats, lints)
+            }
+        };
 
         let mut report = BundleReport {
             results,
@@ -833,7 +993,7 @@ impl HarDTape {
         self.telemetry
             .count(CounterId::Transactions, bundle.transactions.len() as u64);
         self.telemetry.observe(HistId::BundleLatencyNs, report.total_ns);
-        Ok(report)
+        Ok(PreExecOutcome::Done(report))
     }
 
     /// Records one completed service phase (duration since `started`).
@@ -904,15 +1064,58 @@ impl HarDTape {
         }
     }
 
-    /// Executes the transactions of a bundle against a fresh overlay.
-    #[allow(clippy::type_complexity)]
-    fn run_bundle(
+    /// Executes one gas-slice segment of a bundle against the bundle's
+    /// journal overlay: a fresh overlay when `resume` is `None`, the
+    /// checkpointed one otherwise. Returns at the first preemption or
+    /// when every transaction has retired.
+    fn run_bundle_segment(
         &mut self,
         bundle: &Bundle,
-    ) -> Result<
-        (Vec<TxResult>, StateChanges, Vec<Nanos>, HevmStats, Vec<(Address, LintFinding)>),
-        ServiceError,
-    > {
+        resume: Option<BundlePause>,
+    ) -> Result<SegmentOutcome, ServiceError> {
+        let segment_started = self.clock.now();
+        if let Some(pause) = resume {
+            let BundlePause {
+                checkpoint,
+                hevm_config,
+                results,
+                per_tx,
+                tx_index,
+                tx_elapsed,
+                lints,
+                ..
+            } = pause;
+            // The reader detached at suspension was just a view of the
+            // device state; rebuild it fresh (the world may even have
+            // advanced a block — pre-execution reads whatever the
+            // device's current head serves, exactly like a bundle that
+            // was still queued).
+            let reader =
+                HybridState::new(self.config.security, &self.local, self.oram.as_ref());
+            let mut hevm = Hevm::resume(
+                hevm_config.clone(),
+                self.env.clone(),
+                reader,
+                self.clock.clone(),
+                checkpoint,
+            );
+            let before = self.clock.now();
+            let first = Some(hevm.continue_transact());
+            return self.drive_segment(
+                bundle,
+                hevm,
+                first,
+                hevm_config,
+                results,
+                per_tx,
+                tx_index,
+                tx_elapsed,
+                before,
+                lints,
+                segment_started,
+                true,
+            );
+        }
         // Static pass over the bundle's top-level callees (§IV-D): the
         // decode phase already knows every `to` address, and the
         // analyzer's page-reachability sets turn the old dense prefetch
@@ -1006,13 +1209,51 @@ impl HarDTape {
         hevm_config.layer3_key = layer3_key;
         hevm_config.layer3_noise_seed = self.rng.next_u64();
         hevm_config.faults = self.faults.clone();
-        let mut hevm = Hevm::new(hevm_config, self.env.clone(), reader, self.clock.clone());
+        hevm_config.checkpoint_cover = !self.checkpoint_ablation.get();
+        let mut hevm =
+            Hevm::new(hevm_config.clone(), self.env.clone(), reader, self.clock.clone());
 
-        let mut results = Vec::with_capacity(bundle.transactions.len());
-        let mut per_tx = Vec::with_capacity(bundle.transactions.len());
-        for tx in &bundle.transactions {
-            let before = self.clock.now();
-            let result = hevm.transact(tx);
+        let before = self.clock.now();
+        let first = bundle
+            .transactions
+            .first()
+            .map(|tx| hevm.transact_sliced(tx));
+        self.drive_segment(
+            bundle,
+            hevm,
+            first,
+            hevm_config,
+            Vec::with_capacity(bundle.transactions.len()),
+            Vec::with_capacity(bundle.transactions.len()),
+            0,
+            0,
+            before,
+            lints,
+            segment_started,
+            false,
+        )
+    }
+
+    /// Drives an engine (fresh or resumed) until the slice yields or
+    /// the bundle retires, flushing swap traffic and segment telemetry.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_segment<'a>(
+        &self,
+        bundle: &Bundle,
+        mut hevm: Hevm<HybridState<'a>>,
+        first: Option<Result<SliceOutcome, HevmAbort>>,
+        hevm_config: HevmConfig,
+        mut results: Vec<TxResult>,
+        mut per_tx: Vec<Nanos>,
+        mut tx_index: usize,
+        mut tx_elapsed: Nanos,
+        mut before: Nanos,
+        lints: Vec<(Address, LintFinding)>,
+        segment_started: Nanos,
+        resumed: bool,
+    ) -> Result<SegmentOutcome, ServiceError> {
+        let mut outcome = first;
+        while let Some(current) = outcome.take() {
             // The StateReader interface cannot propagate ORAM failures,
             // so the pagestore parks the first one; collect it here. An
             // ORAM integrity violation is the root cause of whatever the
@@ -1022,41 +1263,106 @@ impl HarDTape {
                     return Err(ServiceError::Oram(err));
                 }
             }
-            let result = result?;
-            per_tx.push(self.clock.now() - before);
-            results.push(result);
+            match current? {
+                SliceOutcome::Done(result) => {
+                    per_tx.push(tx_elapsed + (self.clock.now() - before));
+                    tx_elapsed = 0;
+                    results.push(result);
+                    tx_index += 1;
+                    if tx_index == bundle.transactions.len() {
+                        break;
+                    }
+                    before = self.clock.now();
+                    outcome = Some(hevm.transact_sliced(&bundle.transactions[tx_index]));
+                }
+                SliceOutcome::Preempted { segment } => {
+                    tx_elapsed += self.clock.now() - before;
+                    let (_reader, mut checkpoint) = hevm.suspend();
+                    let yield_at = checkpoint.yield_at();
+                    let frames = checkpoint.suspended_frames();
+                    let swaps = checkpoint.take_swap_log();
+                    // Ordinary execution spills happened before the
+                    // yield; the suspension's cover swaps after it. The
+                    // segment window brackets exactly the cover traffic,
+                    // which is what the §IV-D segment lens audits.
+                    for swap in swaps.iter().filter(|s| s.at <= yield_at) {
+                        self.record_swap(swap);
+                    }
+                    self.telemetry.record(TelemetryEvent::SegmentYield {
+                        at: yield_at,
+                        segment,
+                        frames,
+                    });
+                    let mut cover = 0u32;
+                    for swap in swaps.iter().filter(|s| s.at > yield_at) {
+                        self.record_swap(swap);
+                        cover += u32::from(swap.pages_out > 0);
+                    }
+                    self.telemetry.record(TelemetryEvent::SegmentEnd {
+                        at: self.clock.now(),
+                        swaps: cover,
+                    });
+                    self.telemetry.count(CounterId::Segments, 1);
+                    self.telemetry.count(CounterId::Preemptions, 1);
+                    self.telemetry
+                        .observe(HistId::SliceNs, self.clock.now() - segment_started);
+                    return Ok(SegmentOutcome::Yielded(BundlePause {
+                        checkpoint,
+                        hevm_config,
+                        results,
+                        per_tx,
+                        tx_index,
+                        tx_elapsed,
+                        lints,
+                        started: 0,
+                        session: 0,
+                    }));
+                }
+            }
         }
         let changes = hevm.state().changes();
         let stats = hevm.stats();
         // Swap traffic + occupancy into telemetry while the engine is
         // still alive (the swap log dies with it).
         for swap in hevm.swap_log() {
-            let out = swap.pages_out > 0;
-            let (observed, true_pages) = if out {
-                (swap.pages_out, swap.true_pages_out)
-            } else {
-                (swap.pages_in, swap.true_pages_in)
-            };
-            self.telemetry.count(
-                if out { CounterId::SwapOuts } else { CounterId::SwapIns },
-                1,
-            );
-            self.telemetry.count(CounterId::SwapTruePages, true_pages as u64);
+            self.record_swap(swap);
+        }
+        if resumed {
+            // The closing segment of a bundle that was preempted at
+            // least once.
+            self.telemetry.count(CounterId::Segments, 1);
             self.telemetry
-                .count(CounterId::SwapNoisePages, observed.saturating_sub(true_pages) as u64);
-            self.telemetry.record(TelemetryEvent::Swap {
-                at: swap.at,
-                out,
-                true_pages: true_pages as u32,
-                observed_pages: observed as u32,
-            });
+                .observe(HistId::SliceNs, self.clock.now() - segment_started);
         }
         self.telemetry.gauge(GaugeId::L2PeakPages, stats.peak_l2_pages as u64);
         self.telemetry.gauge(GaugeId::CallDepth, stats.max_depth as u64);
         if let Some(pf) = self.oram.as_ref().and_then(|o| o.prefetch_stats()) {
             self.telemetry.gauge(GaugeId::PrefetchGapEmaNs, pf.avg_gap_ns);
         }
-        Ok((results, changes, per_tx, stats, lints))
+        Ok(SegmentOutcome::Finished(results, changes, per_tx, stats, lints))
+    }
+
+    /// One layer-3 swap event into counters and the event stream.
+    fn record_swap(&self, swap: &tape_hevm::SwapEvent) {
+        let out = swap.pages_out > 0;
+        let (observed, true_pages) = if out {
+            (swap.pages_out, swap.true_pages_out)
+        } else {
+            (swap.pages_in, swap.true_pages_in)
+        };
+        self.telemetry.count(
+            if out { CounterId::SwapOuts } else { CounterId::SwapIns },
+            1,
+        );
+        self.telemetry.count(CounterId::SwapTruePages, true_pages as u64);
+        self.telemetry
+            .count(CounterId::SwapNoisePages, observed.saturating_sub(true_pages) as u64);
+        self.telemetry.record(TelemetryEvent::Swap {
+            at: swap.at,
+            out,
+            true_pages: true_pages as u32,
+            observed_pages: observed as u32,
+        });
     }
 
     /// Synchronizes a new block's state delta (paper step 11): verifies

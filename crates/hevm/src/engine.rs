@@ -24,8 +24,8 @@ use tape_evm::{
 };
 use tape_primitives::{Address, B256, U256};
 use tape_sim::resources::MemoryConfig;
-use tape_sim::{Clock, CostModel};
-use tape_state::{Checkpoint, JournaledState, Log, StateReader};
+use tape_sim::{Clock, CostModel, Nanos};
+use tape_state::{Checkpoint as JournalMark, JournalSuspend, JournaledState, Log, StateReader};
 
 /// HEVM configuration: memory partitioning and unit costs.
 #[derive(Debug, Clone)]
@@ -58,6 +58,20 @@ pub struct HevmConfig {
     /// Adversarial fault plan armed on the layer-3 page store
     /// (`FaultSite::PageStore`); `None` leaves the store honest.
     pub faults: Option<tape_sim::fault::FaultPlan>,
+    /// Gas-slice budget for segmented execution: when set, a transaction
+    /// driven through [`Hevm::transact_sliced`] yields
+    /// ([`SliceOutcome::Preempted`]) after roughly this much gas has
+    /// been executed in the current segment, instead of running to
+    /// completion. `None` (the default) disables slicing entirely —
+    /// [`Hevm::transact`] behaves exactly as before.
+    pub gas_slice: Option<u64>,
+    /// Checkpoint cover traffic: when `true` (default), a suspension
+    /// seals every still-resident frame out through the layer-3 pager,
+    /// so the segment boundary is observable only as ordinary noised
+    /// swap traffic (§IV-D). `false` is the leakage auditor's negative
+    /// control — frames are captured in-enclave, producing *no* swap
+    /// events, which the segment-boundary audit lens must flag.
+    pub checkpoint_cover: bool,
 }
 
 impl Default for HevmConfig {
@@ -71,6 +85,8 @@ impl Default for HevmConfig {
             layer3_noise_seed: 0x4C4C,
             watchdog_ns: None,
             faults: None,
+            gas_slice: None,
+            checkpoint_cover: true,
         }
     }
 }
@@ -135,7 +151,7 @@ struct FrameMeta {
     depth: usize,
     /// `Some(created)` for initcode frames.
     create: Option<Address>,
-    checkpoint: Checkpoint,
+    checkpoint: JournalMark,
     refund_snapshot: i64,
     /// How the parent consumes this frame's result (set on the *parent*).
     resume: Option<Resume>,
@@ -240,6 +256,15 @@ enum Next {
     End(Ended),
     Call { msg: CallMsg, out_offset: usize, out_len: usize },
     Create { created: Address, value: U256, initcode: Vec<u8>, gas: u64 },
+    /// The gas-slice budget for this segment ran out; the frame stack
+    /// is intact and the driver must yield to the caller.
+    Preempt,
+}
+
+/// How one pass of the frame driver ended.
+enum Driven {
+    Done(CallResult),
+    Preempted,
 }
 
 struct CallMsg {
@@ -260,6 +285,129 @@ struct CallResult {
     output: Vec<u8>,
     halt: Option<VmError>,
     created: Option<Address>,
+}
+
+/// Where a checkpointed frame's mutable data lives while the engine is
+/// suspended: sealed out to layer 3 (the normal path — one noised swap
+/// per frame, so the boundary looks like ordinary spill traffic), or
+/// captured raw in-enclave (the cover-traffic ablation: no swap events,
+/// which the §IV-D segment-boundary audit lens must flag).
+enum FrameHold {
+    Sealed(SwappedFrame),
+    InEnclave(Vec<u8>),
+}
+
+/// The in-flight transaction a preempted engine still owes an epilogue:
+/// the tx-level gas counter plus the identities the epilogue settles
+/// against (sender reimbursement, coinbase tip).
+#[derive(Clone, Copy)]
+struct PendingTx {
+    counter: Gas,
+    from: Address,
+    segment: u32,
+}
+
+/// How one gas-slice segment of a transaction ended.
+#[derive(Debug)]
+pub enum SliceOutcome {
+    /// The transaction ran to completion; the receipt is final.
+    Done(TxResult),
+    /// The segment's gas budget ran out mid-transaction. The engine
+    /// holds the paused interpreter state: either call
+    /// [`Hevm::continue_transact`] to run the next segment in place, or
+    /// [`Hevm::suspend`] to detach a typed [`Checkpoint`] and release
+    /// the core.
+    Preempted {
+        /// 1-based index of the segment that just yielded.
+        segment: u32,
+    },
+}
+
+/// A typed, self-contained checkpoint of a preempted transaction: the
+/// interpreter stack ring (every frame's metadata plus its sealed or
+/// captured data pages), the journal overlay detached from its reader,
+/// the layer-3 pager (sealing key, nonce counter, noise DRBG, and the
+/// sealed store itself), and the transaction-level gas bookkeeping the
+/// epilogue needs. Re-entered with [`Hevm::resume`].
+///
+/// The checkpoint is deliberately *not* `Clone`: a paused execution can
+/// be resumed exactly once, which is what the service's exactly-once
+/// accounting for preempted bundles leans on.
+pub struct Checkpoint {
+    journal: JournalSuspend,
+    /// Frames bottom-to-top, exactly the layer-2 slot order at yield.
+    frames: Vec<(FrameMeta, FrameHold)>,
+    pager: Layer3Pager,
+    refund: i64,
+    origin: Address,
+    gas_price: U256,
+    stats: HevmStats,
+    swap_outs: u64,
+    tamper_on_swap: Option<u64>,
+    frame_misses_seen: u64,
+    pending: PendingTx,
+    root_gas: u64,
+    /// Virtual time at which the slice yielded (before cover traffic).
+    yield_at: Nanos,
+    /// Resident frames captured out of layer 2 at suspension — the
+    /// cover amount the suspension *owes*, whatever the cover mode.
+    suspended_frames: u32,
+    /// Frames actually sealed out at suspension (equals
+    /// `suspended_frames` unless the cover ablation is on).
+    covered_frames: u32,
+    /// Gas still unexecuted across the frame stack at yield.
+    remaining_gas: u64,
+}
+
+impl core::fmt::Debug for Checkpoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Checkpoint")
+            .field("frames", &self.frames.len())
+            .field("segment", &self.pending.segment)
+            .field("remaining_gas", &self.remaining_gas)
+            .finish()
+    }
+}
+
+impl Checkpoint {
+    /// 1-based index of the segment that produced this checkpoint.
+    pub fn segment(&self) -> u32 {
+        self.pending.segment
+    }
+
+    /// Virtual time at which the slice yielded, before the checkpoint
+    /// cover traffic was emitted.
+    pub fn yield_at(&self) -> Nanos {
+        self.yield_at
+    }
+
+    /// How many resident frames the suspension captured out of layer 2
+    /// — the cover amount the telemetry segment window advertises to
+    /// the §IV-D auditor. This counts what the suspension *owes* the
+    /// bus, not what it delivered, so the cover ablation still
+    /// advertises a non-zero figure the auditor can hold it to.
+    pub fn suspended_frames(&self) -> u32 {
+        self.suspended_frames
+    }
+
+    /// How many frames were actually sealed out to layer 3 at
+    /// suspension (equals [`suspended_frames`](Self::suspended_frames)
+    /// unless the cover-traffic ablation is on).
+    pub fn covered_frames(&self) -> u32 {
+        self.covered_frames
+    }
+
+    /// Gas left unexecuted across the paused frame stack: the basis for
+    /// remaining-segment estimates (gateway `retry_after` hints).
+    pub fn remaining_gas(&self) -> u64 {
+        self.remaining_gas
+    }
+
+    /// Drains the pager's swap log (the cover-traffic events emitted at
+    /// suspension, plus any earlier spills not yet flushed).
+    pub fn take_swap_log(&mut self) -> Vec<SwapEvent> {
+        self.pager.take_swap_log()
+    }
 }
 
 /// Execution statistics the Hypervisor and evaluation harness read out.
@@ -321,15 +469,91 @@ pub struct Hevm<R, I = NoopInspector> {
     /// Cumulative miss count of the current top frame at the last step
     /// (for delta-based accumulation into `stats.l1_misses`).
     frame_misses_seen: u64,
-    /// Virtual-clock deadline of the current transaction (set by
-    /// `transact` from `config.watchdog_ns`).
+    /// Virtual-clock deadline of the current *segment* (reset at every
+    /// segment entry from `config.watchdog_ns`) — the watchdog bounds
+    /// stuck segments, not whole transactions.
     watchdog_deadline: Option<tape_sim::Nanos>,
+    /// The in-flight transaction when execution is preempted mid-way.
+    pending: Option<PendingTx>,
+    /// Gas handed to the root frame (after intrinsic); with the summed
+    /// in-flight gas this yields gas-executed-so-far for slice checks.
+    root_gas: u64,
+    /// Gas-executed-so-far at the start of the current segment.
+    slice_used_start: u64,
 }
 
 impl<R: StateReader> Hevm<R> {
     /// Creates an HEVM with no inspector attached.
     pub fn new(config: HevmConfig, env: Env, reader: R, clock: Clock) -> Self {
         Self::with_inspector(config, env, reader, clock, NoopInspector)
+    }
+
+    /// Re-enters a preempted transaction from a detached [`Checkpoint`]
+    /// (the inverse of [`Hevm::suspend`]).
+    ///
+    /// The caller supplies a fresh reader over the same world state —
+    /// the checkpoint carries the journal overlay, so every write from
+    /// earlier segments is still visible — plus the shared virtual
+    /// clock. `config` must describe the same device (memory geometry,
+    /// cost model); the layer-3 sealing key is *not* re-derived: the
+    /// checkpointed pager already holds the cipher that sealed the
+    /// spilled frames.
+    ///
+    /// The watchdog deadline is rearmed by the next
+    /// [`Hevm::continue_transact`], giving each segment a fresh budget.
+    pub fn resume(
+        config: HevmConfig,
+        env: Env,
+        reader: R,
+        clock: Clock,
+        checkpoint: Checkpoint,
+    ) -> Self {
+        let Checkpoint {
+            journal,
+            frames,
+            pager,
+            refund,
+            origin,
+            gas_price,
+            stats,
+            swap_outs,
+            tamper_on_swap,
+            frame_misses_seen,
+            pending,
+            root_gas,
+            ..
+        } = checkpoint;
+        let slots = frames
+            .into_iter()
+            .map(|(meta, hold)| match hold {
+                FrameHold::Sealed(handle) => Slot::Swapped { meta, handle },
+                FrameHold::InEnclave(bytes) => {
+                    let data = FrameData::deserialize(&bytes, &config.mem)
+                        .expect("in-enclave checkpoint bytes round-trip");
+                    Slot::Resident { meta, data }
+                }
+            })
+            .collect();
+        Hevm {
+            config,
+            env,
+            clock,
+            state: JournaledState::rehydrate(reader, journal),
+            inspector: NoopInspector,
+            pager,
+            refund,
+            origin,
+            gas_price,
+            stats,
+            slots,
+            tamper_on_swap,
+            swap_outs,
+            frame_misses_seen,
+            watchdog_deadline: None,
+            pending: Some(pending),
+            root_gas,
+            slice_used_start: 0,
+        }
     }
 }
 
@@ -368,6 +592,9 @@ impl<R: StateReader, I: Inspector> Hevm<R, I> {
             swap_outs: 0,
             frame_misses_seen: 0,
             watchdog_deadline: None,
+            pending: None,
+            root_gas: 0,
+            slice_used_start: 0,
         }
     }
 
@@ -448,13 +675,40 @@ impl<R: StateReader, I: Inspector> Hevm<R, I> {
         }
     }
 
-    /// Executes one transaction of the bundle.
+    /// Executes one transaction of the bundle to completion.
+    ///
+    /// With `config.gas_slice` unset this is a single uninterrupted
+    /// run; with it set, the transaction is internally driven through
+    /// slice boundaries (identical semantics — segmentation never
+    /// changes the receipt, only where the virtual clock is sampled).
     ///
     /// # Errors
     ///
     /// [`HevmAbort`] on transaction validation failure, layer-2 memory
     /// overflow (attack response), or layer-3 tampering.
     pub fn transact(&mut self, tx: &Transaction) -> Result<TxResult, HevmAbort> {
+        let mut outcome = self.transact_sliced(tx)?;
+        loop {
+            match outcome {
+                SliceOutcome::Done(result) => return Ok(result),
+                SliceOutcome::Preempted { .. } => outcome = self.continue_transact()?,
+            }
+        }
+    }
+
+    /// Executes one transaction until it finishes *or* exhausts the
+    /// configured gas slice ([`HevmConfig::gas_slice`]).
+    ///
+    /// On [`SliceOutcome::Preempted`] the engine holds the paused
+    /// interpreter state: run the next segment in place with
+    /// [`Hevm::continue_transact`], or detach a [`Checkpoint`] with
+    /// [`Hevm::suspend`] and release the core.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Hevm::transact`].
+    pub fn transact_sliced(&mut self, tx: &Transaction) -> Result<SliceOutcome, HevmAbort> {
+        self.pending = None;
         self.state.begin_transaction();
         self.refund = 0;
         self.origin = tx.from;
@@ -514,8 +768,11 @@ impl<R: StateReader, I: Inspector> Hevm<R, I> {
 
         let mut counter = Gas::new(tx.gas_limit);
         assert!(counter.charge(intrinsic), "checked against the limit above");
+        self.root_gas = counter.remaining();
+        self.slice_used_start = 0;
+        self.pending = Some(PendingTx { counter, from: tx.from, segment: 1 });
 
-        let (result, created) = if let Some(to) = tx.to {
+        let driven = if let Some(to) = tx.to {
             let msg = CallMsg {
                 caller: tx.from,
                 address: to,
@@ -527,21 +784,60 @@ impl<R: StateReader, I: Inspector> Hevm<R, I> {
                 is_static: false,
                 depth: 1,
             };
-            (self.drive(Work::Call(msg))?, None)
+            self.drive(Work::Call(msg))?
         } else {
             let nonce = self.state.nonce(&tx.from) - 1;
             let created = create_address(&tx.from, nonce);
-            let result = self.drive(Work::Create {
+            self.drive(Work::Create {
                 creator: tx.from,
                 created,
                 value: tx.value,
                 initcode: tx.data.clone(),
                 gas: counter.remaining(),
                 depth: 1,
-            })?;
-            let created = result.created;
-            (result, created)
+            })?
         };
+        self.settle(driven)
+    }
+
+    /// Runs the next gas-slice segment of a preempted transaction.
+    ///
+    /// Rearms the per-segment watchdog deadline and resets the slice
+    /// accounting baseline, then drives the frame stack exactly where
+    /// the previous segment left off.
+    ///
+    /// # Panics
+    ///
+    /// If no transaction is preempted (the engine owes no segment).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Hevm::transact`].
+    pub fn continue_transact(&mut self) -> Result<SliceOutcome, HevmAbort> {
+        let pending = self
+            .pending
+            .as_mut()
+            .expect("continue_transact requires a preempted transaction");
+        pending.segment += 1;
+        self.watchdog_deadline = self.config.watchdog_ns.map(|w| self.clock.now() + w);
+        self.slice_used_start = self.root_gas.saturating_sub(self.gas_in_flight());
+        let driven = self.drive_loop()?;
+        self.settle(driven)
+    }
+
+    /// The transaction epilogue, shared by every segment that reaches
+    /// the end of the frame tree: gas settlement, refunds, sender
+    /// reimbursement, and coinbase tip.
+    fn settle(&mut self, driven: Driven) -> Result<SliceOutcome, HevmAbort> {
+        let result = match driven {
+            Driven::Preempted => {
+                let segment = self.pending.as_ref().expect("pending while preempted").segment;
+                return Ok(SliceOutcome::Preempted { segment });
+            }
+            Driven::Done(result) => result,
+        };
+        let PendingTx { mut counter, from, .. } =
+            self.pending.take().expect("pending set by the prologue");
 
         let frame_gas = counter.remaining();
         assert!(counter.charge(frame_gas - result.gas_left), "frame gas accounted");
@@ -550,10 +846,10 @@ impl<R: StateReader, I: Inspector> Hevm<R, I> {
         counter.reclaim(refund);
 
         let gas_used = counter.used();
-        let reimbursement = U256::from(counter.remaining()).wrapping_mul(tx.gas_price);
-        self.state.add_balance(&tx.from, reimbursement);
+        let reimbursement = U256::from(counter.remaining()).wrapping_mul(self.gas_price);
+        self.state.add_balance(&from, reimbursement);
         let tip = U256::from(gas_used)
-            .wrapping_mul(tx.gas_price.saturating_sub(self.env.base_fee));
+            .wrapping_mul(self.gas_price.saturating_sub(self.env.base_fee));
         self.state.add_balance(&self.env.coinbase, tip);
 
         let mut logs = self.state.take_logs();
@@ -561,14 +857,101 @@ impl<R: StateReader, I: Inspector> Hevm<R, I> {
             logs.clear();
         }
 
-        Ok(TxResult {
+        Ok(SliceOutcome::Done(TxResult {
             success: result.success,
             gas_used,
             output: result.output,
             logs,
-            created,
+            // Call roots always retire with `created: None`; create
+            // roots carry the deployed address — so this covers both.
+            created: result.created,
             halt: result.halt,
-        })
+        }))
+    }
+
+    /// Detaches a preempted execution into a typed [`Checkpoint`],
+    /// consuming the engine and returning the state reader.
+    ///
+    /// Every still-resident layer-2 frame is sealed out through the
+    /// layer-3 pager (when `config.checkpoint_cover` is set), so the
+    /// suspension is observable only as ordinary noised swap traffic —
+    /// the §IV-D indistinguishability argument survives the segment
+    /// boundary. With the cover ablation off, frames are captured
+    /// in-enclave with *no* bus traffic: the leakage auditor's
+    /// segment-boundary lens must flag that run.
+    ///
+    /// The attached inspector is discarded: checkpoints cross core
+    /// assignments, and inspection is a per-run concern.
+    ///
+    /// # Panics
+    ///
+    /// If no transaction is preempted.
+    pub fn suspend(mut self) -> (R, Checkpoint) {
+        let pending = self
+            .pending
+            .take()
+            .expect("suspend requires a preempted transaction");
+        let yield_at = self.clock.now();
+        let remaining_gas = self.gas_in_flight();
+
+        let slots = std::mem::take(&mut self.slots);
+        let mut frames = Vec::with_capacity(slots.len());
+        let mut suspended = 0u32;
+        let mut covered = 0u32;
+        for slot in slots {
+            match slot {
+                Slot::Resident { meta, data } => {
+                    suspended += 1;
+                    let bytes = data.serialize();
+                    let hold = if self.config.checkpoint_cover {
+                        let handle = self.pager.swap_out(&bytes, &self.clock, &self.config.cost);
+                        if self.tamper_on_swap == Some(self.swap_outs) {
+                            self.pager.tamper(handle.index);
+                        }
+                        self.swap_outs += 1;
+                        self.stats.swaps += 1;
+                        self.stats.exceptions += 1;
+                        covered += 1;
+                        FrameHold::Sealed(handle)
+                    } else {
+                        FrameHold::InEnclave(bytes)
+                    };
+                    frames.push((meta, hold));
+                }
+                Slot::Swapped { meta, handle } => frames.push((meta, FrameHold::Sealed(handle))),
+                Slot::Moving => unreachable!("Moving is transient"),
+            }
+        }
+
+        let (reader, journal) = self.state.suspend();
+        let checkpoint = Checkpoint {
+            journal,
+            frames,
+            pager: self.pager,
+            refund: self.refund,
+            origin: self.origin,
+            gas_price: self.gas_price,
+            stats: self.stats,
+            swap_outs: self.swap_outs,
+            tamper_on_swap: self.tamper_on_swap,
+            frame_misses_seen: self.frame_misses_seen,
+            pending,
+            root_gas: self.root_gas,
+            yield_at,
+            suspended_frames: suspended,
+            covered_frames: covered,
+            remaining_gas,
+        };
+        (reader, checkpoint)
+    }
+
+    /// Sum of unexecuted gas across the frame stack. Forwarded gas is
+    /// charged on the parent and held by the child, so the sum counts
+    /// each unit once: `root_gas - gas_in_flight()` is gas executed so
+    /// far (modulo the 2300-gas call stipend, which is bonus gas — the
+    /// slice check uses saturating arithmetic to absorb it).
+    fn gas_in_flight(&self) -> u64 {
+        self.slots.iter().map(|slot| slot.meta().gas.remaining()).sum()
     }
 }
 
@@ -587,22 +970,29 @@ enum Work {
 
 impl<R: StateReader, I: Inspector> Hevm<R, I> {
     /// The iterative frame driver over the layer-2 slot vector.
-    fn drive(&mut self, root: Work) -> Result<CallResult, HevmAbort> {
+    fn drive(&mut self, root: Work) -> Result<Driven, HevmAbort> {
         // Seed the stack with the root frame (or resolve it immediately).
         match self.admit(root)? {
-            Admitted::Done(result) => return Ok(result),
+            Admitted::Done(result) => return Ok(Driven::Done(result)),
             Admitted::Pushed => {}
         }
+        self.drive_loop()
+    }
 
+    /// Drives the existing frame stack until the root retires or the
+    /// gas slice runs out. Re-entrant: a preempted engine (or one
+    /// rebuilt via [`Hevm::resume`]) continues from here.
+    fn drive_loop(&mut self) -> Result<Driven, HevmAbort> {
         loop {
             let next = self.execute_top()?;
             match next {
                 Next::Step => unreachable!("execute_top runs to a boundary"),
+                Next::Preempt => return Ok(Driven::Preempted),
                 Next::End(ended) => {
                     let result = self.retire_top(ended)?;
                     // Deliver to the parent, or finish.
                     if self.slots.is_empty() {
-                        return Ok(result);
+                        return Ok(Driven::Done(result));
                     }
                     self.deliver(result)?;
                 }
@@ -1039,6 +1429,18 @@ impl<R: StateReader, I: Inspector> Hevm<R, I> {
                     return Err(HevmAbort::Watchdog {
                         budget_ns: self.config.watchdog_ns.unwrap_or(0),
                     });
+                }
+            }
+            // Gas-slice preemption: yield once this segment has executed
+            // its budget. Checked at the same boundary as the watchdog,
+            // with the frame stack fully materialized (top pushed back),
+            // so the engine is suspendable right here.
+            if let Some(slice) = self.config.gas_slice {
+                if self.pending.is_some() {
+                    let used = self.root_gas.saturating_sub(self.gas_in_flight());
+                    if used.saturating_sub(self.slice_used_start) >= slice {
+                        return Ok(Next::Preempt);
+                    }
                 }
             }
             // Temporarily detach the top slot to satisfy the borrow

@@ -207,6 +207,14 @@ impl Layer3Pager {
         &self.swap_log
     }
 
+    /// Drains the swap log, handing ownership of the recorded events to
+    /// the caller. The segmented service flushes per segment — the
+    /// pager (and therefore the log) survives inside a checkpoint, so
+    /// without draining, a resumed bundle would re-report its history.
+    pub fn take_swap_log(&mut self) -> Vec<SwapEvent> {
+        std::mem::take(&mut self.swap_log)
+    }
+
     /// Test hook: corrupts a stored ciphertext (simulates attack A4).
     pub fn tamper(&mut self, index: usize) {
         if let Some(sealed) = self.store.get_mut(index) {

@@ -25,6 +25,6 @@ mod engine;
 mod layers;
 mod memlike;
 
-pub use engine::{Hevm, HevmAbort, HevmConfig, HevmStats};
+pub use engine::{Checkpoint, Hevm, HevmAbort, HevmConfig, HevmStats, SliceOutcome};
 pub use layers::{Layer3Pager, Layer3Tampered, SwapEvent, SwappedFrame};
 pub use memlike::MemLike;

@@ -1,0 +1,277 @@
+//! Segmented execution: gas-slice preemption, suspend/resume through a
+//! typed [`Checkpoint`], checkpoint cover traffic, and the watchdog's
+//! demotion to a per-segment backstop.
+
+use tape_evm::asm::Asm;
+use tape_evm::opcode::op;
+use tape_evm::{Env, Transaction};
+use tape_hevm::{Hevm, HevmAbort, HevmConfig, SliceOutcome};
+use tape_primitives::{Address, U256};
+use tape_sim::resources::MemoryConfig;
+use tape_sim::Clock;
+use tape_state::{Account, InMemoryState};
+
+fn sender() -> Address {
+    Address::from_low_u64(0xAA)
+}
+
+fn contract() -> Address {
+    Address::from_low_u64(0xC0DE)
+}
+
+fn backend(code: Vec<u8>) -> InMemoryState {
+    let mut b = InMemoryState::new();
+    b.put_account(sender(), Account::with_balance(U256::from(u64::MAX)));
+    b.put_account(contract(), Account::with_code(code));
+    b
+}
+
+/// A compute burner: loops `n` times (~26 gas each), then writes a
+/// storage slot, emits a log, and returns 42 — enough side effects to
+/// make receipt comparison meaningful.
+fn burner(n: u64) -> Vec<u8> {
+    Asm::new()
+        .push(n)
+        .label("loop")
+        .push(1u64)
+        .op(op::SWAP1)
+        .op(op::SUB)
+        .op(op::DUP1)
+        .jumpi("loop")
+        .op(op::POP)
+        .push(0xBEEFu64)
+        .push(1u64)
+        .op(op::SSTORE)
+        .push(0u64)
+        .push(0u64)
+        .op(op::LOG0)
+        .push(42u64)
+        .ret_top()
+        .build()
+}
+
+fn burner_tx() -> Transaction {
+    let mut tx = Transaction::call(sender(), contract(), vec![]);
+    tx.gas_limit = 2_000_000;
+    tx
+}
+
+fn sliced(gas_slice: u64) -> HevmConfig {
+    HevmConfig { gas_slice: Some(gas_slice), ..HevmConfig::default() }
+}
+
+/// A config with a tiny layer 2 so deep call stacks spill to layer 3.
+fn tiny_layer2(gas_slice: Option<u64>) -> HevmConfig {
+    HevmConfig {
+        mem: MemoryConfig { layer2_bytes: 128 * 1024, ..MemoryConfig::default() },
+        gas_slice,
+        ..HevmConfig::default()
+    }
+}
+
+/// Code that expands Memory to `kb` kilobytes then self-calls.
+fn memory_hog(kb: u64) -> Vec<u8> {
+    Asm::new()
+        .push(1u64)
+        .push(kb * 1024 - 32)
+        .op(op::MSTORE)
+        .push(0u64)
+        .push(0u64)
+        .push(0u64)
+        .push(0u64)
+        .push(0u64)
+        .push_address(contract())
+        .op(op::GAS)
+        .op(op::CALL)
+        .stop()
+        .build()
+}
+
+#[test]
+fn sliced_transact_matches_uninterrupted_receipt() {
+    let b = backend(burner(40_000));
+    let tx = burner_tx();
+
+    let mut plain = Hevm::new(HevmConfig::default(), Env::default(), &b, Clock::new());
+    let expected = plain.transact(&tx).unwrap();
+    assert!(expected.success, "halt: {:?}", expected.halt);
+
+    let mut segmented = Hevm::new(sliced(100_000), Env::default(), &b, Clock::new());
+    let actual = segmented.transact(&tx).unwrap();
+    assert_eq!(expected, actual);
+}
+
+#[test]
+fn transact_sliced_yields_then_finishes_in_place() {
+    let b = backend(burner(40_000));
+    let tx = burner_tx();
+    let mut hevm = Hevm::new(sliced(100_000), Env::default(), &b, Clock::new());
+
+    let mut outcome = hevm.transact_sliced(&tx).unwrap();
+    let mut segments = 1u32;
+    let result = loop {
+        match outcome {
+            SliceOutcome::Done(result) => break result,
+            SliceOutcome::Preempted { segment } => {
+                assert_eq!(segment, segments, "segments count up from 1");
+                segments += 1;
+                outcome = hevm.continue_transact().unwrap();
+            }
+        }
+    };
+    assert!(result.success);
+    // ~1M gas over 100k slices: many yields, not one lucky finish.
+    assert!(segments >= 5, "only {segments} segments for a 1M-gas burner");
+}
+
+#[test]
+fn suspend_resume_produces_byte_identical_receipt() {
+    let b = backend(burner(40_000));
+    let tx = burner_tx();
+
+    let mut plain = Hevm::new(HevmConfig::default(), Env::default(), &b, Clock::new());
+    let expected = plain.transact(&tx).unwrap();
+
+    // Drive through suspend/resume at *every* slice boundary — the
+    // harshest schedule — and require the identical receipt.
+    let config = sliced(100_000);
+    let clock = Clock::new();
+    let mut hevm = Hevm::new(config.clone(), Env::default(), &b, clock.clone());
+    let mut outcome = hevm.transact_sliced(&tx).unwrap();
+    let mut suspensions = 0u32;
+    let actual = loop {
+        match outcome {
+            SliceOutcome::Done(result) => break result,
+            SliceOutcome::Preempted { .. } => {
+                let (reader, checkpoint) = hevm.suspend();
+                assert!(checkpoint.remaining_gas() > 0);
+                suspensions += 1;
+                hevm = Hevm::resume(
+                    config.clone(),
+                    Env::default(),
+                    reader,
+                    clock.clone(),
+                    checkpoint,
+                );
+                outcome = hevm.continue_transact().unwrap();
+            }
+        }
+    };
+    assert!(suspensions >= 5, "only {suspensions} suspensions");
+    assert_eq!(expected, actual);
+}
+
+#[test]
+fn suspend_resume_with_deep_spilled_stack() {
+    // A recursive memory hog over a tiny layer 2: the checkpoint must
+    // carry frames that are *already* sealed in layer 3 alongside the
+    // resident ones, and the sealed store must survive the hop.
+    let b = backend(memory_hog(2));
+    let mut tx = Transaction::call(sender(), contract(), vec![]);
+    tx.gas_limit = 8_000_000;
+
+    let mut plain = Hevm::new(tiny_layer2(None), Env::default(), &b, Clock::new());
+    let expected = plain.transact(&tx).unwrap();
+
+    let config = tiny_layer2(Some(50_000));
+    let clock = Clock::new();
+    let mut hevm = Hevm::new(config.clone(), Env::default(), &b, clock.clone());
+    let mut outcome = hevm.transact_sliced(&tx).unwrap();
+    let mut suspensions = 0u32;
+    let actual = loop {
+        match outcome {
+            SliceOutcome::Done(result) => break result,
+            SliceOutcome::Preempted { .. } => {
+                let (reader, checkpoint) = hevm.suspend();
+                suspensions += 1;
+                hevm = Hevm::resume(
+                    config.clone(),
+                    Env::default(),
+                    reader,
+                    clock.clone(),
+                    checkpoint,
+                );
+                outcome = hevm.continue_transact().unwrap();
+            }
+        }
+    };
+    assert!(suspensions >= 1, "hog never preempted");
+    assert_eq!(expected, actual);
+    assert!(hevm.stats().max_depth > 3);
+}
+
+#[test]
+fn checkpoint_cover_seals_resident_frames() {
+    let b = backend(burner(40_000));
+    let tx = burner_tx();
+    let mut hevm = Hevm::new(sliced(100_000), Env::default(), &b, Clock::new());
+
+    let outcome = hevm.transact_sliced(&tx).unwrap();
+    assert!(matches!(outcome, SliceOutcome::Preempted { .. }));
+    let swaps_before = hevm.swap_log().len();
+    let (_, mut checkpoint) = hevm.suspend();
+
+    // The single resident frame was sealed out: one cover swap.
+    assert_eq!(checkpoint.suspended_frames(), 1);
+    assert_eq!(checkpoint.covered_frames(), 1);
+    let log = checkpoint.take_swap_log();
+    assert_eq!(log.len(), swaps_before + 1, "suspension must emit cover swaps");
+    let boundary = log.last().unwrap();
+    assert!(boundary.pages_out > 0 && boundary.true_pages_out > 0);
+    // Noised like any ordinary spill: observed ≥ true.
+    assert!(boundary.pages_out >= boundary.true_pages_out);
+}
+
+#[test]
+fn checkpoint_cover_ablation_emits_no_swap_traffic() {
+    let config = HevmConfig { checkpoint_cover: false, ..sliced(100_000) };
+    let b = backend(burner(40_000));
+    let tx = burner_tx();
+    let mut hevm = Hevm::new(config, Env::default(), &b, Clock::new());
+
+    let outcome = hevm.transact_sliced(&tx).unwrap();
+    assert!(matches!(outcome, SliceOutcome::Preempted { .. }));
+    let swaps_before = hevm.swap_log().len();
+    let (_, mut checkpoint) = hevm.suspend();
+
+    // Negative control: frames held in-enclave, zero bus events — the
+    // adversary sees a silent gap the audit lens must flag. The
+    // checkpoint still *advertises* the frame it owed cover for.
+    assert_eq!(checkpoint.suspended_frames(), 1);
+    assert_eq!(checkpoint.covered_frames(), 0);
+    assert_eq!(checkpoint.take_swap_log().len(), swaps_before);
+}
+
+#[test]
+fn watchdog_demoted_to_per_segment_backstop() {
+    // A budget shorter than the whole burner but longer than any one
+    // segment: un-sliced execution trips it, sliced execution does not —
+    // the watchdog now catches stuck *segments*, not long transactions.
+    let watchdog = Some(3_000_000);
+    let b = backend(burner(40_000));
+    let tx = burner_tx();
+
+    let unsliced = HevmConfig { watchdog_ns: watchdog, ..HevmConfig::default() };
+    let mut hevm = Hevm::new(unsliced, Env::default(), &b, Clock::new());
+    assert!(matches!(hevm.transact(&tx), Err(HevmAbort::Watchdog { .. })));
+
+    let segmented = HevmConfig { watchdog_ns: watchdog, ..sliced(100_000) };
+    let mut hevm = Hevm::new(segmented, Env::default(), &b, Clock::new());
+    let result = hevm.transact(&tx).unwrap();
+    assert!(result.success);
+}
+
+#[test]
+fn preempted_overlay_discard_is_clean() {
+    // Dropping a preempted engine (shed bundle) must leave the backend
+    // untouched — the journal overlay simply evaporates.
+    let b = backend(burner(40_000));
+    let tx = burner_tx();
+    let mut hevm = Hevm::new(sliced(100_000), Env::default(), &b, Clock::new());
+    let outcome = hevm.transact_sliced(&tx).unwrap();
+    assert!(matches!(outcome, SliceOutcome::Preempted { .. }));
+    drop(hevm);
+
+    use tape_state::StateReader;
+    assert_eq!(b.storage(&contract(), &U256::ONE), U256::ZERO);
+}

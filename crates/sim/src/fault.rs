@@ -59,10 +59,14 @@ pub enum FaultSite {
     /// The full node supplying block headers and state deltas
     /// (attack A1: forged chain data, plus transient unavailability).
     NodeFeed,
+    /// A registered tenant driving the gateway (resource-exhaustion
+    /// adversary: well-formed but gas-saturating traffic aimed at the
+    /// shared HEVM cores rather than at any cryptographic boundary).
+    Tenant,
 }
 
 /// The number of distinct [`FaultSite`] variants.
-const SITE_COUNT: usize = 4;
+const SITE_COUNT: usize = 5;
 
 impl FaultSite {
     fn index(self) -> usize {
@@ -71,6 +75,7 @@ impl FaultSite {
             FaultSite::OramServer => 1,
             FaultSite::Channel => 2,
             FaultSite::NodeFeed => 3,
+            FaultSite::Tenant => 4,
         }
     }
 }
@@ -114,6 +119,10 @@ pub enum FaultKind {
     /// Feed freezes: keeps serving a stale head while the rest of the
     /// network advances.
     StallHead,
+    /// Tenant swaps its next bundle for a gas bomb: a well-formed
+    /// transaction that burns its entire (maximal) gas limit in a
+    /// compute loop, monopolizing a core unless execution is sliced.
+    GasBomb,
 }
 
 /// A fault the plan has decided to inject *now*.
@@ -180,7 +189,7 @@ impl FaultPlan {
             clock: clock.clone(),
             inner: Arc::new(Mutex::new(Inner {
                 rng: SecureRng::from_seed(&seed_bytes),
-                sites: [None, None, None, None],
+                sites: [None, None, None, None, None],
                 log: Vec::new(),
             })),
         }

@@ -97,6 +97,13 @@ impl<T> BoundedQueue<T> {
         self.items.front()
     }
 
+    /// Iterates the queued items oldest-first, without removing them
+    /// (backlog inspection — e.g. remaining-work estimates for
+    /// `retry_after` hints).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
     /// Current occupancy.
     pub fn len(&self) -> usize {
         self.items.len()

@@ -41,11 +41,33 @@
 //!    rollback applied *outside* the ORAM query path (mirror-only
 //!    restore) produces a visibly empty window and fails the audit.
 //!
+//! 7. **Segment lens** — a gas-slice suspension
+//!    ([`TelemetryEvent::SegmentYield`] … [`SegmentEnd`]) must be
+//!    observable only as ordinary swap traffic: the window must carry at
+//!    least one swap-out per frame the suspension advertises (a
+//!    checkpoint captured in-enclave with no bus traffic is a silent gap
+//!    the adversary can correlate with scheduling), and no ORAM query of
+//!    any kind may ride inside the window — checkpointing touches layer
+//!    3 only, so ORAM traffic there types the pause as a preemption.
+//!
+//! 8. **Prefetch floor** — precise static prefetch plans can leave the
+//!    prefetcher nearly idle, starving the gap statistics (check 3) of
+//!    samples. The §IV-D argument stays sound at the two extremes: with
+//!    the class *genuinely idle* (at most
+//!    [`AuditConfig::prefetch_idle_floor`] queries) there is no prefetch
+//!    distribution for the adversary to type — every query on the wire
+//!    is real traffic already covered by checks 1–2; with a *populated*
+//!    class ([`AuditConfig::min_class_samples`] gap samples or more) the
+//!    statistics apply in full. The region between is underpowered —
+//!    too few queries for the CV/ratio bounds, enough to stand out
+//!    individually — and is flagged rather than silently skipped.
+//!
 //! A truncated stream (ring-buffer overflow) is itself a violation:
 //! an auditor that silently passes on partial evidence is worse than
 //! none.
 //!
 //! [`RollbackEnd`]: TelemetryEvent::RollbackEnd
+//! [`SegmentEnd`]: TelemetryEvent::SegmentEnd
 
 use super::{QueryKind, TelemetryEvent};
 use crate::Nanos;
@@ -70,6 +92,16 @@ pub struct AuditConfig {
     /// Minimum samples per gap class before the statistical checks
     /// apply (tiny samples would make the CV meaningless).
     pub min_class_samples: usize,
+    /// Maximum prefetch queries the run may carry while still counting
+    /// as *genuinely idle*. An idle prefetcher is fine — there is no
+    /// prefetch distribution for the adversary to type. More queries
+    /// than this floor but fewer than [`min_class_samples`] gap samples
+    /// is the underpowered region: enough traffic to stand out
+    /// individually, too little for the statistical bounds to apply —
+    /// flagged as [`Violation::PrefetchClassUnderpowered`].
+    ///
+    /// [`min_class_samples`]: AuditConfig::min_class_samples
+    pub prefetch_idle_floor: usize,
 }
 
 impl Default for AuditConfig {
@@ -83,6 +115,7 @@ impl Default for AuditConfig {
             gap_mean_ratio_x100: (25, 400),
             max_cv_x100: 250,
             min_class_samples: 8,
+            prefetch_idle_floor: 2,
         }
     }
 }
@@ -174,6 +207,44 @@ pub enum Violation {
         /// When the rollback began.
         at: Nanos,
     },
+    /// A segment window carried fewer swap-outs than the frames the
+    /// suspension advertised — the checkpoint was (at least partly)
+    /// captured in-enclave with no cover traffic, leaving a silent gap
+    /// on the bus that correlates with the scheduler's decisions.
+    CheckpointUncovered {
+        /// When the segment window closed.
+        at: Nanos,
+        /// Frames the suspension advertised.
+        expected: u32,
+        /// Swap-outs observed inside the window.
+        observed: u64,
+    },
+    /// An ORAM query appeared inside a segment window: checkpointing is
+    /// a layer-3 operation, so any ORAM traffic there types the pause
+    /// as a preemption rather than an ordinary spill.
+    SegmentLeak {
+        /// When the query happened.
+        at: Nanos,
+        /// Its classification.
+        kind: QueryKind,
+    },
+    /// A segment yield began but its window never closed in the stream.
+    UnterminatedSegment {
+        /// When the yield began.
+        at: Nanos,
+    },
+    /// The prefetch class sits in the underpowered region: more queries
+    /// than the idle floor, fewer gap samples than the statistical
+    /// checks need — each query can be typed individually and no bound
+    /// was actually verified.
+    PrefetchClassUnderpowered {
+        /// Prefetch queries seen across the run.
+        queries: u64,
+        /// The configured idle floor.
+        floor: usize,
+        /// Gap samples the statistical checks require.
+        needed: usize,
+    },
     /// The event ring overflowed: the stream is partial evidence.
     Truncated {
         /// Events lost.
@@ -238,6 +309,24 @@ impl core::fmt::Display for Violation {
             Violation::UnterminatedRollback { at } => {
                 write!(f, "rollback begun at {at} never ended: stream is partial")
             }
+            Violation::CheckpointUncovered { at, expected, observed } => write!(
+                f,
+                "segment at {at} suspended {expected} frames with only {observed} swap-outs: \
+                 checkpoint captured without cover traffic"
+            ),
+            Violation::SegmentLeak { at, kind } => write!(
+                f,
+                "segment leak at {at}: {} query inside a segment window",
+                kind.name()
+            ),
+            Violation::UnterminatedSegment { at } => {
+                write!(f, "segment yield at {at} never closed: stream is partial")
+            }
+            Violation::PrefetchClassUnderpowered { queries, floor, needed } => write!(
+                f,
+                "prefetch class underpowered: {queries} queries exceed the idle floor ({floor}) \
+                 but fall short of the {needed} gap samples the statistics need"
+            ),
             Violation::Truncated { dropped } => {
                 write!(f, "event ring dropped {dropped} events: stream is partial")
             }
@@ -280,6 +369,10 @@ pub struct AuditStats {
     pub rollbacks: u64,
     /// Sync page writes inside rollback windows.
     pub rollback_sync_writes: u64,
+    /// Segment (gas-slice suspension) windows seen.
+    pub segments: u64,
+    /// Swap-outs inside segment windows (checkpoint cover traffic).
+    pub segment_cover_swaps: u64,
 }
 
 /// The auditor's verdict: violations found plus the numbers behind them.
@@ -350,6 +443,9 @@ pub fn audit_events(events: &[TelemetryEvent], dropped: u64, cfg: &AuditConfig) 
     // Open rollback window: (begin time, advertised accounts, sync
     // writes observed so far).
     let mut rollback: Option<(Nanos, u32, u64)> = None;
+    // Open segment window: (yield time, advertised frames, swap-outs
+    // observed so far).
+    let mut segment: Option<(Nanos, u32, u64)> = None;
 
     for ev in events {
         match *ev {
@@ -371,6 +467,11 @@ pub fn audit_events(events: &[TelemetryEvent], dropped: u64, cfg: &AuditConfig) 
                         // the operation as a rollback, not a sync.
                         report.violations.push(Violation::RollbackLeak { at, kind });
                     }
+                }
+                if segment.is_some() {
+                    // Checkpointing touches layer 3 only; *any* ORAM
+                    // traffic inside the window types the pause.
+                    report.violations.push(Violation::SegmentLeak { at, kind });
                 }
                 if kind == QueryKind::Sync {
                     // Sync page writes form their own class: they are
@@ -418,7 +519,7 @@ pub fn audit_events(events: &[TelemetryEvent], dropped: u64, cfg: &AuditConfig) 
                 }
                 last_query = Some((at, kind));
             }
-            TelemetryEvent::Swap { at, true_pages, observed_pages, .. } => {
+            TelemetryEvent::Swap { at, out, true_pages, observed_pages } => {
                 report.stats.swaps += 1;
                 if observed_pages < true_pages {
                     report.violations.push(Violation::SwapUncovered {
@@ -428,6 +529,12 @@ pub fn audit_events(events: &[TelemetryEvent], dropped: u64, cfg: &AuditConfig) 
                     });
                 }
                 report.stats.noise_pages += u64::from(observed_pages.saturating_sub(true_pages));
+                if out {
+                    if let Some((_, _, cover)) = &mut segment {
+                        *cover += 1;
+                        report.stats.segment_cover_swaps += 1;
+                    }
+                }
             }
             TelemetryEvent::CodePageFetch { at, address, page } => {
                 report.stats.code_page_fetches += 1;
@@ -464,12 +571,36 @@ pub fn audit_events(events: &[TelemetryEvent], dropped: u64, cfg: &AuditConfig) 
                     }
                 }
             }
+            TelemetryEvent::SegmentYield { at, frames, .. } => {
+                // A yield inside an open window means the previous
+                // segment never closed.
+                if let Some((begun, _, _)) = segment.replace((at, frames, 0)) {
+                    report.violations.push(Violation::UnterminatedSegment { at: begun });
+                }
+                report.stats.segments += 1;
+            }
+            TelemetryEvent::SegmentEnd { at, .. } => {
+                // A stray end (yield evicted from the ring) is already
+                // covered by the Truncated violation.
+                if let Some((_, expected, observed)) = segment.take() {
+                    if observed < u64::from(expected) {
+                        report.violations.push(Violation::CheckpointUncovered {
+                            at,
+                            expected,
+                            observed,
+                        });
+                    }
+                }
+            }
             _ => {}
         }
     }
 
     if let Some((begun, _, _)) = rollback {
         report.violations.push(Violation::UnterminatedRollback { at: begun });
+    }
+    if let Some((begun, _, _)) = segment {
+        report.violations.push(Violation::UnterminatedSegment { at: begun });
     }
 
     // Statistical checks, applied only with enough evidence per class.
@@ -511,6 +642,24 @@ pub fn audit_events(events: &[TelemetryEvent], dropped: u64, cfg: &AuditConfig) 
         report
             .violations
             .push(Violation::SwapNoiseAbsent { swaps: report.stats.swaps });
+    }
+
+    // Prefetch floor (§IV-D re-examination): with precise plans the
+    // prefetcher may be nearly idle. At or below the idle floor the gap
+    // statistics are *vacuously* satisfied — no distribution exists to
+    // type. In between the floor and the sample minimum the skip is no
+    // longer vacuous: the class exists on the wire but nothing was
+    // verified about it. Only meaningful once the run carries enough
+    // real traffic for the comparison to have been expected at all.
+    if real_gaps.len() >= cfg.min_class_samples
+        && report.stats.prefetch_queries > cfg.prefetch_idle_floor as u64
+        && prefetch_gaps.len() < cfg.min_class_samples
+    {
+        report.violations.push(Violation::PrefetchClassUnderpowered {
+            queries: report.stats.prefetch_queries,
+            floor: cfg.prefetch_idle_floor,
+            needed: cfg.min_class_samples,
+        });
     }
 
     report
@@ -796,6 +945,125 @@ mod tests {
             .violations
             .iter()
             .any(|v| matches!(v, Violation::UnterminatedRollback { at: 9_000 })));
+    }
+
+    fn cover_swap(at: Nanos) -> TelemetryEvent {
+        TelemetryEvent::Swap { at, out: true, true_pages: 2, observed_pages: 3 }
+    }
+
+    #[test]
+    fn segment_window_with_cover_swaps_passes() {
+        let events = [
+            cover_swap(1_000), // ordinary in-segment spill
+            TelemetryEvent::SegmentYield { at: 10_000, segment: 1, frames: 2 },
+            cover_swap(11_000),
+            cover_swap(12_000),
+            TelemetryEvent::SegmentEnd { at: 13_000, swaps: 2 },
+            cover_swap(20_000), // execution resumes, spills continue
+        ];
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.stats.segments, 1);
+        assert_eq!(report.stats.segment_cover_swaps, 2);
+    }
+
+    #[test]
+    fn checkpoint_without_cover_traffic_is_uncovered() {
+        // The in-enclave ablation: frames advertised, zero swap-outs on
+        // the bus — the negative control the issue requires.
+        let events = [
+            TelemetryEvent::SegmentYield { at: 10_000, segment: 3, frames: 2 },
+            TelemetryEvent::SegmentEnd { at: 10_500, swaps: 0 },
+        ];
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(
+                v,
+                Violation::CheckpointUncovered { expected: 2, observed: 0, .. }
+            )));
+    }
+
+    #[test]
+    fn swap_in_does_not_count_as_checkpoint_cover() {
+        // Only swap-outs seal frames; a swap-in inside the window must
+        // not satisfy the cover requirement.
+        let events = [
+            TelemetryEvent::SegmentYield { at: 10_000, segment: 1, frames: 1 },
+            TelemetryEvent::Swap { at: 11_000, out: false, true_pages: 2, observed_pages: 3 },
+            TelemetryEvent::SegmentEnd { at: 12_000, swaps: 0 },
+        ];
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::CheckpointUncovered { .. })));
+    }
+
+    #[test]
+    fn oram_query_inside_segment_window_is_a_leak() {
+        let events = [
+            TelemetryEvent::SegmentYield { at: 10_000, segment: 1, frames: 1 },
+            cover_swap(11_000),
+            q(12_000, QueryKind::Kv),
+            TelemetryEvent::SegmentEnd { at: 13_000, swaps: 1 },
+        ];
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SegmentLeak { kind: QueryKind::Kv, .. })));
+    }
+
+    #[test]
+    fn unterminated_segment_is_a_violation() {
+        let events = [TelemetryEvent::SegmentYield { at: 9_000, segment: 1, frames: 1 }];
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UnterminatedSegment { at: 9_000 })));
+    }
+
+    #[test]
+    fn idle_prefetcher_passes_the_floor() {
+        // Plenty of real traffic, a single prefetch query: genuinely
+        // idle — no distribution to type, no violation.
+        let mut events = Vec::new();
+        let mut t = 0;
+        for _ in 0..20u64 {
+            t += 2_300_000;
+            events.push(q(t, QueryKind::Kv));
+        }
+        t += 2_270_000;
+        events.push(q(t, QueryKind::Prefetch));
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report.passed(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn underpowered_prefetch_class_is_flagged() {
+        // 5 prefetch queries: above the idle floor (2), below the 8 gap
+        // samples the statistics need — the skip is no longer vacuous.
+        let mut events = Vec::new();
+        let mut t = 0;
+        for i in 0..20u64 {
+            t += 2_300_000;
+            events.push(q(t, QueryKind::Kv));
+            if i % 4 == 0 {
+                t += 2_270_000;
+                events.push(q(t, QueryKind::Prefetch));
+            }
+        }
+        let report = audit_events(&events, 0, &AuditConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(
+                v,
+                Violation::PrefetchClassUnderpowered { queries: 5, floor: 2, needed: 8 }
+            )));
     }
 
     #[test]

@@ -91,11 +91,15 @@ pub enum CounterId {
     FeedsQuarantined,
     /// Reorgs applied: rollback to a fork point + winning-branch replay.
     ReorgsApplied,
+    /// Gas-slice segments executed (every bundle runs ≥ 1 per tx).
+    Segments,
+    /// Preemptions: segments that yielded the core mid-transaction.
+    Preemptions,
 }
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 27;
     /// Every counter, in index order.
     pub const ALL: [CounterId; Self::COUNT] = [
         CounterId::Bundles,
@@ -123,6 +127,8 @@ impl CounterId {
         CounterId::EquivocationsDetected,
         CounterId::FeedsQuarantined,
         CounterId::ReorgsApplied,
+        CounterId::Segments,
+        CounterId::Preemptions,
     ];
 
     /// Stable snake_case name (used in reports and JSON output).
@@ -153,6 +159,8 @@ impl CounterId {
             CounterId::EquivocationsDetected => "equivocations_detected",
             CounterId::FeedsQuarantined => "feeds_quarantined",
             CounterId::ReorgsApplied => "reorgs_applied",
+            CounterId::Segments => "segments",
+            CounterId::Preemptions => "preemptions",
         }
     }
 }
@@ -213,17 +221,20 @@ pub enum HistId {
     OramGapNs,
     /// Depth of each applied reorg (blocks rolled back).
     ReorgDepth,
+    /// Per-segment execution latency (ns): the slice the core was held.
+    SliceNs,
 }
 
 impl HistId {
     /// Number of histograms in the registry.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
     /// Every histogram, in index order.
     pub const ALL: [HistId; Self::COUNT] = [
         HistId::BundleLatencyNs,
         HistId::ExecuteNs,
         HistId::OramGapNs,
         HistId::ReorgDepth,
+        HistId::SliceNs,
     ];
 
     /// Stable snake_case name.
@@ -233,6 +244,7 @@ impl HistId {
             HistId::ExecuteNs => "execute_ns",
             HistId::OramGapNs => "oram_gap_ns",
             HistId::ReorgDepth => "reorg_depth",
+            HistId::SliceNs => "slice_ns",
         }
     }
 
@@ -261,7 +273,9 @@ impl HistId {
         const DEPTH_BLOCKS: [u64; FixedHistogram::BOUNDS] =
             [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
         match self {
-            HistId::BundleLatencyNs | HistId::ExecuteNs | HistId::OramGapNs => &TIME_NS,
+            HistId::BundleLatencyNs | HistId::ExecuteNs | HistId::OramGapNs | HistId::SliceNs => {
+                &TIME_NS
+            }
             HistId::ReorgDepth => &DEPTH_BLOCKS,
         }
     }
@@ -619,6 +633,27 @@ pub enum TelemetryEvent {
         /// ORAM page writes issued by the rollback.
         pages: u32,
     },
+    /// A gas-slice segment yielded the core mid-transaction. Everything
+    /// between this and the matching
+    /// [`SegmentEnd`](TelemetryEvent::SegmentEnd) is the *segment
+    /// window*: the auditor requires the checkpoint to be observable
+    /// only as ordinary swap traffic — at least one swap-out per frame
+    /// the suspension advertises, and no ORAM queries riding along.
+    SegmentYield {
+        /// Virtual time of the yield (before cover traffic).
+        at: Nanos,
+        /// 1-based segment index within the transaction.
+        segment: u32,
+        /// Frames the suspension seals out (the advertised cover).
+        frames: u32,
+    },
+    /// The segment's checkpoint finished flushing to layer 3.
+    SegmentEnd {
+        /// Virtual time the checkpoint was sealed.
+        at: Nanos,
+        /// Swap-out events emitted inside the segment window.
+        swaps: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -638,7 +673,9 @@ impl TelemetryEvent {
             | TelemetryEvent::PlanPage { at, .. }
             | TelemetryEvent::CodePageFetch { at, .. }
             | TelemetryEvent::RollbackBegin { at, .. }
-            | TelemetryEvent::RollbackEnd { at, .. } => at,
+            | TelemetryEvent::RollbackEnd { at, .. }
+            | TelemetryEvent::SegmentYield { at, .. }
+            | TelemetryEvent::SegmentEnd { at, .. } => at,
         }
     }
 
@@ -729,6 +766,17 @@ impl TelemetryEvent {
                 out.push(0x0e);
                 out.extend_from_slice(&at.to_be_bytes());
                 out.extend_from_slice(&pages.to_be_bytes());
+            }
+            TelemetryEvent::SegmentYield { at, segment, frames } => {
+                out.push(0x0f);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.extend_from_slice(&segment.to_be_bytes());
+                out.extend_from_slice(&frames.to_be_bytes());
+            }
+            TelemetryEvent::SegmentEnd { at, swaps } => {
+                out.push(0x10);
+                out.extend_from_slice(&at.to_be_bytes());
+                out.extend_from_slice(&swaps.to_be_bytes());
             }
         }
     }

@@ -125,6 +125,30 @@ pub struct StateChanges {
     pub selfdestructs: Vec<Address>,
 }
 
+/// The reader-free remainder of a suspended [`JournaledState`]: every
+/// overlay map, the journal itself, logs, and the per-transaction warm
+/// sets, detached from the backing [`StateReader`].
+///
+/// Produced by [`JournaledState::suspend`] at a segment boundary so a
+/// preempted execution can park its world-state view while the reader
+/// (often a short-lived borrow of the device state) goes away, and
+/// re-attached later with [`JournaledState::rehydrate`]. The fields are
+/// moved, never cloned — journal entries are not `Clone` by design, so
+/// a suspension cannot silently fork the overlay.
+#[derive(Debug)]
+pub struct JournalSuspend {
+    accounts: HashMap<Address, OverlayAccount>,
+    storage: HashMap<(Address, U256), U256>,
+    storage_reads: HashMap<(Address, U256), U256>,
+    original_storage: HashMap<(Address, U256), U256>,
+    transient: HashMap<(Address, U256), U256>,
+    journal: Vec<Entry>,
+    logs: Vec<Log>,
+    warm_addresses: HashSet<Address>,
+    warm_slots: HashSet<(Address, U256)>,
+    selfdestructed: HashSet<Address>,
+}
+
 /// The journaled overlay over a read-only state backend.
 ///
 /// # Examples
@@ -181,6 +205,78 @@ impl<R: StateReader> JournaledState<R> {
     /// Access to the underlying reader.
     pub fn reader(&self) -> &R {
         &self.reader
+    }
+
+    /// Detaches the overlay from its reader at a segment boundary:
+    /// returns the reader and a [`JournalSuspend`] holding everything
+    /// else (accounts, storage, journal entries, logs, warm sets). The
+    /// pair [`suspend`](Self::suspend)/[`rehydrate`](Self::rehydrate)
+    /// is a pure move — no entry is cloned or replayed — so a resumed
+    /// execution observes byte-identical journal semantics.
+    pub fn suspend(self) -> (R, JournalSuspend) {
+        let JournaledState {
+            reader,
+            accounts,
+            storage,
+            storage_reads,
+            original_storage,
+            transient,
+            journal,
+            logs,
+            warm_addresses,
+            warm_slots,
+            selfdestructed,
+        } = self;
+        (
+            reader,
+            JournalSuspend {
+                accounts,
+                storage,
+                storage_reads,
+                original_storage,
+                transient,
+                journal,
+                logs,
+                warm_addresses,
+                warm_slots,
+                selfdestructed,
+            },
+        )
+    }
+
+    /// Re-attaches a suspended overlay to a (possibly new instance of
+    /// an equivalent) reader. The reader must serve the same world
+    /// state the overlay was suspended over; cached reads
+    /// (`storage_reads`, faulted-in accounts) are kept, so a reader
+    /// that diverged mid-suspension would be partially shadowed — the
+    /// service layer guarantees a bundle is never resumed across a
+    /// head change without re-validation.
+    pub fn rehydrate(reader: R, suspend: JournalSuspend) -> Self {
+        let JournalSuspend {
+            accounts,
+            storage,
+            storage_reads,
+            original_storage,
+            transient,
+            journal,
+            logs,
+            warm_addresses,
+            warm_slots,
+            selfdestructed,
+        } = suspend;
+        JournaledState {
+            reader,
+            accounts,
+            storage,
+            storage_reads,
+            original_storage,
+            transient,
+            journal,
+            logs,
+            warm_addresses,
+            warm_slots,
+            selfdestructed,
+        }
     }
 
     /// Resets per-transaction state (warm sets, transient storage,
@@ -791,6 +887,35 @@ mod tests {
         let mut j = JournaledState::new(&backend);
         j.sstore(&addr, &U256::ONE, U256::from(4u64));
         assert!(j.changes().storage.is_empty());
+    }
+
+    #[test]
+    fn suspend_rehydrate_preserves_overlay_and_frames() {
+        let (backend, alice, bob) = setup();
+        let mut j = JournaledState::new(&backend);
+        let outer = j.checkpoint();
+        j.transfer(&alice, &bob, U256::from(100u64)).unwrap();
+        j.sstore(&alice, &U256::ONE, U256::from(7u64));
+        j.log(Log { address: alice, topics: vec![], data: vec![1] });
+        let (_, cold_before) = j.load_account(bob);
+        assert!(cold_before);
+
+        // Park the overlay, drop the reader borrow, re-attach.
+        let (reader, parked) = j.suspend();
+        let mut j = JournaledState::rehydrate(reader, parked);
+
+        // Overlay values, logs, and warmth all survive the round trip.
+        assert_eq!(j.balance(&alice), U256::from(900u64));
+        assert_eq!(j.sload(&alice, &U256::ONE).value, U256::from(7u64));
+        assert_eq!(j.logs().len(), 1);
+        let (_, cold_after) = j.load_account(bob);
+        assert!(!cold_after, "warm set lost across suspend");
+
+        // An open frame checkpoint taken before suspension still
+        // reverts correctly after rehydration.
+        j.revert(outer);
+        assert_eq!(j.balance(&alice), U256::from(1000u64));
+        assert!(j.logs().is_empty());
     }
 
     #[test]

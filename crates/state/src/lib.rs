@@ -39,6 +39,7 @@ mod undo;
 pub use account::{Account, AccountInfo, Log, EMPTY_CODE_HASH};
 pub use backend::{EmptyState, InMemoryState, StateReader};
 pub use journal::{
-    Checkpoint, InsufficientBalance, JournaledState, SloadResult, SstoreResult, StateChanges,
+    Checkpoint, InsufficientBalance, JournalSuspend, JournaledState, SloadResult, SstoreResult,
+    StateChanges,
 };
 pub use undo::{UndoDelta, UndoRing};

@@ -478,6 +478,32 @@ pub fn memhog_runtime() -> Vec<u8> {
         .build()
 }
 
+/// A gas bomb: spins a tight compute loop for `calldata[0]` iterations
+/// (~26 gas each), then returns 1. Calibrated with more iterations than
+/// the gas limit covers, it is a *well-formed* transaction that burns
+/// its entire budget and monopolizes an HEVM core unless execution is
+/// sliced — the resource-exhaustion adversary
+/// ([`tape_sim::fault::FaultKind::GasBomb`]) made concrete.
+pub fn gasbomb_runtime() -> Vec<u8> {
+    Asm::new()
+        .push(0u64)
+        .op(op::CALLDATALOAD) // [n]
+        .op(op::DUP1)
+        .op(op::ISZERO)
+        .jumpi("done")
+        .label("loop")
+        .push(1u64)
+        .op(op::SWAP1)
+        .op(op::SUB)
+        .op(op::DUP1)
+        .jumpi("loop")
+        .label("done")
+        .op(op::POP)
+        .push(1u64)
+        .ret_top()
+        .build()
+}
+
 /// A roll-up style batcher: writes `calldata[0]` storage slots starting
 /// at base `calldata[32]` — the storage-keys-per-frame tail driver.
 pub fn batcher_runtime() -> Vec<u8> {

@@ -66,6 +66,11 @@ pub struct EvalSet {
     pub memhog: Address,
     /// The roll-up style batch writer.
     pub batcher: Address,
+    /// The gas-bomb contract: a compute loop that burns a whole gas
+    /// limit. Never drawn by [`sample_transaction`](EvalSet::generate)
+    /// — adversarial tenants request it explicitly via
+    /// [`EvalSet::gas_bomb_tx`].
+    pub gasbomb: Address,
 }
 
 /// Code sizes assigned to the token fleet, drawn to reproduce Table I's
@@ -88,6 +93,7 @@ impl EvalSet {
         let batcher = Address::from_low_u64(0x30_0003);
         let deep_hopper = Address::from_low_u64(0x30_0004);
         let settler = Address::from_low_u64(0x30_0005);
+        let gasbomb = Address::from_low_u64(0x30_0006);
 
         let eth = U256::from(10_000_000_000_000_000_000u64); // 10 ETH
         for user in &users {
@@ -135,6 +141,7 @@ impl EvalSet {
         );
         genesis.put_account(memhog, Account::with_code(contracts::memhog_runtime()));
         genesis.put_account(batcher, Account::with_code(contracts::batcher_runtime()));
+        genesis.put_account(gasbomb, Account::with_code(contracts::gasbomb_runtime()));
 
         let mut set = EvalSet {
             genesis,
@@ -148,6 +155,7 @@ impl EvalSet {
             settler,
             memhog,
             batcher,
+            gasbomb,
         };
         for _ in 0..config.blocks {
             let block = (0..config.txs_per_block)
@@ -171,6 +179,36 @@ impl EvalSet {
     /// Flattened view of every transaction.
     pub fn all_transactions(&self) -> impl Iterator<Item = &Transaction> {
         self.blocks.iter().flatten()
+    }
+
+    /// A gas-bomb transaction from `from`: the loop count is calibrated
+    /// to *overshoot* `gas_limit` (~26 gas per iteration, requested at
+    /// one iteration per 20 gas), so the transaction is well-formed but
+    /// reliably burns its entire budget before halting out-of-gas. One
+    /// such transaction pins an HEVM core for `gas_limit` worth of
+    /// virtual time unless execution is sliced.
+    pub fn gas_bomb_tx(&self, from: Address, gas_limit: u64) -> Transaction {
+        let iterations = gas_limit / 20;
+        Transaction {
+            gas_limit,
+            ..Transaction::call(
+                from,
+                self.gasbomb,
+                U256::from(iterations).to_be_bytes().to_vec(),
+            )
+        }
+    }
+
+    /// A saturation bundle for one adversarial tenant: `count` gas
+    /// bombs of `gas_limit` each — the load shape of the bounded-tail
+    /// acceptance test (one bomb tenant vs. several honest ones).
+    pub fn gas_bomb_bundle(
+        &self,
+        from: Address,
+        count: usize,
+        gas_limit: u64,
+    ) -> Vec<Transaction> {
+        (0..count).map(|_| self.gas_bomb_tx(from, gas_limit)).collect()
     }
 
     fn pick_user(&self, rng: &mut SecureRng) -> Address {
@@ -385,6 +423,18 @@ mod tests {
         assert!(to_router > 0);
         assert!(to_hopper > 0);
         assert!(to_tokens > 0);
+    }
+
+    #[test]
+    fn gas_bomb_burns_its_entire_limit() {
+        let set = EvalSet::generate(&EvalSetConfig::small());
+        let tx = set.gas_bomb_tx(set.users[0], 2_000_000);
+        let mut evm = Evm::new(set.env.clone(), &set.genesis);
+        let result = evm.transact(&tx).expect("well-formed tx");
+        // The bomb overshoots: it halts out-of-gas with zero gas left,
+        // having monopolized the core for the whole budget.
+        assert!(!result.success);
+        assert_eq!(result.gas_used, tx.gas_limit);
     }
 
     #[test]

@@ -26,7 +26,10 @@
 # leakage auditor passes on the soak workload. The same discipline is
 # applied to the seeded reorg schedule (REORG_DIGEST): a mid-run
 # depth-3 reorg must shed/re-pin queued work exactly-once and replay
-# byte-identically across processes.
+# byte-identically across processes. A third schedule arms the gas-bomb
+# adversary against a gas-sliced gateway (PREEMPT_DIGEST): preempted
+# bundles must resume, complete exactly-once, pass the §IV-D segment
+# audit, and replay byte-identically across processes.
 #
 # With --bench, runs the deterministic pre-execution benchmark under
 # its fixed baked-in seed, writing BENCH_pre_execute.json. The binary
@@ -104,6 +107,15 @@ reorg_digest() {
         | grep -E '^REORG_DIGEST '
 }
 
+preempt_digest() {
+    # Prints the PREEMPT_DIGEST line for one fresh-process preemption
+    # soak (gas-bomb adversary armed on a gas-sliced gateway;
+    # exactly-once + segment audit asserted in-test).
+    HARDTAPE_SOAK_SEED="$1" cargo test -q --test soak \
+        seeded_preemption_schedule_is_deterministic_and_exactly_once -- --nocapture \
+        | grep -E '^PREEMPT_DIGEST '
+}
+
 if [[ "$RUN_SOAK" -eq 1 ]]; then
     echo "==> gateway chaos soak (determinism across processes)"
     for seed in 1337 424242 12648430; do
@@ -123,6 +135,18 @@ if [[ "$RUN_SOAK" -eq 1 ]]; then
         second="$(reorg_digest "$seed")"
         if [[ "$first" != "$second" ]]; then
             echo "reorg soak: NONDETERMINISM at seed $seed" >&2
+            echo "  run 1: $first" >&2
+            echo "  run 2: $second" >&2
+            exit 1
+        fi
+        echo "seed $seed: $first"
+    done
+    echo "==> preemption soak (gas-bomb adversary, byte-identical preempted schedules)"
+    for seed in 1337 424242 12648430; do
+        first="$(preempt_digest "$seed")"
+        second="$(preempt_digest "$seed")"
+        if [[ "$first" != "$second" ]]; then
+            echo "preempt soak: NONDETERMINISM at seed $seed" >&2
             echo "  run 1: $first" >&2
             echo "  run 2: $second" >&2
             exit 1

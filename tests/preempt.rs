@@ -1,0 +1,404 @@
+//! Segmented, preemptible execution through the service and gateway:
+//! bounded tail latency for short bundles under gas-bomb saturation,
+//! byte-identical receipts across suspend/resume hops, remaining-segment
+//! `retry_after` hints, the watchdog's demotion to a per-segment
+//! backstop, and the §IV-D segment-lens negative control (checkpoint
+//! cover ablation must fail the audit).
+//!
+//! Everything runs on the deterministic virtual clock, so every
+//! latency, hint, and digest below is exact — no flake margins needed.
+
+use hardtape::{
+    Bundle, Gateway, GatewayConfig, GatewayError, HarDTape, PreExecOutcome, SecurityConfig,
+    ServiceConfig, ServiceError,
+};
+use std::collections::HashMap;
+use tape_evm::{Env, Transaction};
+use tape_hevm::HevmAbort;
+use tape_primitives::{Address, U256};
+use tape_sim::queue::EventLog;
+use tape_sim::telemetry::audit::{audit_events, AuditConfig, Violation};
+use tape_state::{Account, InMemoryState};
+use tape_workload::contracts;
+
+/// Bomb gas budget: large enough that one unsliced bomb dwarfs a short
+/// bundle's service time (the tail-latency negative control relies on
+/// the contrast).
+const BOMB_GAS: u64 = 8_000_000;
+const GAS_SLICE: u64 = 100_000;
+
+fn tenant_addr(i: usize) -> Address {
+    Address::from_low_u64(0xA100 + i as u64)
+}
+
+fn sink_addr(i: usize) -> Address {
+    Address::from_low_u64(0xE100 + i as u64)
+}
+
+fn bomb_contract() -> Address {
+    Address::from_low_u64(0x6A5B)
+}
+
+/// Funded tenants (index 0..=3; 3 is the bomber) plus the gas-bomb
+/// contract.
+fn genesis() -> InMemoryState {
+    let mut state = InMemoryState::new();
+    for i in 0..4 {
+        state.put_account(tenant_addr(i), Account::with_balance(U256::from(u64::MAX)));
+    }
+    state.put_account(bomb_contract(), Account::with_code(contracts::gasbomb_runtime()));
+    state
+}
+
+fn transfer_bundle(tenant: usize, step: usize) -> Bundle {
+    Bundle::single(Transaction::transfer(
+        tenant_addr(tenant),
+        sink_addr(tenant),
+        U256::from(1 + step as u64),
+    ))
+}
+
+fn bomb_tx(gas_limit: u64) -> Transaction {
+    let mut tx = Transaction::call(
+        tenant_addr(3),
+        bomb_contract(),
+        U256::from(gas_limit / 20).to_be_bytes().to_vec(),
+    );
+    tx.gas_limit = gas_limit;
+    tx
+}
+
+fn bomb_bundle() -> Bundle {
+    Bundle::single(bomb_tx(BOMB_GAS))
+}
+
+/// An `-ES` service (scheduling is under test, not the ORAM) with the
+/// given gas slice.
+fn service_config(gas_slice: Option<u64>) -> ServiceConfig {
+    let mut config =
+        ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(SecurityConfig::Es) };
+    config.hevm.gas_slice = gas_slice;
+    config
+}
+
+fn device(gas_slice: Option<u64>) -> HarDTape {
+    HarDTape::new(service_config(gas_slice), Env::default(), &genesis())
+        .expect("device boots")
+}
+
+/// Admit→complete virtual latencies for `sessions`, parsed from the
+/// gateway's deterministic event log ("t=<ns> admit/complete
+/// session=<s> ticket=<k> ..." lines).
+fn latencies(log: &EventLog, sessions: &[u64]) -> Vec<u64> {
+    let mut admits: HashMap<u64, u64> = HashMap::new();
+    let mut out = Vec::new();
+    for line in log.lines() {
+        let mut parts = line.split_whitespace();
+        let Some(t) = parts
+            .next()
+            .and_then(|p| p.strip_prefix("t="))
+            .and_then(|v| v.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let Some(verb) = parts.next() else { continue };
+        let Some(session) = parts
+            .next()
+            .and_then(|p| p.strip_prefix("session="))
+            .and_then(|v| v.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let ticket = parts
+            .next()
+            .and_then(|p| p.strip_prefix("ticket="))
+            .and_then(|v| v.parse::<u64>().ok());
+        match (verb, ticket) {
+            ("admit", Some(k)) => {
+                admits.insert(k, t);
+            }
+            ("complete", Some(k)) if sessions.contains(&session) => {
+                if let Some(&at) = admits.get(&k) {
+                    out.push(t - at);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn p99(mut samples: Vec<u64>) -> u64 {
+    assert!(!samples.is_empty(), "p99 of an empty sample set");
+    samples.sort_unstable();
+    samples[(samples.len() * 99).div_ceil(100) - 1]
+}
+
+/// Tail-latency bomb sizing: a short `-ES` bundle costs ~80M virtual ns
+/// of fixed service overhead (crypto prologue/epilogue), so the bomb's
+/// *execution* must dwarf that for the unsliced negative control to
+/// show — 60M gas ≈ 300M ns. The slice is coarser here (2M gas ≈ 10M
+/// ns per segment) to keep segment count per bomb moderate.
+const TAIL_BOMB_GAS: u64 = 60_000_000;
+const TAIL_SLICE: u64 = 2_000_000;
+
+/// One deterministic load schedule: the bomber (connected FIRST, so DRR
+/// serves it ahead of honest tenants inside each round — the worst case
+/// for honest latency) keeps its queue saturated with gas bombs while
+/// three honest tenants each submit ten short bundles. Returns the
+/// honest tenants' admit→complete latencies.
+fn tail_latency_run(bombs: bool, gas_slice: Option<u64>) -> Vec<u64> {
+    let mut gateway = Gateway::new(
+        device(gas_slice),
+        GatewayConfig { queue_depth: 8, admission_budget: 40, ..GatewayConfig::default() },
+    );
+    let bomber = gateway.connect(b"tail bomber").expect("attestation succeeds");
+    let honest: Vec<u64> = (0..3)
+        .map(|i| {
+            gateway
+                .connect(format!("tail honest {i}").as_bytes())
+                .expect("attestation succeeds")
+        })
+        .collect();
+
+    for step in 0..10usize {
+        if bombs {
+            // Keep the bomber's queue non-empty (a round retires at most
+            // one bomb segment, so one refill per step saturates);
+            // tenant-local overload on the refill is expected and fine.
+            match gateway.submit(bomber, Bundle::single(bomb_tx(TAIL_BOMB_GAS))) {
+                Ok(_) | Err(GatewayError::Overloaded { .. }) => {}
+                Err(other) => panic!("unexpected bomber submit error: {other}"),
+            }
+        }
+        for (i, &session) in honest.iter().enumerate() {
+            gateway
+                .submit(session, transfer_bundle(i, step))
+                .expect("honest short bundle admitted");
+        }
+        gateway.run_round();
+    }
+    gateway.run_until_idle();
+    if bombs && gas_slice.is_some() {
+        assert!(gateway.stats().preempted > 0, "bombs never preempted under slicing");
+    }
+    latencies(gateway.log(), &honest)
+}
+
+#[test]
+fn short_bundle_p99_stays_flat_under_gas_bomb_saturation() {
+    let baseline = p99(tail_latency_run(false, Some(TAIL_SLICE)));
+    let sliced = p99(tail_latency_run(true, Some(TAIL_SLICE)));
+    // The ISSUE acceptance bound: honest p99 under one saturating bomb
+    // tenant stays within 2x the no-adversary baseline.
+    assert!(
+        sliced <= 2 * baseline,
+        "sliced p99 {sliced} exceeds 2x baseline {baseline}"
+    );
+    // Negative control: with slicing off, the same bombs monopolize a
+    // core for whole-bundle durations and blow the honest tail — the
+    // bound above is not vacuous.
+    let unsliced = p99(tail_latency_run(true, None));
+    assert!(
+        unsliced > 2 * baseline,
+        "unsliced p99 {unsliced} should blow the 2x bound over baseline {baseline}"
+    );
+}
+
+#[test]
+fn preempted_then_resumed_bundle_matches_uninterrupted_receipt() {
+    // A mixed bundle: short transfer, gas bomb, short transfer — the
+    // resume path must cross both a mid-transaction checkpoint and
+    // completed-transaction boundaries.
+    let bundle = Bundle {
+        transactions: vec![
+            Transaction::transfer(tenant_addr(0), sink_addr(0), U256::from(7u64)),
+            bomb_tx(1_000_000),
+            Transaction::transfer(tenant_addr(0), sink_addr(0), U256::from(9u64)),
+        ],
+    };
+
+    let mut plain = device(None);
+    let mut user = plain.connect_user(b"receipt user").expect("attestation succeeds");
+    let expected = plain.pre_execute(&mut user, &bundle).expect("uninterrupted run");
+
+    // Drive every pause through the public suspend/resume API, as the
+    // gateway does between DRR rounds.
+    let mut sliced = device(Some(GAS_SLICE));
+    let mut user = sliced.connect_user(b"receipt user").expect("attestation succeeds");
+    let mut outcome = sliced
+        .pre_execute_preemptible(&mut user, &bundle, None)
+        .expect("first segment runs");
+    let mut pauses = 0u32;
+    let actual = loop {
+        match outcome {
+            PreExecOutcome::Done(report) => break report,
+            PreExecOutcome::Preempted(pause) => {
+                pauses += 1;
+                assert!(pause.remaining_gas(&bundle) > 0, "a pause must have work left");
+                outcome = sliced
+                    .pre_execute_preemptible(&mut user, &bundle, Some(pause))
+                    .expect("resumed segment runs");
+            }
+        }
+    };
+    assert!(pauses >= 5, "a 1M-gas bomb over 100k slices must pause repeatedly: {pauses}");
+    assert_eq!(expected.results, actual.results);
+    assert_eq!(
+        expected.encode(),
+        actual.encode(),
+        "preempted receipt must be byte-identical to the uninterrupted one"
+    );
+    // The bomb burned its limit and failed; the transfers around it
+    // succeeded — same shape in both receipts.
+    assert!(actual.results[0].success && actual.results[2].success);
+    assert!(!actual.results[1].success);
+    assert_eq!(actual.results[1].gas_used, 1_000_000);
+}
+
+#[test]
+fn retry_hints_shrink_as_preempted_bombs_near_completion() {
+    // One core and a bomb-only backlog: the hint must track the
+    // *remaining-segment* estimate down as segments retire, even though
+    // the queue length never changes.
+    let mut config = service_config(Some(GAS_SLICE));
+    config.hevm_count = 1;
+    let mut gateway = Gateway::new(
+        HarDTape::new(config, Env::default(), &genesis()).expect("device boots"),
+        GatewayConfig { queue_depth: 4, admission_budget: 4, ..GatewayConfig::default() },
+    );
+    let bomber = gateway.connect(b"hint bomber").expect("attestation succeeds");
+    for _ in 0..4 {
+        gateway.submit(bomber, bomb_bundle()).expect("bomb admitted");
+    }
+    let mut reject_hint = |gateway: &mut Gateway| -> u64 {
+        match gateway.submit(bomber, bomb_bundle()) {
+            Err(GatewayError::Overloaded { retry_after }) => retry_after,
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    };
+
+    let hint_fresh = reject_hint(&mut gateway);
+    gateway.run_round(); // head bomb runs one segment, re-queues paused
+    assert_eq!(gateway.queued(), 4, "preempted bomb re-queued, not completed");
+    let hint_one_segment = reject_hint(&mut gateway);
+    gateway.run_round();
+    assert_eq!(gateway.queued(), 4);
+    let hint_two_segments = reject_hint(&mut gateway);
+
+    assert!(
+        hint_fresh > hint_one_segment && hint_one_segment > hint_two_segments,
+        "hints must shrink with remaining segments: \
+         {hint_fresh} -> {hint_one_segment} -> {hint_two_segments}"
+    );
+    assert!(hint_two_segments > 0, "a shrinking hint must stay usable");
+    assert!(gateway.stats().preempted >= 2, "both rounds must have preempted a bomb");
+}
+
+#[test]
+fn watchdog_is_a_per_segment_backstop_through_the_service() {
+    // A watchdog budget far below one whole bomb but far above one
+    // segment: unsliced execution trips it (runaway core reclaimed),
+    // sliced execution completes — the watchdog now bounds *segments*.
+    let watchdog = Some(3_000_000);
+
+    let mut config = service_config(None);
+    config.hevm.watchdog_ns = watchdog;
+    let mut unsliced =
+        HarDTape::new(config, Env::default(), &genesis()).expect("device boots");
+    let mut user = unsliced.connect_user(b"watchdog user").expect("attestation succeeds");
+    let err = unsliced
+        .pre_execute(&mut user, &Bundle::single(bomb_tx(2_000_000)))
+        .expect_err("a whole 2M-gas bomb must out-run a 3ms watchdog");
+    assert!(
+        matches!(err, ServiceError::Hevm(HevmAbort::Watchdog { .. })),
+        "expected a watchdog abort, got {err:?}"
+    );
+
+    let mut config = service_config(Some(GAS_SLICE));
+    config.hevm.watchdog_ns = watchdog;
+    let mut sliced = HarDTape::new(config, Env::default(), &genesis()).expect("device boots");
+    let mut user = sliced.connect_user(b"watchdog user").expect("attestation succeeds");
+    let report = sliced
+        .pre_execute(&mut user, &Bundle::single(bomb_tx(2_000_000)))
+        .expect("no single 100k-gas segment can trip the watchdog");
+    // The bomb still burns its whole budget (out-of-gas, not success) —
+    // the watchdog no longer fires on long-but-live executions.
+    assert!(!report.results[0].success);
+    assert_eq!(report.results[0].gas_used, 2_000_000);
+}
+
+#[test]
+fn checkpoint_cover_ablation_fails_the_segment_audit() {
+    // Positive control: with checkpoint cover on (default), a preempted
+    // bundle's telemetry passes the §IV-D audit, segment lens included.
+    let mut covered = device(Some(GAS_SLICE));
+    let mut user = covered.connect_user(b"cover user").expect("attestation succeeds");
+    covered
+        .pre_execute(&mut user, &Bundle::single(bomb_tx(1_000_000)))
+        .expect("covered run completes");
+    let telemetry = covered.telemetry().clone();
+    let report =
+        audit_events(&telemetry.events(), telemetry.dropped(), &AuditConfig::default());
+    assert!(report.passed(), "covered checkpoints must pass: {:?}", report.violations);
+    assert!(report.stats.segments > 0, "the sliced bomb must have yielded");
+    assert!(report.stats.segment_cover_swaps > 0, "cover traffic must be on the bus");
+
+    // Negative control (the ISSUE's ablation): same run with checkpoint
+    // cover skipped — frames are captured silently in-enclave, and the
+    // audit must flag every advertised-but-uncovered checkpoint.
+    let mut ablated = device(Some(GAS_SLICE));
+    ablated.set_checkpoint_ablation(true);
+    let mut user = ablated.connect_user(b"ablation user").expect("attestation succeeds");
+    ablated
+        .pre_execute(&mut user, &Bundle::single(bomb_tx(1_000_000)))
+        .expect("ablated run still completes");
+    let telemetry = ablated.telemetry().clone();
+    let report =
+        audit_events(&telemetry.events(), telemetry.dropped(), &AuditConfig::default());
+    assert!(!report.passed(), "uncovered checkpoints must fail the audit");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::CheckpointUncovered { .. })),
+        "expected CheckpointUncovered, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn preempted_bomb_completes_exactly_once_through_the_gateway() {
+    let mut gateway = Gateway::new(
+        device(Some(GAS_SLICE)),
+        GatewayConfig { queue_depth: 4, admission_budget: 8, ..GatewayConfig::default() },
+    );
+    let bomber = gateway.connect(b"once bomber").expect("attestation succeeds");
+    let honest = gateway.connect(b"once honest").expect("attestation succeeds");
+    let bomb_ticket = gateway.submit(bomber, bomb_bundle()).expect("bomb admitted");
+    let honest_ticket =
+        gateway.submit(honest, transfer_bundle(0, 0)).expect("transfer admitted");
+
+    let completions = gateway.run_until_idle();
+    assert_eq!(completions.len(), 2, "one completion per admitted bundle");
+    let stats = gateway.stats();
+    assert!(
+        stats.preempted as u64 >= BOMB_GAS / GAS_SLICE / 2,
+        "an {BOMB_GAS}-gas bomb must preempt many times, saw {}",
+        stats.preempted
+    );
+    assert_eq!(stats.completed_ok, 2);
+
+    let bomb = completions
+        .iter()
+        .find(|c| c.ticket == bomb_ticket)
+        .expect("bomb completed");
+    let report = bomb.outcome.as_ref().expect("bomb bundle serves (tx fails inside)");
+    assert!(!report.results[0].success, "the bomb burns out, it does not succeed");
+    assert_eq!(report.results[0].gas_used, BOMB_GAS);
+    let short = completions
+        .iter()
+        .find(|c| c.ticket == honest_ticket)
+        .expect("short bundle completed");
+    assert!(short.outcome.as_ref().expect("short bundle serves").results[0].success);
+}

@@ -748,3 +748,146 @@ fn seeded_reorg_schedule_is_deterministic_and_exactly_once() {
     // Greppable witness for scripts/verify.sh --soak.
     println!("REORG_DIGEST seed={seed} digest={digest_a}");
 }
+
+const BOMB_GAS: u64 = 2_000_000;
+
+fn bomb_contract() -> Address {
+    Address::from_low_u64(0x6A5B)
+}
+
+/// Soak genesis plus the gas-bomb contract and a funded bomb tenant.
+fn preempt_genesis() -> InMemoryState {
+    let mut state = soak_genesis();
+    state.put_account(
+        bomb_contract(),
+        Account::with_code(tape_workload::contracts::gasbomb_runtime()),
+    );
+    state.put_account(tenant_addr(TENANTS), Account::with_balance(U256::from(u64::MAX)));
+    state
+}
+
+/// A saturating gas bomb from the adversarial tenant (index `TENANTS`):
+/// well-formed, burns its entire 2M-gas budget in a compute loop.
+fn bomb_bundle() -> Bundle {
+    let mut tx = Transaction::call(
+        tenant_addr(TENANTS),
+        bomb_contract(),
+        U256::from(BOMB_GAS / 20).to_be_bytes().to_vec(),
+    );
+    tx.gas_limit = BOMB_GAS;
+    Bundle::single(tx)
+}
+
+/// One seeded preemption chaos run: three honest tenants submitting
+/// short transfer bundles interleaved with one adversarial tenant whose
+/// gas bombs are drawn from a seeded [`FaultPlan`] at the new
+/// [`FaultSite::Tenant`] site. The device runs with a 100k gas slice,
+/// so every bomb yields repeatedly and re-queues with its checkpoint.
+/// Asserts exactly-once across preemptions, that bombs actually
+/// preempted, and that the §IV-D audit (segment lens included) passes;
+/// returns the combined schedule + telemetry digest.
+fn preempt_chaos_run(seed: u64) -> String {
+    let mut service =
+        ServiceConfig { oram_height: 10, ..ServiceConfig::at_level(SecurityConfig::Es) };
+    service.hevm.gas_slice = Some(100_000);
+    let mut gateway = Gateway::new(
+        HarDTape::new(service, Env::default(), &preempt_genesis()).expect("device boots"),
+        GatewayConfig { queue_depth: 6, admission_budget: 24, ..GatewayConfig::default() },
+    );
+
+    // The gas-bomb adversary: a seeded tenant-site plan decides, per
+    // adversarial submission slot, whether the bomb tenant attacks or
+    // behaves (an honest transfer).
+    let plan = FaultPlan::new(seed ^ 0xB04B, gateway.device().clock());
+    plan.arm(FaultSite::Tenant, &[FaultKind::GasBomb], 2, 24);
+
+    let mut sessions = Vec::new();
+    for i in 0..3 {
+        sessions.push(
+            gateway
+                .connect(format!("preempt soak tenant {i}").as_bytes())
+                .expect("attestation succeeds"),
+        );
+    }
+    let bomber = gateway.connect(b"preempt soak bomber").expect("attestation succeeds");
+
+    let counts = [36usize, 27, 18];
+    let order = interleave(&counts, seed);
+    let mut steps = vec![0usize; 3];
+    let mut bomb_steps = 0usize;
+    let mut completions: Vec<Completion> = Vec::new();
+
+    for (op, &tenant) in order.iter().enumerate() {
+        let step = steps[tenant];
+        steps[tenant] += 1;
+        match gateway.submit(sessions[tenant], transfer_bundle(tenant, step)) {
+            Ok(_) => {}
+            Err(GatewayError::Overloaded { retry_after }) => {
+                assert!(retry_after > 0, "overload must carry a usable retry hint");
+                completions.extend(gateway.run_round());
+            }
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+        // Every third op the adversarial tenant submits: a gas bomb when
+        // the seeded plan fires, an honest transfer otherwise.
+        if op % 3 == 2 {
+            let attack = plan.decide(FaultSite::Tenant).is_some();
+            let bundle = if attack {
+                bomb_bundle()
+            } else {
+                bomb_steps += 1;
+                Bundle::single(Transaction::transfer(
+                    tenant_addr(TENANTS),
+                    sink_addr(TENANTS),
+                    U256::from(bomb_steps as u64),
+                ))
+            };
+            match gateway.submit(bomber, bundle) {
+                Ok(_) | Err(GatewayError::Overloaded { .. }) => {}
+                Err(other) => panic!("unexpected bomber submit error: {other}"),
+            }
+        }
+        if op % 4 == 3 {
+            completions.extend(gateway.run_round());
+        }
+    }
+    completions.extend(gateway.run_until_idle());
+    assert_eq!(gateway.queued(), 0, "drain left work queued");
+
+    // Exactly-once must survive preemption: a bundle that yielded N
+    // times still resolves to exactly one completion, and every
+    // admitted ticket is accounted to exactly one outcome.
+    let stats = gateway.stats();
+    assert!(stats.preempted > 0, "seed {seed}: no bomb was ever preempted");
+    let tickets: BTreeSet<u64> = completions.iter().map(|c| c.ticket).collect();
+    assert_eq!(tickets.len(), completions.len(), "seed {seed}: a ticket completed twice");
+    assert_eq!(stats.admitted as usize, completions.len(), "seed {seed}: lost completions");
+    assert_eq!(
+        stats.completed_ok + stats.completed_err + stats.shed_deadline + stats.shed_reorg,
+        stats.admitted,
+        "seed {seed}: exactly-once broke under preemption"
+    );
+
+    // The §IV-D audit — segment-boundary lens included — must hold on
+    // the preempted stream: every advertised checkpoint is covered.
+    let telemetry = gateway.device().telemetry().clone();
+    let report = audit_events(&telemetry.events(), telemetry.dropped(), &AuditConfig::default());
+    assert!(
+        report.passed(),
+        "seed {seed}: leakage audit failed under preemption: {:?}",
+        report.violations
+    );
+    assert!(report.stats.segments > 0, "seed {seed}: audit saw no segment windows");
+
+    format!("{}:{}", gateway.log().digest(), telemetry.digest())
+}
+
+#[test]
+fn seeded_preemption_schedule_is_deterministic_and_exactly_once() {
+    let seed = soak_seed();
+    let digest_a = preempt_chaos_run(seed);
+    let digest_b = preempt_chaos_run(seed);
+    assert_eq!(digest_a, digest_b, "seed {seed}: preemption schedules diverged across runs");
+    // Greppable witness for scripts/verify.sh --soak.
+    println!("PREEMPT_DIGEST seed={seed} digest={digest_a}");
+}
