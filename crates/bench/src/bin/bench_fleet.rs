@@ -1,0 +1,528 @@
+//! Deterministic fleet benchmark: a [`FleetRouter`] fronting K `-ES`
+//! HarDTAPE devices under a seeded honest workload, emitting
+//! `BENCH_fleet.json` with:
+//!
+//! * **latency vs device count** — admit→complete virtual-latency
+//!   percentiles and fleet makespan at K = 1, 2, 4 over the same
+//!   tenant workload (the §VI-D horizontal-scaling claim, measured);
+//! * **fairness** — rendezvous shard balance (tenants per device) and
+//!   Jain's index over per-device completed bundles at K = 4;
+//! * **staleness** — worst per-device head age and stale-served count
+//!   at the end of the run (all devices sync from one `FeedSet`);
+//! * **degradation curve** — the same K = 4 workload with 1 of 4
+//!   devices crashed at 25% / 50% / 75% of the schedule: affected
+//!   tenants migrate to survivors and their queued work is resubmitted,
+//!   so every admitted bundle still resolves OK, at a tail-latency
+//!   cost the curve records.
+//!
+//! The headline acceptance bound is enforced in-process: the honest
+//! p99 with one device lost mid-run (the 50% kill point) must stay
+//! within 3x the no-loss K = 4 p99. Losing a quarter of the fleet
+//! costs tail latency — survivors absorb the migrated load — but it
+//! must not cost completions (exactly-once is asserted) and must not
+//! blow the tail unboundedly. The committed JSON is the measured
+//! evidence; `scripts/verify.sh --bench` regenerates and re-checks it.
+//!
+//! A dead device's frozen log keeps its never-completed admits; work
+//! resubmitted on a survivor is measured from its re-admission there.
+//! The failover gap itself is visible in the makespan, not the
+//! per-bundle latencies.
+//!
+//! Flags:
+//!
+//! * `--out PATH` — output path (default `BENCH_fleet.json`).
+//! * `--baseline PATH` — regression guard: reads `no_loss_p99` and
+//!   `one_loss_p99` from a previously committed report and fails
+//!   (exit 1) when the fresh run regresses by more than 10% on either.
+//!   Read before the output is written, so `--baseline` and `--out`
+//!   may name the same file.
+//!
+//! The kill-at-50% scenario runs twice and the two router digests must
+//! agree — the fleet schedule (sharding, migration, resubmission
+//! order) is deterministic per seed, or the benchmark fails.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hardtape::{Bundle, Gateway, GatewayConfig, GatewayError, HarDTape, SecurityConfig, ServiceConfig};
+use tape_evm::{Env, Transaction};
+use tape_fleet::{FleetConfig, FleetError, FleetRouter, FleetStats};
+use tape_node::{BlockFeed, FeedSet, FeedSetConfig, Node};
+use tape_primitives::{Address, U256};
+use tape_sim::queue::{interleave, EventLog};
+use tape_state::{Account, InMemoryState};
+
+const SEED: u64 = 0xF1EE7;
+const TENANTS: usize = 48;
+const STEPS: usize = 4;
+const FLEET_K: usize = 4;
+/// The device the degradation scenarios crash (1 of 4).
+const KILL_DEVICE: usize = 1;
+/// Documented acceptance bound: one-device-loss honest p99 within 3x
+/// the no-loss K = 4 p99.
+const ONE_LOSS_P99_BOUND_X100: u64 = 300;
+
+fn tenant_addr(i: usize) -> Address {
+    Address::from_low_u64(0xB000 + i as u64)
+}
+
+fn sink_addr(i: usize) -> Address {
+    Address::from_low_u64(0x3_0000 + i as u64)
+}
+
+/// Chain blocks spend from a non-tenant account so receipts depend
+/// only on genesis + the tenant's own bundle (mirrors `tests/fleet.rs`).
+fn chain_producer() -> Address {
+    Address::from_low_u64(0xC0DE)
+}
+
+fn genesis() -> InMemoryState {
+    let mut state = InMemoryState::new();
+    for i in 0..TENANTS {
+        state.put_account(tenant_addr(i), Account::with_balance(U256::from(u64::MAX)));
+    }
+    state.put_account(chain_producer(), Account::with_balance(U256::from(u64::MAX)));
+    state
+}
+
+fn transfer(tenant: usize, step: usize) -> Bundle {
+    Bundle::single(Transaction::transfer(
+        tenant_addr(tenant),
+        sink_addr(tenant),
+        U256::from(1 + step as u64),
+    ))
+}
+
+fn feedset() -> FeedSet {
+    FeedSet::new(
+        (0..3).map(|_| BlockFeed::new(Node::new(genesis(), Env::default()))).collect(),
+        FeedSetConfig::default(),
+    )
+}
+
+fn produce_on_all(feeds: &mut FeedSet, step: u64) {
+    for i in 0..feeds.len() {
+        feeds.feed_mut(i).expect("feed exists").node_mut().produce_block(vec![
+            Transaction::transfer(chain_producer(), sink_addr(0), U256::from(900 + step)),
+        ]);
+    }
+}
+
+fn router(devices: usize, seed: u64) -> FleetRouter {
+    let genesis = genesis();
+    let gateways: Vec<Gateway> = (0..devices)
+        .map(|d| {
+            let service = ServiceConfig {
+                oram_height: 10,
+                seed: seed ^ (0xBE7C + d as u64),
+                ..ServiceConfig::at_level(SecurityConfig::Es)
+            };
+            Gateway::new(
+                HarDTape::new(service, Env::default(), &genesis).expect("device boots"),
+                GatewayConfig { queue_depth: 8, admission_budget: 10_000, ..GatewayConfig::default() },
+            )
+        })
+        .collect();
+    FleetRouter::new(gateways, FleetConfig::default())
+}
+
+/// Admit→complete virtual latencies parsed from one gateway's event
+/// log, plus the device's last completion timestamp (for makespan).
+fn gateway_latencies(log: &EventLog) -> (Vec<u64>, u64) {
+    let mut admits: HashMap<u64, u64> = HashMap::new();
+    let mut out = Vec::new();
+    let mut last_complete = 0u64;
+    for line in log.lines() {
+        let mut parts = line.split_whitespace();
+        let Some(t) = parts
+            .next()
+            .and_then(|p| p.strip_prefix("t="))
+            .and_then(|v| v.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let Some(verb) = parts.next() else { continue };
+        let ticket = parts
+            .nth(1)
+            .and_then(|p| p.strip_prefix("ticket="))
+            .and_then(|v| v.parse::<u64>().ok());
+        match (verb, ticket) {
+            ("admit", Some(k)) => {
+                admits.insert(k, t);
+            }
+            ("complete", Some(k)) => {
+                if let Some(&at) = admits.get(&k) {
+                    out.push(t - at);
+                    last_complete = last_complete.max(t);
+                }
+            }
+            _ => {}
+        }
+    }
+    (out, last_complete)
+}
+
+struct ScenarioOutcome {
+    /// Sorted admit→complete latencies across all devices.
+    latencies: Vec<u64>,
+    /// Latest completion timestamp across the fleet (virtual makespan).
+    makespan_ns: u64,
+    digest: String,
+    stats: FleetStats,
+    /// Rendezvous shard sizes at connect time, per device.
+    tenants_per_device: Vec<usize>,
+    /// OK completions resolved per device.
+    ok_per_device: Vec<u64>,
+    /// Worst head age across surviving devices at the end of the run.
+    staleness_max_ns: u64,
+    served_stale: u64,
+}
+
+/// One seeded honest run: `TENANTS` tenants, `STEPS` bundles each in a
+/// seeded interleave, rounds every 6 submissions, a fleet-wide quorum
+/// sync every 48, and (when `kill_at` is set) a crash of `KILL_DEVICE`
+/// at that point in the schedule.
+fn run_scenario(devices: usize, seed: u64, kill_at: Option<usize>) -> ScenarioOutcome {
+    let mut router = router(devices, seed);
+    let mut feeds = feedset();
+    produce_on_all(&mut feeds, 0);
+    let boot_sync = router.sync_all(&mut feeds);
+    for (device, outcome) in &boot_sync.outcomes {
+        assert!(outcome.is_ok(), "boot sync on device {device}: {outcome:?}");
+    }
+
+    let mut sessions = Vec::with_capacity(TENANTS);
+    let mut tenants_per_device = vec![0usize; devices];
+    for i in 0..TENANTS {
+        let session = router
+            .connect(format!("fleet bench tenant {i}").as_bytes())
+            .expect("attestation");
+        tenants_per_device[router.tenant_device(session).expect("registered")] += 1;
+        sessions.push(session);
+    }
+
+    let order = interleave(&vec![STEPS; TENANTS], seed);
+    let kill_op = kill_at.unwrap_or(usize::MAX);
+    let mut steps = vec![0usize; TENANTS];
+    let mut admitted: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut completions = Vec::new();
+    let mut produced = 0u64;
+
+    for (op, &tenant) in order.iter().enumerate() {
+        if op == kill_op {
+            completions.extend(router.fail_device(KILL_DEVICE));
+        }
+        let step = steps[tenant];
+        steps[tenant] += 1;
+        let bundle = transfer(tenant, step);
+        let ticket = match router.submit(sessions[tenant], bundle.clone()) {
+            Ok(ticket) => ticket,
+            Err(FleetError::Gateway(GatewayError::Overloaded { .. })) => {
+                completions.extend(router.run_round());
+                router.submit(sessions[tenant], bundle).expect("admits after a drain round")
+            }
+            Err(err) => panic!("honest submit refused: {err}"),
+        };
+        admitted.insert(ticket, tenant);
+        if op % 6 == 5 {
+            completions.extend(router.run_round());
+        }
+        // Offset from the round cadence so the run's tail executes
+        // *after* the last sync — the staleness metric then measures a
+        // real head age instead of a freshly-synced zero.
+        if op % 48 == 23 {
+            produced += 1;
+            produce_on_all(&mut feeds, produced);
+            let report = router.sync_all(&mut feeds);
+            for (device, outcome) in &report.outcomes {
+                assert!(outcome.is_ok(), "mid-run sync on device {device}: {outcome:?}");
+            }
+            completions.extend(report.shed);
+        }
+    }
+    completions.extend(router.run_until_idle());
+
+    // Exactly-once across the crash: every admitted fleet ticket
+    // resolves once, and (honest workload, survivors available) OK.
+    let mut seen: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut ok_per_device = vec![0u64; devices];
+    for completion in &completions {
+        assert!(admitted.contains_key(&completion.ticket), "unknown ticket completed");
+        *seen.entry(completion.ticket).or_insert(0) += 1;
+        match &completion.outcome {
+            Ok(_) => ok_per_device[completion.device] += 1,
+            Err(err) => panic!("honest bundle failed: {err}"),
+        }
+    }
+    assert_eq!(seen.len(), admitted.len(), "every admitted ticket completes");
+    assert!(seen.values().all(|&n| n == 1), "no ticket completes twice");
+    assert_eq!(router.queued_total(), 0, "fleet drained");
+    let stats = router.stats();
+    assert_eq!(stats.completed_ok + stats.completed_err, stats.admitted);
+    router.converged_head().expect("survivors agree on one head");
+
+    let mut latencies = Vec::new();
+    let mut makespan_ns = 0u64;
+    let mut staleness_max_ns = 0u64;
+    let mut served_stale = 0u64;
+    for d in 0..devices {
+        if kill_at.is_some() && d == KILL_DEVICE {
+            continue; // frozen log: its resubmitted work is measured on survivors
+        }
+        let (device_latencies, last_complete) = gateway_latencies(router.gateway(d).log());
+        latencies.extend(device_latencies);
+        makespan_ns = makespan_ns.max(last_complete);
+        staleness_max_ns = staleness_max_ns.max(router.gateway(d).staleness_ns());
+        served_stale += router.gateway(d).stats().served_stale;
+    }
+    latencies.sort_unstable();
+    ScenarioOutcome {
+        latencies,
+        makespan_ns,
+        digest: router.digest(),
+        stats,
+        tenants_per_device,
+        ok_per_device,
+        staleness_max_ns,
+        served_stale,
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Jain's fairness index over per-device completed-bundle counts:
+/// 1.0 = perfectly even, 1/n = all work on one device.
+fn jain_index(xs: &[u64]) -> f64 {
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().map(|&x| x as f64).sum();
+    let sum_sq: f64 = xs.iter().map(|&x| (x as f64) * (x as f64)).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n * sum_sq)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts a `"<key>": <number>` value from a previously written
+/// report, by hand — the workspace is hermetic (no serde).
+fn baseline_field(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)?;
+    let rest = &text[at + needle.len()..];
+    let end = rest
+        .find(|c: char| c != ' ' && c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+struct Baseline {
+    no_loss_p99: f64,
+    one_loss_p99: f64,
+}
+
+fn read_baseline(path: &str) -> Baseline {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("--baseline: cannot read {path}: {err}");
+        std::process::exit(2);
+    });
+    let (Some(no_loss_p99), Some(one_loss_p99)) =
+        (baseline_field(&text, "no_loss_p99"), baseline_field(&text, "one_loss_p99"))
+    else {
+        eprintln!("--baseline: {path} lacks no_loss_p99 / one_loss_p99 fields");
+        std::process::exit(2);
+    };
+    Baseline { no_loss_p99, one_loss_p99 }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_fleet.json");
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            "--baseline" => {
+                baseline_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--baseline requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("usage: bench_fleet [--out PATH] [--baseline PATH] (got {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let baseline = baseline_path.as_deref().map(read_baseline);
+
+    // Latency vs device count over the identical workload.
+    let mut scaling = Vec::new();
+    for &k in &[1usize, 2, 4] {
+        let outcome = run_scenario(k, SEED, None);
+        eprintln!(
+            "K={k}: {} bundles, p50={} p99={} makespan={}",
+            outcome.latencies.len(),
+            percentile(&outcome.latencies, 50.0),
+            percentile(&outcome.latencies, 99.0),
+            outcome.makespan_ns,
+        );
+        scaling.push((k, outcome));
+    }
+    let no_loss = &scaling.iter().find(|(k, _)| *k == FLEET_K).expect("K=4 ran").1;
+    let no_loss_p50 = percentile(&no_loss.latencies, 50.0);
+    let no_loss_p99 = percentile(&no_loss.latencies, 99.0);
+
+    // Kill-one-device degradation curve, with a determinism double-run
+    // at the 50% point.
+    let total_ops = TENANTS * STEPS;
+    let mut curve = Vec::new();
+    let mut mid_digest = String::new();
+    for &frac in &[25usize, 50, 75] {
+        let kill_at = total_ops * frac / 100;
+        let outcome = run_scenario(FLEET_K, SEED, Some(kill_at));
+        assert_eq!(outcome.stats.device_failures, 1);
+        assert!(outcome.stats.migrations > 0, "kill@{frac}% migrates the dead device's tenants");
+        eprintln!(
+            "kill@{frac}%: p99={} migrations={} makespan={}",
+            percentile(&outcome.latencies, 99.0),
+            outcome.stats.migrations,
+            outcome.makespan_ns,
+        );
+        if frac == 50 {
+            mid_digest = outcome.digest.clone();
+        }
+        curve.push((frac, outcome));
+    }
+    let replay = run_scenario(FLEET_K, SEED, Some(total_ops * 50 / 100));
+    let digests_match = replay.digest == mid_digest;
+    if !digests_match {
+        eprintln!("FAIL: kill@50% fleet digest drifted across in-process runs");
+    }
+
+    let one_loss = &curve.iter().find(|(f, _)| *f == 50).expect("50% ran").1;
+    let one_loss_p99 = percentile(&one_loss.latencies, 99.0);
+    let ratio_x100 = (one_loss_p99 * 100).checked_div(no_loss_p99).unwrap_or(0);
+    let bound_ok = ratio_x100 <= ONE_LOSS_P99_BOUND_X100;
+    if bound_ok {
+        eprintln!(
+            "OK: one-device-loss honest p99 {one_loss_p99} within {}x of no-loss {no_loss_p99} \
+             (ratio {ratio_x100}/100)",
+            ONE_LOSS_P99_BOUND_X100 / 100,
+        );
+    } else {
+        eprintln!(
+            "FAIL: one-device-loss honest p99 {one_loss_p99} exceeds {}x no-loss {no_loss_p99} \
+             (ratio {ratio_x100}/100)",
+            ONE_LOSS_P99_BOUND_X100 / 100,
+        );
+    }
+
+    let fairness_jain = jain_index(&no_loss.ok_per_device);
+    let shard_min = no_loss.tenants_per_device.iter().min().copied().unwrap_or(0);
+    let shard_max = no_loss.tenants_per_device.iter().max().copied().unwrap_or(0);
+
+    // Regression guard before writing, so --baseline and --out may
+    // name the same file.
+    let mut regressed = false;
+    if let Some(base) = &baseline {
+        for (name, fresh, base) in [
+            ("no_loss_p99", no_loss_p99 as f64, base.no_loss_p99),
+            ("one_loss_p99", one_loss_p99 as f64, base.one_loss_p99),
+        ] {
+            let limit = base * 1.10;
+            if fresh > limit {
+                eprintln!("FAIL: {name} {fresh:.0} exceeds baseline {base:.0} by >10%");
+                regressed = true;
+            } else {
+                eprintln!("OK: {name} {fresh:.0} within 10% of baseline {base:.0}");
+            }
+        }
+    }
+
+    let scaling_json: Vec<String> = scaling
+        .iter()
+        .map(|(k, o)| {
+            format!(
+                "    {{ \"devices\": {k}, \"bundles\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+                 \"p99_ns\": {}, \"makespan_ns\": {} }}",
+                o.latencies.len(),
+                percentile(&o.latencies, 50.0),
+                percentile(&o.latencies, 90.0),
+                percentile(&o.latencies, 99.0),
+                o.makespan_ns,
+            )
+        })
+        .collect();
+    let curve_json: Vec<String> = curve
+        .iter()
+        .map(|(frac, o)| {
+            format!(
+                "    {{ \"kill_frac_pct\": {frac}, \"p50_ns\": {}, \"p99_ns\": {}, \
+                 \"makespan_ns\": {}, \"migrations\": {}, \"shed_on_failure\": {} }}",
+                percentile(&o.latencies, 50.0),
+                percentile(&o.latencies, 99.0),
+                o.makespan_ns,
+                o.stats.migrations,
+                o.stats.shed_on_failure,
+            )
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n\
+         \x20 \"workload\": {{ \"tenants\": {TENANTS}, \"bundles_per_tenant\": {STEPS}, \
+         \"security\": \"es\", \"seed\": {SEED} }},\n\
+         \x20 \"latency_vs_devices\": [\n{}\n  ],\n\
+         \x20 \"fairness\": {{ \"jain_x1000\": {}, \"tenants_per_device_min\": {shard_min}, \
+         \"tenants_per_device_max\": {shard_max} }},\n\
+         \x20 \"staleness\": {{ \"max_head_age_ns\": {}, \"served_stale\": {} }},\n\
+         \x20 \"degradation\": {{\n\
+         \x20   \"no_loss_p50\": {no_loss_p50},\n\
+         \x20   \"no_loss_p99\": {no_loss_p99},\n\
+         \x20   \"one_loss_p99\": {one_loss_p99},\n\
+         \x20   \"bound_x100\": {ONE_LOSS_P99_BOUND_X100},\n\
+         \x20   \"ratio_x100\": {ratio_x100},\n\
+         \x20   \"curve\": [\n{}\n  ]\n\
+         \x20 }},\n\
+         \x20 \"determinism\": {{ \"digests_match\": {digests_match}, \"fleet_digest\": \"{}\" }}\n\
+         }}\n",
+        scaling_json.join(",\n"),
+        (fairness_jain * 1000.0).round() as u64,
+        no_loss.staleness_max_ns,
+        no_loss.served_stale,
+        curve_json.join(",\n"),
+        json_escape(&mid_digest),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|err| {
+        eprintln!("cannot write {out_path}: {err}");
+        std::process::exit(2);
+    });
+    eprintln!("wrote {out_path}");
+
+    if !digests_match || !bound_ok || regressed {
+        std::process::exit(1);
+    }
+}

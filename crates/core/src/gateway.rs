@@ -136,6 +136,24 @@ pub struct Completion {
     pub outcome: Result<BundleReport, GatewayError>,
 }
 
+/// One queued bundle surrendered by [`Gateway::drain_for_failover`]:
+/// everything a fleet router needs to re-home the work — or to refuse
+/// to, with a typed completion — after its device failed.
+#[derive(Debug)]
+pub struct FailoverEntry {
+    /// The owning session on the failed gateway.
+    pub session: u64,
+    /// The admission ticket the bundle was issued.
+    pub ticket: u64,
+    /// The bundle itself, resubmittable on a surviving device.
+    pub bundle: Bundle,
+    /// Whether the bundle carried a mid-execution checkpoint. The
+    /// checkpoint is unrecoverable (a [`BundlePause`] dies with its
+    /// device); such entries must be failed, not resubmitted, or the
+    /// already-executed prefix would run twice.
+    pub was_paused: bool,
+}
+
 /// What one [`Gateway::sync_set`] round did: the chain outcome plus the
 /// fate of every queued bundle the outcome touched.
 #[derive(Debug)]
@@ -289,9 +307,12 @@ impl Gateway {
     ///
     /// # Errors
     ///
-    /// Any [`ServiceError`] from the attestation handshake.
-    pub fn connect(&mut self, user_seed: &[u8]) -> Result<u64, ServiceError> {
-        let handle = self.device.connect_user(user_seed)?;
+    /// [`GatewayError::Service`] wrapping the attestation failure — the
+    /// same surface [`reconnect`](Self::reconnect) and every other
+    /// public method exposes, so callers (the fleet router above all)
+    /// match on one error type.
+    pub fn connect(&mut self, user_seed: &[u8]) -> Result<u64, GatewayError> {
+        let handle = self.device.connect_user(user_seed).map_err(GatewayError::Service)?;
         let session = handle.session;
         let index = self.tenants.len();
         self.tenants.push(Tenant {
@@ -822,11 +843,20 @@ impl Gateway {
     /// work, not its whole-bundle cost: a fresh bundle owes the full
     /// [`GatewayConfig::per_bundle_estimate_ns`], while a preempted
     /// bundle owes only the fraction of its admitted gas still
-    /// unburned. A queue of nearly-finished gas-bombs therefore hints a
-    /// short retry instead of quoting every bomb at full price.
-    fn retry_after_hint(&self) -> Nanos {
+    /// unburned — plus one scheduler dispatch per remaining suspend and
+    /// resume ([`CostModel::sched_dispatch_ns`]), so a queue of
+    /// many-segment bombs no longer pretends preemption is free.
+    ///
+    /// Public so a fleet router can quote the *least-loaded eligible*
+    /// device's drain time in its own `Overloaded` rejections instead
+    /// of parroting the sharded-home device's estimate.
+    ///
+    /// [`CostModel::sched_dispatch_ns`]: tape_sim::cost::CostModel
+    pub fn retry_after_hint(&self) -> Nanos {
         let cores = u128::from(self.device.config().hevm_count.max(1) as u64);
         let est = u128::from(self.config.per_bundle_estimate_ns.max(1));
+        let dispatch = u128::from(self.device.config().hevm.cost.sched_dispatch_ns);
+        let gas_slice = self.device.config().hevm.gas_slice;
         let mut backlog_ns: u128 = 0;
         for tenant in &self.tenants {
             for entry in tenant.queue.iter() {
@@ -840,14 +870,56 @@ impl Gateway {
                             .map(|tx| tx.gas_limit)
                             .sum();
                         let total = u128::from(total.max(1));
-                        let rest =
-                            u128::from(pause.remaining_gas(&entry.bundle)).min(total);
+                        let rest_gas = pause.remaining_gas(&entry.bundle);
+                        let rest = u128::from(rest_gas).min(total);
+                        // One resume dispatch per remaining segment and
+                        // one suspend per yield between them.
+                        let segments = match gas_slice {
+                            Some(slice) if slice > 0 => {
+                                u128::from(rest_gas.max(1).div_ceil(slice))
+                            }
+                            _ => 1,
+                        };
                         (est * rest).div_ceil(total).max(1)
+                            + dispatch * (2 * segments - 1)
                     }
                 };
             }
         }
         let per_core = backlog_ns.div_ceil(cores).max(est);
         u64::try_from(per_core).unwrap_or(Nanos::MAX)
+    }
+
+    /// Pulls every queued bundle off this gateway for fleet failover,
+    /// emptying all tenant queues. Each entry reports whether it
+    /// carried a mid-execution checkpoint: the pause itself dies here —
+    /// a [`BundlePause`] is not clonable and cannot outlive its device,
+    /// so the caller must convert paused entries into typed failure
+    /// completions while fresh ones may be resubmitted elsewhere.
+    ///
+    /// The drained work is *not* accounted as completed in this
+    /// gateway's stats — ownership of the exactly-once obligation moves
+    /// to the caller with the returned entries.
+    pub fn drain_for_failover(&mut self) -> Vec<FailoverEntry> {
+        let now = self.now();
+        let mut drained = Vec::with_capacity(self.queued_total);
+        for tenant in &mut self.tenants {
+            let session = tenant.session;
+            while let Some(admitted) = tenant.queue.pop() {
+                self.log.record(format!(
+                    "t={now} failover-drain session={session} ticket={} paused={}",
+                    admitted.ticket,
+                    admitted.pause.is_some(),
+                ));
+                drained.push(FailoverEntry {
+                    session,
+                    ticket: admitted.ticket,
+                    bundle: admitted.bundle,
+                    was_paused: admitted.pause.is_some(),
+                });
+            }
+        }
+        self.queued_total = 0;
+        drained
     }
 }

@@ -52,7 +52,7 @@ pub mod scalability;
 mod service;
 
 pub use config::{BreakerConfig, GatewayConfig, SecurityConfig};
-pub use gateway::{Completion, Gateway, GatewayError, GatewayStats, SyncReport};
+pub use gateway::{Completion, FailoverEntry, Gateway, GatewayError, GatewayStats, SyncReport};
 pub use reader::HybridState;
 pub use scalability::{estimate, ScalabilityReport, ETHEREUM_TPS};
 pub use service::{

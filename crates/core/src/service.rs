@@ -749,6 +749,23 @@ impl HarDTape {
         &self.config
     }
 
+    /// The Hypervisor's current ORAM bucket-encryption key. In a fleet
+    /// this is the escrow that lets a surviving device serve a migrated
+    /// tenant's world state: every device shares one key
+    /// ([`Self::share_oram_key`]), exactly as the trusted
+    /// device-to-device channel of the paper's §VI-D deployment would.
+    pub fn oram_key(&self) -> [u8; 16] {
+        self.hypervisor.oram_key()
+    }
+
+    /// Installs the fleet-shared ORAM key on this device's Hypervisor
+    /// (the receiving end of the trusted device-to-device key share).
+    /// The ORAM client copied its key at boot, so joining the fleet
+    /// escrow never re-keys buckets already written.
+    pub fn share_oram_key(&mut self, key: [u8; 16]) {
+        self.hypervisor.share_oram_key(key);
+    }
+
     /// The service-wide virtual clock.
     pub fn clock(&self) -> &Clock {
         &self.clock
@@ -1075,6 +1092,12 @@ impl HarDTape {
     ) -> Result<SegmentOutcome, ServiceError> {
         let segment_started = self.clock.now();
         if let Some(pause) = resume {
+            // Re-dispatching a suspended context is not free: the
+            // Hypervisor's scheduler restores the parked HEVM state
+            // before the first cycle of the new slice executes. Charged
+            // here (inside the segment window) so preemption's overhead
+            // shows up in SliceNs and every latency built on it.
+            self.clock.advance(self.cost.sched_dispatch_ns);
             let BundlePause {
                 checkpoint,
                 hevm_config,
@@ -1277,6 +1300,10 @@ impl HarDTape {
                 }
                 SliceOutcome::Preempted { segment } => {
                     tx_elapsed += self.clock.now() - before;
+                    // Parking the context costs scheduler time on top of
+                    // the cover swaps; charge it to the segment (not the
+                    // transaction) so suspension is never free.
+                    self.clock.advance(self.cost.sched_dispatch_ns);
                     let (_reader, mut checkpoint) = hevm.suspend();
                     let yield_at = checkpoint.yield_at();
                     let frames = checkpoint.suspended_frames();

@@ -1,0 +1,779 @@
+//! The fleet router: one front door over K HarDTAPE devices.
+//!
+//! The router owns a vector of [`Gateway`]-wrapped devices and presents
+//! the same connect/submit/run/sync surface a single gateway does, with
+//! three fleet-only behaviours layered on top:
+//!
+//! * **Sharding** — tenants are pinned to a home device by rendezvous
+//!   (highest-random-weight) hashing over the eligible device set, so
+//!   adding or losing a device only moves the tenants that must move.
+//! * **Health** — every device carries a [`DeviceHealth`] state machine
+//!   fed by watchdog strikes (missed rounds, device-grade errors) and
+//!   seeded availability faults ([`FaultKind::DeviceCrash`] /
+//!   [`FaultKind::DeviceHang`] at [`FaultSite::Device`]). Quarantined
+//!   devices are skipped; crashed devices are failed over.
+//! * **Migration** — when a device fails, its tenants re-attest on the
+//!   surviving device their rendezvous weight now elects (the fleet
+//!   ORAM-key escrow makes the survivor's world state readable), queued
+//!   bundles are resubmitted under their original fleet tickets, and
+//!   in-flight paused work — whose [`hardtape::BundlePause`] lived only
+//!   on the dead device and is not `Clone` by construction — is shed
+//!   with a typed [`FleetError::DeviceFailed`] completion. Every
+//!   admitted fleet ticket still resolves to exactly one
+//!   [`FleetCompletion`].
+//!
+//! The router also owns fleet-wide chain sync: all devices sync from
+//! the *same* [`FeedSet`] and are expected to adopt the same head;
+//! [`FleetRouter::converged_head`] turns disagreement into a typed
+//! [`FleetError::SplitHead`].
+
+use std::collections::HashMap;
+
+use hardtape::{
+    Bundle, BundleReport, Completion, Gateway, GatewayError, ServiceError, SyncOutcome,
+};
+use tape_crypto::keccak256;
+use tape_node::FeedSet;
+use tape_primitives::B256;
+use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
+use tape_sim::queue::EventLog;
+use tape_sim::telemetry::{CounterId, Telemetry};
+use tape_sim::Nanos;
+
+use crate::health::{DeviceHealth, HealthState};
+
+/// Tuning knobs for the fleet's health policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Consecutive strikes before a device is quarantined.
+    pub failure_threshold: u32,
+    /// Virtual time (on the struck device's own clock) a quarantine
+    /// lasts before the device earns a probation probe.
+    pub cooldown_ns: Nanos,
+    /// Virtual time a skipped device (hung or quarantined) burns per
+    /// round. Without this a quarantined device's clock would freeze —
+    /// it only advances while executing — and its cooldown would never
+    /// elapse.
+    pub idle_tick_ns: Nanos,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            failure_threshold: 3,
+            cooldown_ns: 2_000_000_000,  // 2 s of device time
+            idle_tick_ns: 500_000_000,   // 500 ms per skipped round
+        }
+    }
+}
+
+/// Typed fleet-level failures. Gateway-level errors pass through in
+/// [`FleetError::Gateway`]; the other variants only the router can
+/// produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The tenant's device crashed with this work in flight; the paused
+    /// execution state died with it and cannot be replayed elsewhere.
+    DeviceFailed {
+        /// Index of the crashed device.
+        device: usize,
+    },
+    /// No device in the fleet is currently eligible for new work.
+    NoEligibleDevice,
+    /// The fleet session id is not registered with the router.
+    UnknownSession(u64),
+    /// Surviving devices disagree on the adopted chain head.
+    SplitHead {
+        /// `(device index, adopted head)` for every surviving device.
+        heads: Vec<(usize, Option<B256>)>,
+    },
+    /// An error surfaced by the tenant's home gateway.
+    Gateway(GatewayError),
+}
+
+impl core::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetError::DeviceFailed { device } => {
+                write!(f, "device {device} failed with this work in flight")
+            }
+            FleetError::NoEligibleDevice => write!(f, "no eligible device in the fleet"),
+            FleetError::UnknownSession(session) => write!(f, "unknown fleet session {session}"),
+            FleetError::SplitHead { heads } => {
+                write!(f, "fleet head divergence across {} devices", heads.len())
+            }
+            FleetError::Gateway(err) => write!(f, "gateway: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<GatewayError> for FleetError {
+    fn from(err: GatewayError) -> Self {
+        FleetError::Gateway(err)
+    }
+}
+
+/// One finished unit of fleet work: exactly one per admitted fleet
+/// ticket, success or typed failure.
+#[derive(Debug, Clone)]
+pub struct FleetCompletion {
+    /// Fleet-wide ticket (router-issued; device tickets are private).
+    pub ticket: u64,
+    /// Fleet session the work belonged to.
+    pub session: u64,
+    /// Device that resolved the ticket (for a failover shed, the dead
+    /// device the work was lost on).
+    pub device: usize,
+    /// The signed report, or a typed reason there is none.
+    pub outcome: Result<BundleReport, FleetError>,
+}
+
+/// Aggregate router counters (instrumentation for tests and ops).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Fleet tickets admitted (queued on some device).
+    pub admitted: u64,
+    /// Submissions rejected (overload, unknown session, no device).
+    pub rejected: u64,
+    /// Completions with a signed report.
+    pub completed_ok: u64,
+    /// Completions with a typed error.
+    pub completed_err: u64,
+    /// Tenant sessions re-attested onto a surviving device.
+    pub migrations: u64,
+    /// In-flight paused bundles shed with `DeviceFailed` on a crash.
+    pub shed_on_failure: u64,
+    /// Devices latched into the terminal `Failed` state.
+    pub device_failures: u64,
+}
+
+/// Outcome of a fleet-wide sync pass against one [`FeedSet`].
+#[derive(Debug)]
+pub struct FleetSyncReport {
+    /// Per surviving device: the chain outcome of its sync, in device
+    /// order.
+    pub outcomes: Vec<(usize, Result<SyncOutcome, GatewayError>)>,
+    /// Reorg-shed completions across the fleet (typed, exactly-once).
+    pub shed: Vec<FleetCompletion>,
+}
+
+/// A tenant's routing record.
+#[derive(Debug, Clone)]
+struct TenantRecord {
+    /// Attestation seed, retained so the router can re-attest the
+    /// tenant on a survivor during migration.
+    seed: Vec<u8>,
+    /// Home device index.
+    device: usize,
+    /// The home gateway's session id for this tenant.
+    device_session: u64,
+    /// How many times this tenant has been migrated.
+    generation: u32,
+    /// True once the tenant's device failed with no eligible survivor;
+    /// later submissions get `NoEligibleDevice`.
+    orphaned: bool,
+}
+
+/// The fleet router. See the [module docs](self) for the design.
+pub struct FleetRouter {
+    gateways: Vec<Gateway>,
+    config: FleetConfig,
+    health: Vec<DeviceHealth>,
+    last_health: Vec<HealthState>,
+    /// fleet session → routing record.
+    tenants: HashMap<u64, TenantRecord>,
+    /// (device index, device ticket) → (fleet ticket, fleet session).
+    /// Entries move between devices on failover and are removed when
+    /// the completion is adopted — exactly-once by construction.
+    tickets: HashMap<(usize, u64), (u64, u64)>,
+    next_session: u64,
+    next_ticket: u64,
+    round: u64,
+    faults: Option<FaultPlan>,
+    fleet_key: [u8; 16],
+    log: EventLog,
+    telemetry: Telemetry,
+    stats: FleetStats,
+}
+
+impl FleetRouter {
+    /// Builds a router over `gateways` and establishes the fleet
+    /// ORAM-key escrow: device 0's key is shared to every other device
+    /// so any survivor can serve a migrated tenant's world state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gateways` is empty.
+    pub fn new(mut gateways: Vec<Gateway>, config: FleetConfig) -> Self {
+        assert!(!gateways.is_empty(), "a fleet needs at least one device");
+        let fleet_key = gateways[0].device().oram_key();
+        for gateway in gateways.iter_mut().skip(1) {
+            gateway.device_mut().share_oram_key(fleet_key);
+        }
+        let count = gateways.len();
+        let mut log = EventLog::new();
+        log.record(format!("r=0 fleet-boot devices={count}"));
+        FleetRouter {
+            health: (0..count)
+                .map(|_| DeviceHealth::new(config.failure_threshold, config.cooldown_ns))
+                .collect(),
+            last_health: vec![HealthState::Healthy; count],
+            gateways,
+            config,
+            tenants: HashMap::new(),
+            tickets: HashMap::new(),
+            next_session: 1,
+            next_ticket: 1,
+            round: 0,
+            faults: None,
+            fleet_key,
+            log,
+            telemetry: Telemetry::new(),
+            stats: FleetStats::default(),
+        }
+    }
+
+    /// Arms a seeded fault plan; the router consults
+    /// [`FaultSite::Device`] once per live device per round.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Number of devices (including failed ones; indices are stable).
+    pub fn device_count(&self) -> usize {
+        self.gateways.len()
+    }
+
+    /// Read access to one device's gateway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn gateway(&self, device: usize) -> &Gateway {
+        &self.gateways[device]
+    }
+
+    /// Mutable access to one device's gateway (test rigs poke devices
+    /// directly; routed traffic should use the router surface).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn gateway_mut(&mut self, device: usize) -> &mut Gateway {
+        &mut self.gateways[device]
+    }
+
+    /// The current health of one device, on that device's clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn health_state(&mut self, device: usize) -> HealthState {
+        let now = self.gateways[device].device().clock().now();
+        self.health[device].state(now)
+    }
+
+    /// The router's own event log (device gateways keep their own).
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// The router's telemetry registry (fleet counters live here).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Aggregate router counters.
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// Bundles queued across all surviving devices.
+    pub fn queued_total(&self) -> usize {
+        self.gateways
+            .iter()
+            .zip(&self.health)
+            .filter(|(_, health)| !health.is_failed())
+            .map(|(gateway, _)| gateway.queued())
+            .sum()
+    }
+
+    /// The tenant's current home device, if the session is known.
+    pub fn tenant_device(&self, session: u64) -> Option<usize> {
+        self.tenants.get(&session).map(|record| record.device)
+    }
+
+    /// Deterministic fleet digest: the router's log and telemetry plus
+    /// every device's gateway log and device telemetry, in device
+    /// order. Two runs with the same seeds must produce the same value.
+    pub fn digest(&self) -> String {
+        let mut parts = vec![self.log.digest(), self.telemetry.digest()];
+        for gateway in &self.gateways {
+            parts.push(gateway.log().digest());
+            parts.push(gateway.device().telemetry().digest());
+        }
+        parts.join(":")
+    }
+
+    /// Rendezvous (highest-random-weight) election among currently
+    /// eligible devices: weight = keccak(seed ‖ "/hrw/" ‖ index), the
+    /// winner is the highest weight. Losing a device re-elects only
+    /// that device's tenants; everyone else's maximum is unchanged.
+    fn rendezvous(&mut self, seed: &[u8]) -> Option<usize> {
+        let mut best: Option<(B256, usize)> = None;
+        for index in 0..self.gateways.len() {
+            if !self.device_eligible(index) {
+                continue;
+            }
+            let mut material = Vec::with_capacity(seed.len() + 14);
+            material.extend_from_slice(seed);
+            material.extend_from_slice(b"/hrw/");
+            material.extend_from_slice(&(index as u64).to_be_bytes());
+            let weight = keccak256(&material);
+            if best.as_ref().is_none_or(|(top, _)| weight.as_bytes() > top.as_bytes()) {
+                best = Some((weight, index));
+            }
+        }
+        best.map(|(_, index)| index)
+    }
+
+    fn device_eligible(&mut self, device: usize) -> bool {
+        let now = self.gateways[device].device().clock().now();
+        self.health[device].eligible(now)
+    }
+
+    /// Records a health transition (if any) in the log and telemetry.
+    fn note_health(&mut self, device: usize) {
+        let now = self.gateways[device].device().clock().now();
+        let state = self.health[device].state(now);
+        if state != self.last_health[device] {
+            self.telemetry.count(CounterId::FleetHealthTransitions, 1);
+            self.log.record(format!(
+                "r={} health device={device} {} -> {}",
+                self.round, self.last_health[device], state
+            ));
+            self.last_health[device] = state;
+        }
+    }
+
+    fn strike(&mut self, device: usize, reason: &str) {
+        let now = self.gateways[device].device().clock().now();
+        self.health[device].strike(now);
+        self.log.record(format!("r={} strike device={device} reason={reason}", self.round));
+        self.note_health(device);
+    }
+
+    /// Attests a new tenant, pinning it to its rendezvous-elected home
+    /// device, and returns the fleet session id.
+    pub fn connect(&mut self, user_seed: &[u8]) -> Result<u64, FleetError> {
+        let device = self.rendezvous(user_seed).ok_or(FleetError::NoEligibleDevice)?;
+        let device_session = self.gateways[device].connect(user_seed)?;
+        let session = self.next_session;
+        self.next_session += 1;
+        self.tenants.insert(
+            session,
+            TenantRecord {
+                seed: user_seed.to_vec(),
+                device,
+                device_session,
+                generation: 0,
+                orphaned: false,
+            },
+        );
+        self.log.record(format!("r={} connect session={session} device={device}", self.round));
+        Ok(session)
+    }
+
+    /// Re-attests a tenant on its current home device (e.g. after a
+    /// channel-tamper revocation), keeping the fleet session id.
+    pub fn reconnect(&mut self, session: u64, user_seed: &[u8]) -> Result<u64, FleetError> {
+        let record = self.tenants.get(&session).ok_or(FleetError::UnknownSession(session))?;
+        if record.orphaned {
+            return Err(FleetError::NoEligibleDevice);
+        }
+        let (device, device_session) = (record.device, record.device_session);
+        let fresh = self.gateways[device].reconnect(device_session, user_seed)?;
+        if let Some(record) = self.tenants.get_mut(&session) {
+            record.device_session = fresh;
+            record.seed = user_seed.to_vec();
+        }
+        self.log.record(format!("r={} reconnect session={session} device={device}", self.round));
+        Ok(session)
+    }
+
+    /// Submits a bundle for the tenant's home device and returns the
+    /// fleet ticket. On overload the retry hint is fleet-aware: the
+    /// minimum [`Gateway::retry_after_hint`] over all eligible devices,
+    /// so a caller backs off only as long as the least-loaded device
+    /// needs, not as long as its own congested home does.
+    pub fn submit(&mut self, session: u64, bundle: Bundle) -> Result<u64, FleetError> {
+        let record = self.tenants.get(&session).ok_or(FleetError::UnknownSession(session))?;
+        if record.orphaned {
+            self.stats.rejected += 1;
+            return Err(FleetError::NoEligibleDevice);
+        }
+        let (device, device_session) = (record.device, record.device_session);
+        if self.health[device].is_failed() {
+            self.stats.rejected += 1;
+            return Err(FleetError::DeviceFailed { device });
+        }
+        if !self.device_eligible(device) {
+            // Quarantined home: the bundle would sit un-dispatched, so
+            // reject with the time left on the quarantine clock.
+            let now = self.gateways[device].device().clock().now();
+            self.stats.rejected += 1;
+            return Err(FleetError::Gateway(GatewayError::Overloaded {
+                retry_after: self.health[device].retry_after(now),
+            }));
+        }
+        match self.gateways[device].submit(device_session, bundle) {
+            Ok(device_ticket) => {
+                let ticket = self.next_ticket;
+                self.next_ticket += 1;
+                self.tickets.insert((device, device_ticket), (ticket, session));
+                self.stats.admitted += 1;
+                Ok(ticket)
+            }
+            Err(GatewayError::Overloaded { retry_after }) => {
+                // Clamped to 1ns: an idle sibling estimates a zero
+                // drain, but a zero hint reads as "not a hint".
+                let hint = self.fleet_retry_hint().unwrap_or(retry_after).max(1);
+                self.stats.rejected += 1;
+                Err(FleetError::Gateway(GatewayError::Overloaded { retry_after: hint }))
+            }
+            Err(other) => {
+                self.stats.rejected += 1;
+                Err(FleetError::Gateway(other))
+            }
+        }
+    }
+
+    /// Minimum backlog-drain estimate across eligible devices.
+    fn fleet_retry_hint(&mut self) -> Option<Nanos> {
+        let mut best = None;
+        for index in 0..self.gateways.len() {
+            if !self.device_eligible(index) {
+                continue;
+            }
+            let hint = self.gateways[index].retry_after_hint();
+            if best.is_none_or(|current| hint < current) {
+                best = Some(hint);
+            }
+        }
+        best
+    }
+
+    /// Runs one scheduling round on every live device, in device order,
+    /// consulting the armed fault plan per device first. Returns the
+    /// round's fleet completions (including failover sheds if a device
+    /// crashed mid-round).
+    pub fn run_round(&mut self) -> Vec<FleetCompletion> {
+        self.round += 1;
+        let mut out = Vec::new();
+        for device in 0..self.gateways.len() {
+            if self.health[device].is_failed() {
+                continue;
+            }
+            let decision = self
+                .faults
+                .as_ref()
+                .and_then(|plan| {
+                    plan.decide_for(
+                        FaultSite::Device,
+                        &[FaultKind::DeviceCrash, FaultKind::DeviceHang],
+                    )
+                });
+            match decision.map(|d| d.kind) {
+                Some(FaultKind::DeviceCrash) => {
+                    self.log.record(format!("r={} fault device={device} kind=crash", self.round));
+                    out.extend(self.fail_device(device));
+                    continue;
+                }
+                Some(FaultKind::DeviceHang) => {
+                    // A wedged round: the watchdog sees nothing come
+                    // back and strikes; device time still passes.
+                    self.log.record(format!("r={} fault device={device} kind=hang", self.round));
+                    self.strike(device, "hang");
+                    self.gateways[device].device().clock().advance(self.config.idle_tick_ns);
+                    continue;
+                }
+                _ => {}
+            }
+            // Apply any pending cooldown transition before deciding.
+            self.note_health(device);
+            let now = self.gateways[device].device().clock().now();
+            let state = self.health[device].state(now);
+            if state == HealthState::Quarantined {
+                // Skipped round: burn idle time so the cooldown elapses.
+                self.gateways[device].device().clock().advance(self.config.idle_tick_ns);
+                continue;
+            }
+            let completions = self.gateways[device].run_round();
+            let device_grade = completions.iter().any(|completion| {
+                matches!(
+                    completion.outcome,
+                    Err(GatewayError::Service(ServiceError::AllCoresQuarantined))
+                )
+            });
+            if device_grade {
+                self.strike(device, "all-cores-quarantined");
+            } else if matches!(state, HealthState::Suspect | HealthState::Probation) {
+                self.health[device].healed();
+                self.note_health(device);
+            }
+            for completion in completions {
+                out.push(self.adopt_completion(device, completion));
+            }
+        }
+        out
+    }
+
+    /// Drains the fleet: rounds until no surviving device has queued
+    /// work. Terminates even through quarantines because skipped rounds
+    /// advance the skipped device's clock (see
+    /// [`FleetConfig::idle_tick_ns`]).
+    pub fn run_until_idle(&mut self) -> Vec<FleetCompletion> {
+        let mut out = Vec::new();
+        while self.queued_total() > 0 {
+            out.extend(self.run_round());
+        }
+        out
+    }
+
+    /// Translates a device completion into the fleet's ticket space and
+    /// retires the ticket mapping (exactly-once).
+    fn adopt_completion(&mut self, device: usize, completion: Completion) -> FleetCompletion {
+        let (ticket, session) = self
+            .tickets
+            .remove(&(device, completion.ticket))
+            .unwrap_or_else(|| {
+                unreachable!("completion for unmapped device ticket {}", completion.ticket)
+            });
+        match completion.outcome {
+            Ok(report) => {
+                self.stats.completed_ok += 1;
+                FleetCompletion { ticket, session, device, outcome: Ok(report) }
+            }
+            Err(err) => {
+                self.stats.completed_err += 1;
+                FleetCompletion { ticket, session, device, outcome: Err(FleetError::Gateway(err)) }
+            }
+        }
+    }
+
+    /// Latches `device` as failed and performs failover:
+    ///
+    /// 1. Tenants homed on the device re-attest on the survivor their
+    ///    rendezvous weight elects (readable thanks to the fleet
+    ///    ORAM-key escrow), or are orphaned if no device is eligible.
+    /// 2. Queued-but-unstarted bundles are resubmitted on the tenant's
+    ///    new home under their original fleet tickets.
+    /// 3. In-flight paused bundles — whose execution state died with
+    ///    the device — are shed with one typed
+    ///    [`FleetError::DeviceFailed`] completion each.
+    ///
+    /// Public so a test rig or operator can kill a device directly; the
+    /// seeded [`FaultKind::DeviceCrash`] path goes through here too.
+    /// No-op (empty vec) if the device is already failed.
+    pub fn fail_device(&mut self, device: usize) -> Vec<FleetCompletion> {
+        if self.health[device].is_failed() {
+            return Vec::new();
+        }
+        self.health[device].fail();
+        self.stats.device_failures += 1;
+        self.log.record(format!("r={} device-failed device={device}", self.round));
+        self.note_health(device);
+
+        let drained = self.gateways[device].drain_for_failover();
+
+        // Migrate every tenant homed here, in fleet-session order so
+        // survivor-side attestation order is deterministic.
+        let mut sessions: Vec<u64> = self
+            .tenants
+            .iter()
+            .filter(|(_, record)| record.device == device && !record.orphaned)
+            .map(|(&session, _)| session)
+            .collect();
+        sessions.sort_unstable();
+        for session in sessions {
+            self.migrate(session, device);
+        }
+
+        // Resolve drained work: resubmit fresh bundles on the new home,
+        // shed paused ones. Either way each fleet ticket stays on track
+        // for exactly one completion.
+        let mut out = Vec::new();
+        for entry in drained {
+            let (ticket, session) = self
+                .tickets
+                .remove(&(device, entry.ticket))
+                .unwrap_or_else(|| {
+                    unreachable!("drained device ticket {} has no fleet mapping", entry.ticket)
+                });
+            if entry.was_paused {
+                // The BundlePause died with the device; there is no
+                // checkpoint to replay. Typed shed, never silently
+                // dropped and never double-executed.
+                self.telemetry.count(CounterId::FleetShedOnFailure, 1);
+                self.stats.shed_on_failure += 1;
+                self.stats.completed_err += 1;
+                self.log.record(format!(
+                    "r={} shed-on-failure ticket={ticket} session={session}",
+                    self.round
+                ));
+                out.push(FleetCompletion {
+                    ticket,
+                    session,
+                    device,
+                    outcome: Err(FleetError::DeviceFailed { device }),
+                });
+                continue;
+            }
+            let target = self.tenants.get(&session).and_then(|record| {
+                (!record.orphaned).then_some((record.device, record.device_session))
+            });
+            match target {
+                Some((new_device, device_session)) => {
+                    match self.gateways[new_device].submit(device_session, entry.bundle) {
+                        Ok(device_ticket) => {
+                            self.tickets.insert((new_device, device_ticket), (ticket, session));
+                            self.log.record(format!(
+                                "r={} resubmit ticket={ticket} session={session} device={new_device}",
+                                self.round
+                            ));
+                        }
+                        Err(err) => {
+                            // The survivor refused (e.g. overload): the
+                            // refusal is this ticket's one completion.
+                            self.stats.completed_err += 1;
+                            out.push(FleetCompletion {
+                                ticket,
+                                session,
+                                device: new_device,
+                                outcome: Err(FleetError::Gateway(err)),
+                            });
+                        }
+                    }
+                }
+                None => {
+                    self.stats.completed_err += 1;
+                    out.push(FleetCompletion {
+                        ticket,
+                        session,
+                        device,
+                        outcome: Err(FleetError::NoEligibleDevice),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Re-homes one tenant after its device failed: rendezvous over the
+    /// survivors, re-attest there with the retained seed, bump the
+    /// migration generation. Orphans the tenant if no device is
+    /// eligible or the survivor refuses the attestation.
+    fn migrate(&mut self, session: u64, from: usize) {
+        let seed = match self.tenants.get(&session) {
+            Some(record) => record.seed.clone(),
+            None => return,
+        };
+        let Some(new_device) = self.rendezvous(&seed) else {
+            if let Some(record) = self.tenants.get_mut(&session) {
+                record.orphaned = true;
+            }
+            self.log.record(format!("r={} orphaned session={session}", self.round));
+            return;
+        };
+        assert_eq!(
+            self.gateways[new_device].device().oram_key(),
+            self.fleet_key,
+            "survivor missing the fleet ORAM-key escrow"
+        );
+        match self.gateways[new_device].connect(&seed) {
+            Ok(device_session) => {
+                if let Some(record) = self.tenants.get_mut(&session) {
+                    record.device = new_device;
+                    record.device_session = device_session;
+                    record.generation += 1;
+                }
+                self.telemetry.count(CounterId::FleetMigrations, 1);
+                self.stats.migrations += 1;
+                self.log.record(format!(
+                    "r={} migrate session={session} device={from}->{new_device}",
+                    self.round
+                ));
+            }
+            Err(err) => {
+                if let Some(record) = self.tenants.get_mut(&session) {
+                    record.orphaned = true;
+                }
+                self.log.record(format!(
+                    "r={} orphaned session={session} attest-err={err}",
+                    self.round
+                ));
+            }
+        }
+    }
+
+    /// Syncs every surviving device against the same [`FeedSet`], in
+    /// device order. Safe to share one feed set: the Byzantine quorum
+    /// only strikes feeds whose head *lags* the best claim, so honest
+    /// feeds re-serving the winning head to each device in turn are
+    /// never penalised, and re-serving the same claim is not
+    /// equivocation.
+    pub fn sync_all(&mut self, feeds: &mut FeedSet) -> FleetSyncReport {
+        let mut outcomes = Vec::new();
+        let mut shed = Vec::new();
+        for device in 0..self.gateways.len() {
+            if self.health[device].is_failed() {
+                continue;
+            }
+            match self.gateways[device].sync_set(feeds) {
+                Ok(report) => {
+                    for completion in report.shed {
+                        shed.push(self.adopt_completion(device, completion));
+                    }
+                    outcomes.push((device, Ok(report.outcome)));
+                }
+                Err(err) => outcomes.push((device, Err(err))),
+            }
+            let head = self.gateways[device].device().head();
+            self.log.record(format!(
+                "r={} sync device={device} head={}",
+                self.round,
+                head.map_or_else(|| "none".to_string(), |h| format!("{h:?}"))
+            ));
+        }
+        FleetSyncReport { outcomes, shed }
+    }
+
+    /// `(device index, adopted head)` for every surviving device.
+    pub fn heads(&self) -> Vec<(usize, Option<B256>)> {
+        self.gateways
+            .iter()
+            .enumerate()
+            .zip(&self.health)
+            .filter(|(_, health)| !health.is_failed())
+            .map(|((device, gateway), _)| (device, gateway.device().head()))
+            .collect()
+    }
+
+    /// The head all surviving devices agree on, or a typed
+    /// [`FleetError::SplitHead`] carrying every device's view.
+    pub fn converged_head(&self) -> Result<Option<B256>, FleetError> {
+        let heads = self.heads();
+        match heads.split_first() {
+            None => Err(FleetError::NoEligibleDevice),
+            Some(((_, first), rest)) => {
+                if rest.iter().all(|(_, head)| head == first) {
+                    Ok(*first)
+                } else {
+                    Err(FleetError::SplitHead { heads })
+                }
+            }
+        }
+    }
+}

@@ -600,4 +600,72 @@ mod tests {
         breaker.record_failure(5);
         assert_eq!(breaker.state(5), BreakerState::Open);
     }
+
+    // The next three tests pin the half-open edges the fleet device
+    // health machine leans on (Probation = HalfOpen): each probe
+    // outcome, and the fail-fast discipline while quarantined. Before
+    // the fleet they were exercised only indirectly through gateway
+    // soaks.
+
+    #[test]
+    fn half_open_probe_failure_reopens_with_fresh_cooldown() {
+        let mut breaker = CircuitBreaker::new(1, 1_000);
+        breaker.record_failure(100);
+        assert_eq!(breaker.state(100), BreakerState::Open);
+
+        // Probation: exactly one probe after the cooldown. It fails —
+        // the breaker re-opens and the *full* cooldown restarts from
+        // the probe, not from the original trip.
+        assert_eq!(breaker.state(1_100), BreakerState::HalfOpen);
+        breaker.record_failure(1_150);
+        assert_eq!(breaker.state(1_150), BreakerState::Open);
+        assert_eq!(breaker.retry_after(1_150), 1_000);
+        assert!(!breaker.call_permitted(2_100), "old-cooldown deadline must not apply");
+
+        // The cycle repeats: another cooldown, another single probe.
+        assert_eq!(breaker.state(2_150), BreakerState::HalfOpen);
+        assert!(breaker.call_permitted(2_150));
+    }
+
+    #[test]
+    fn half_open_probe_success_closes_and_requires_a_full_streak_to_reopen() {
+        let mut breaker = CircuitBreaker::new(2, 500);
+        breaker.record_failure(10);
+        breaker.record_failure(20);
+        assert_eq!(breaker.state(20), BreakerState::Open);
+
+        // Successful probation probe: fully healthy again, streak
+        // cleared — one later failure is Suspect-grade, not a trip.
+        assert_eq!(breaker.state(520), BreakerState::HalfOpen);
+        breaker.record_success();
+        assert_eq!(breaker.state(520), BreakerState::Closed);
+        assert_eq!(breaker.consecutive_failures(), 0);
+        breaker.record_failure(600);
+        assert_eq!(breaker.state(600), BreakerState::Closed, "one failure after recovery");
+        breaker.record_failure(700);
+        assert_eq!(breaker.state(700), BreakerState::Open, "full threshold re-trips");
+    }
+
+    #[test]
+    fn open_breaker_fails_fast_and_extends_on_strikes() {
+        let mut breaker = CircuitBreaker::new(1, 1_000);
+        breaker.record_failure(0);
+
+        // Quarantined: every call is refused without any budget spent,
+        // and the hint counts down monotonically to the probe time.
+        let mut last = Nanos::MAX;
+        for now in [1, 250, 500, 999] {
+            assert!(!breaker.call_permitted(now));
+            let hint = breaker.retry_after(now);
+            assert!(hint > 0 && hint < last, "hint must count down, stayed {hint}");
+            last = hint;
+        }
+
+        // A strike reported while already Open (a racing caller, a
+        // watchdog) extends the quarantine window from the strike.
+        breaker.record_failure(900);
+        assert!(!breaker.call_permitted(1_000), "extension must push the probe out");
+        assert_eq!(breaker.retry_after(1_000), 900);
+        assert_eq!(breaker.state(1_900), BreakerState::HalfOpen);
+    }
 }

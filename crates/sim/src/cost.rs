@@ -50,6 +50,12 @@ pub struct CostModel {
     pub local_state_fetch_ns: u64,
     /// Layer-1 cache miss penalty (refill from layer 2), per access.
     pub l1_miss_ns: u64,
+    /// Scheduler dispatch overhead per segment suspend *or* resume: the
+    /// Hypervisor's A53 parks one HEVM context and readies another
+    /// (register save/restore, run-queue bookkeeping — everything a
+    /// preemption costs *besides* the layer-2/3 swap traffic, which is
+    /// charged separately per page).
+    pub sched_dispatch_ns: u64,
 }
 
 impl Default for CostModel {
@@ -71,6 +77,7 @@ impl Default for CostModel {
             layer3_swap_page_ns: 20_000,
             local_state_fetch_ns: 4_000,
             l1_miss_ns: 500,
+            sched_dispatch_ns: 5_000, // ~7k A53 cycles of context switch
         }
     }
 }

@@ -63,10 +63,15 @@ pub enum FaultSite {
     /// adversary: well-formed but gas-saturating traffic aimed at the
     /// shared HEVM cores rather than at any cryptographic boundary).
     Tenant,
+    /// A whole HarDTAPE device in a fleet (availability adversary:
+    /// power loss, firmware wedge, board-level failure). Not part of
+    /// the paper's cryptographic threat model — the fleet router must
+    /// treat per-device failure as the *common* case regardless.
+    Device,
 }
 
 /// The number of distinct [`FaultSite`] variants.
-const SITE_COUNT: usize = 5;
+const SITE_COUNT: usize = 6;
 
 impl FaultSite {
     fn index(self) -> usize {
@@ -76,6 +81,7 @@ impl FaultSite {
             FaultSite::Channel => 2,
             FaultSite::NodeFeed => 3,
             FaultSite::Tenant => 4,
+            FaultSite::Device => 5,
         }
     }
 }
@@ -123,6 +129,16 @@ pub enum FaultKind {
     /// transaction that burns its entire (maximal) gas limit in a
     /// compute loop, monopolizing a core unless execution is sliced.
     GasBomb,
+    /// Device dies permanently: every session, queued bundle, and
+    /// in-flight checkpoint on it is lost. The fleet router must fail
+    /// over — migrate tenants to survivors and convert lost work into
+    /// typed completions, never silent drops.
+    DeviceCrash,
+    /// Device wedges for a while: it stops serving rounds but keeps its
+    /// state. Each missed round is a watchdog strike against the
+    /// device's health breaker; enough strikes quarantine it until a
+    /// probation probe succeeds.
+    DeviceHang,
 }
 
 /// A fault the plan has decided to inject *now*.
@@ -189,7 +205,7 @@ impl FaultPlan {
             clock: clock.clone(),
             inner: Arc::new(Mutex::new(Inner {
                 rng: SecureRng::from_seed(&seed_bytes),
-                sites: [None, None, None, None, None],
+                sites: [None, None, None, None, None, None],
                 log: Vec::new(),
             })),
         }

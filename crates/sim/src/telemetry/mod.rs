@@ -95,11 +95,19 @@ pub enum CounterId {
     Segments,
     /// Preemptions: segments that yielded the core mid-transaction.
     Preemptions,
+    /// Fleet: device health-state transitions (Healthy/Suspect/
+    /// Quarantined/Probation edges, plus terminal Failed).
+    FleetHealthTransitions,
+    /// Fleet: tenant sessions migrated to a surviving device.
+    FleetMigrations,
+    /// Fleet: bundles shed with a typed `DeviceFailed` completion
+    /// because their device (and any checkpoint on it) was lost.
+    FleetShedOnFailure,
 }
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 30;
     /// Every counter, in index order.
     pub const ALL: [CounterId; Self::COUNT] = [
         CounterId::Bundles,
@@ -129,6 +137,9 @@ impl CounterId {
         CounterId::ReorgsApplied,
         CounterId::Segments,
         CounterId::Preemptions,
+        CounterId::FleetHealthTransitions,
+        CounterId::FleetMigrations,
+        CounterId::FleetShedOnFailure,
     ];
 
     /// Stable snake_case name (used in reports and JSON output).
@@ -161,6 +172,9 @@ impl CounterId {
             CounterId::ReorgsApplied => "reorgs_applied",
             CounterId::Segments => "segments",
             CounterId::Preemptions => "preemptions",
+            CounterId::FleetHealthTransitions => "fleet_health_transitions",
+            CounterId::FleetMigrations => "fleet_migrations",
+            CounterId::FleetShedOnFailure => "fleet_shed_on_failure",
         }
     }
 }

@@ -29,7 +29,13 @@
 # byte-identically across processes. A third schedule arms the gas-bomb
 # adversary against a gas-sliced gateway (PREEMPT_DIGEST): preempted
 # bundles must resume, complete exactly-once, pass the §IV-D segment
-# audit, and replay byte-identically across processes.
+# audit, and replay byte-identically across processes. A fourth
+# schedule runs the fleet chaos soak (FLEET_DIGEST): ~10³ tenants
+# rendezvous-sharded over 4 devices, seeded DeviceHang faults, a
+# mid-soak crash of 1 of 4 devices with live migration, and a mid-soak
+# reorg — every admitted bundle must resolve exactly-once, survivors
+# must converge on one head, and the fleet-wide digest must replay
+# byte-identically across processes.
 #
 # With --bench, runs the deterministic pre-execution benchmark under
 # its fixed baked-in seed, writing BENCH_pre_execute.json. The binary
@@ -39,7 +45,11 @@
 # more than 10% against it. Two negative controls prove the auditor
 # has teeth: --starve (prefetcher starvation, pre-fix pipeline) and
 # --omit-plan (a prefetch plan mis-advertising one page) must each
-# *fail* the audit.
+# *fail* the audit. The fleet benchmark (BENCH_fleet.json) runs under
+# the same discipline: latency vs device count, shard fairness,
+# staleness, and the kill-one-device degradation curve, with the
+# one-device-loss honest p99 bounded in-process (3x no-loss) and
+# guarded against >10% regression when a committed baseline exists.
 #
 # Everything is hermetic: no network access is required.
 
@@ -116,6 +126,16 @@ preempt_digest() {
         | grep -E '^PREEMPT_DIGEST '
 }
 
+fleet_digest() {
+    # Prints the FLEET_DIGEST line for one fresh-process fleet chaos
+    # soak (4 devices, mid-soak crash + migration + reorg;
+    # exactly-once, head convergence, and the §IV-D audit asserted
+    # in-test).
+    HARDTAPE_SOAK_SEED="$1" cargo test -q --test fleet \
+        fleet_chaos_soak_is_deterministic_and_survives_device_loss -- --nocapture \
+        | grep -E '^FLEET_DIGEST '
+}
+
 if [[ "$RUN_SOAK" -eq 1 ]]; then
     echo "==> gateway chaos soak (determinism across processes)"
     for seed in 1337 424242 12648430; do
@@ -153,6 +173,18 @@ if [[ "$RUN_SOAK" -eq 1 ]]; then
         fi
         echo "seed $seed: $first"
     done
+    echo "==> fleet chaos soak (device crash + migration, byte-identical fleet digests)"
+    for seed in 1337 424242 12648430; do
+        first="$(fleet_digest "$seed")"
+        second="$(fleet_digest "$seed")"
+        if [[ "$first" != "$second" ]]; then
+            echo "fleet soak: NONDETERMINISM at seed $seed" >&2
+            echo "  run 1: $first" >&2
+            echo "  run 2: $second" >&2
+            exit 1
+        fi
+        echo "seed $seed: $first"
+    done
 fi
 
 if [[ "$RUN_BENCH" -eq 1 ]]; then
@@ -172,6 +204,13 @@ if [[ "$RUN_BENCH" -eq 1 ]]; then
     echo "==> plan-omission ablation (the auditor must detect the leak)"
     cargo run -q --release -p tape-bench --bin bench_pre_execute -- \
         --omit-plan --out target/BENCH_pre_execute.omit_plan.json
+    echo "==> fleet benchmark (scaling + degradation curve + regression guard)"
+    FLEET_BASELINE_ARGS=()
+    if git ls-files --error-unmatch BENCH_fleet.json >/dev/null 2>&1; then
+        FLEET_BASELINE_ARGS=(--baseline BENCH_fleet.json)
+    fi
+    cargo run -q --release -p tape-bench --bin bench_fleet -- \
+        --out BENCH_fleet.json "${FLEET_BASELINE_ARGS[@]}"
 fi
 
 echo "==> verify: all gates passed"

@@ -1,11 +1,35 @@
 //! Fleet-level tests: multiple HarDTAPE devices serving users in
 //! parallel (the §VI-D deployment: one device per ~18 tx/s, scaled
-//! horizontally), ORAM-key sharing between trusted Hypervisors, and
-//! end-to-end trace-signature verification by the user.
+//! horizontally), ORAM-key sharing between trusted Hypervisors,
+//! end-to-end trace-signature verification by the user, and the
+//! [`FleetRouter`] fault-tolerance contract:
+//!
+//! * rendezvous-sharded tenants survive the loss of 1 of K devices via
+//!   live migration (re-attestation on a survivor through the fleet
+//!   ORAM-key escrow, queued bundles resubmitted under their original
+//!   fleet tickets);
+//! * in-flight paused work on a crashed device — whose `BundlePause`
+//!   is not `Clone` by construction — is shed with exactly one typed
+//!   `DeviceFailed` completion, never silently dropped or doubled;
+//! * all surviving devices sync from one `FeedSet` and converge on the
+//!   same adopted head, through a mid-soak reorg;
+//! * the whole fleet schedule is deterministic per seed — the
+//!   `FLEET_DIGEST` line below is compared across processes by
+//!   `scripts/verify.sh --soak` (seed override: `HARDTAPE_SOAK_SEED`).
 
-use hardtape::{Bundle, HarDTape, SecurityConfig, ServiceConfig};
+use std::collections::{BTreeMap, BTreeSet};
+
+use hardtape::{
+    Bundle, Gateway, GatewayConfig, GatewayError, HarDTape, SecurityConfig, ServiceConfig,
+};
 use tape_evm::{Env, Transaction};
-use tape_primitives::{Address, U256};
+use tape_fleet::{FleetCompletion, FleetConfig, FleetError, FleetRouter, FleetStats, HealthState};
+use tape_node::{BlockFeed, FeedSet, FeedSetConfig, Node};
+use tape_primitives::{Address, B256, U256};
+use tape_sim::fault::{FaultKind, FaultPlan, FaultSite};
+use tape_sim::queue::interleave;
+use tape_sim::telemetry::audit::{audit_events, AuditConfig};
+use tape_sim::telemetry::CounterId;
 use tape_state::{Account, InMemoryState};
 use tape_tee::channel::verify_bundle;
 
@@ -109,6 +133,653 @@ fn oram_key_is_shared_across_the_fleet() {
     assert_ne!(first.oram_key(), second.oram_key());
     second.share_oram_key(first.oram_key());
     assert_eq!(first.oram_key(), second.oram_key());
+}
+
+// ---------------------------------------------------------------------------
+// FleetRouter: fault-tolerant fleet soak and directed failover tests.
+// ---------------------------------------------------------------------------
+
+const FLEET_DEVICES: usize = 4;
+const FLEET_TENANTS: usize = 1_000;
+/// The device the chaos soak kills mid-run (1 of 4).
+const CRASH_DEVICE: usize = 1;
+const FLEET_BOMB_GAS: u64 = 2_000_000;
+
+fn fleet_tenant_addr(i: usize) -> Address {
+    Address::from_low_u64(0xA000 + i as u64)
+}
+
+fn fleet_sink_addr(i: usize) -> Address {
+    Address::from_low_u64(0x2_0000 + i as u64)
+}
+
+/// The account chain blocks spend from. Deliberately *not* a tenant
+/// account: pre-execution receipts must depend only on genesis + the
+/// tenant's own bundle, never on how far a device has synced, so the
+/// crash run's migrated receipts stay byte-comparable to the clean
+/// run's regardless of sync timing.
+fn chain_producer() -> Address {
+    Address::from_low_u64(0xC0DE)
+}
+
+fn fleet_bomb_contract() -> Address {
+    Address::from_low_u64(0x6A5B)
+}
+
+/// Genesis with one funded account per tenant, the chain producer, and
+/// the gas-bomb contract (for exercising in-flight paused work).
+fn fleet_genesis() -> InMemoryState {
+    let mut state = InMemoryState::new();
+    for i in 0..FLEET_TENANTS {
+        state.put_account(fleet_tenant_addr(i), Account::with_balance(U256::from(u64::MAX)));
+    }
+    state.put_account(chain_producer(), Account::with_balance(U256::from(u64::MAX)));
+    state.put_account(
+        fleet_bomb_contract(),
+        Account::with_code(tape_workload::contracts::gasbomb_runtime()),
+    );
+    state
+}
+
+fn fleet_transfer(tenant: usize, step: usize) -> Bundle {
+    Bundle::single(Transaction::transfer(
+        fleet_tenant_addr(tenant),
+        fleet_sink_addr(tenant),
+        U256::from(1 + step as u64),
+    ))
+}
+
+/// A 2M-gas bomb from `tenant`: at a 100k gas slice it yields ~20
+/// times, so at crash time its `BundlePause` checkpoint is sitting in
+/// the dead device's queue.
+fn fleet_bomb(tenant: usize) -> Bundle {
+    let mut tx = Transaction::call(
+        fleet_tenant_addr(tenant),
+        fleet_bomb_contract(),
+        U256::from(FLEET_BOMB_GAS / 20).to_be_bytes().to_vec(),
+    );
+    tx.gas_limit = FLEET_BOMB_GAS;
+    Bundle::single(tx)
+}
+
+/// Three independent feeds over identical nodes; the whole fleet syncs
+/// from this one set.
+fn fleet_feedset() -> FeedSet {
+    FeedSet::new(
+        (0..3).map(|_| BlockFeed::new(Node::new(fleet_genesis(), Env::default()))).collect(),
+        FeedSetConfig::default(),
+    )
+}
+
+fn fleet_produce_on_all(feeds: &mut FeedSet, step: u64) {
+    for i in 0..feeds.len() {
+        feeds.feed_mut(i).expect("feed exists").node_mut().produce_block(vec![
+            Transaction::transfer(chain_producer(), fleet_sink_addr(0), U256::from(900 + step)),
+        ]);
+    }
+}
+
+/// Rewinds every feed to one block and builds a heavier replacement
+/// branch of `blocks` blocks, salted for per-seed variety.
+fn fleet_reorg_all(feeds: &mut FeedSet, blocks: u64, salt: u64) {
+    for i in 0..feeds.len() {
+        let node = feeds.feed_mut(i).expect("feed exists").node_mut();
+        assert!(node.revert_to(1), "every fleet chain keeps its first block");
+        for s in 0..blocks {
+            node.produce_block(vec![Transaction::transfer(
+                chain_producer(),
+                fleet_sink_addr(1),
+                U256::from(700 + salt % 97 + s),
+            )]);
+        }
+    }
+}
+
+/// A K-device fleet over `-ES` devices with a 100k gas slice (so gas
+/// bombs actually pause) and effectively unbounded admission — the
+/// soak stresses failover, not overload, which has its own soak.
+fn fleet_router_with(devices: usize, seed: u64, config: GatewayConfig) -> FleetRouter {
+    let genesis = fleet_genesis();
+    let gateways = (0..devices)
+        .map(|d| {
+            let mut service = ServiceConfig {
+                oram_height: 10,
+                seed: seed ^ (0xD00D + d as u64),
+                ..ServiceConfig::at_level(SecurityConfig::Es)
+            };
+            service.hevm.gas_slice = Some(100_000);
+            Gateway::new(
+                HarDTape::new(service, Env::default(), &genesis).expect("device boots"),
+                config.clone(),
+            )
+        })
+        .collect();
+    FleetRouter::new(gateways, FleetConfig::default())
+}
+
+fn fleet_router(seed: u64) -> FleetRouter {
+    fleet_router_with(
+        FLEET_DEVICES,
+        seed,
+        GatewayConfig { queue_depth: 8, admission_budget: 10_000, ..GatewayConfig::default() },
+    )
+}
+
+fn fleet_seed() -> u64 {
+    match std::env::var("HARDTAPE_SOAK_SEED") {
+        Ok(v) => v.parse().expect("HARDTAPE_SOAK_SEED must be a u64"),
+        Err(_) => 0xC0FFEE,
+    }
+}
+
+/// Everything one chaos run produces that the determinism and
+/// crash-vs-clean comparisons need.
+struct FleetRunOutcome {
+    digest: String,
+    head: Option<B256>,
+    /// (tenant, step) → `Debug` rendering of the report's per-tx
+    /// results for every OK completion. Signatures and timings
+    /// legitimately differ across devices and sessions; the execution
+    /// receipt must not.
+    receipts: BTreeMap<(usize, usize), String>,
+    /// Tenants that were homed on the crashed device (empty for a
+    /// clean run).
+    migrated: BTreeSet<usize>,
+    /// Migrated tenants' (tenant, step) pairs that completed OK on a
+    /// *surviving* device — the set whose receipts must be
+    /// byte-identical to the clean run's.
+    post_crash_ok: BTreeSet<(usize, usize)>,
+    stats: FleetStats,
+    health_transitions: u64,
+    shed_device_failed: usize,
+}
+
+/// One seeded fleet chaos run: ~10³ tenants sharded over 4 devices,
+/// two bundles each in a seeded interleave, periodic fleet-wide rounds
+/// and quorum syncs, seeded `DeviceHang` faults, a mid-soak
+/// `DeviceCrash` of 1 of 4 devices (when `crash`), and a mid-soak
+/// depth reorg. Asserts the fleet exactly-once contract, head
+/// convergence, and the §IV-D audit on every surviving device.
+fn fleet_chaos_run(seed: u64, crash: bool) -> FleetRunOutcome {
+    let mut router = fleet_router(seed);
+    if crash {
+        // Seeded availability adversary: sporadic hangs (watchdog
+        // strikes) on top of the deterministic mid-soak crash below.
+        let plan = FaultPlan::new(seed ^ 0xF1EE7, router.gateway(0).device().clock());
+        plan.arm(FaultSite::Device, &[FaultKind::DeviceHang], 9, 5);
+        router.arm_faults(plan);
+    }
+
+    let mut sessions = Vec::with_capacity(FLEET_TENANTS);
+    let mut owner = BTreeMap::new();
+    for i in 0..FLEET_TENANTS {
+        let session = router
+            .connect(format!("fleet tenant {i}").as_bytes())
+            .expect("attestation of a fresh tenant succeeds");
+        owner.insert(session, i);
+        sessions.push(session);
+    }
+
+    let mut feeds = fleet_feedset();
+    fleet_produce_on_all(&mut feeds, 0);
+    let sync = router.sync_all(&mut feeds);
+    assert!(sync.outcomes.iter().all(|(_, o)| o.is_ok()), "initial fleet sync failed");
+
+    let counts = vec![2usize; FLEET_TENANTS];
+    let order = interleave(&counts, seed);
+    let crash_at = order.len() / 2;
+    let reorg_at = order.len() * 3 / 4;
+
+    let mut admitted = BTreeSet::new();
+    let mut ticket_meta: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+    let mut bomb_tickets = BTreeSet::new();
+    let mut completions: Vec<FleetCompletion> = Vec::new();
+    let mut steps = vec![0usize; FLEET_TENANTS];
+    let mut migrated: BTreeSet<usize> = BTreeSet::new();
+    let mut produced = 0u64;
+
+    for (op, &tenant) in order.iter().enumerate() {
+        let step = steps[tenant];
+        steps[tenant] += 1;
+        match router.submit(sessions[tenant], fleet_transfer(tenant, step)) {
+            Ok(ticket) => {
+                assert!(admitted.insert(ticket), "fleet ticket {ticket} issued twice");
+                ticket_meta.insert(ticket, (tenant, step));
+            }
+            Err(FleetError::Gateway(GatewayError::Overloaded { retry_after })) => {
+                assert!(retry_after > 0, "overload must carry a usable retry hint");
+                // Shed pressure, retry once; a second rejection is
+                // accepted as final (typed, not silent). Only a
+                // hang-quarantined home produces this in the soak.
+                completions.extend(router.run_round());
+                if let Ok(ticket) = router.submit(sessions[tenant], fleet_transfer(tenant, step)) {
+                    assert!(admitted.insert(ticket), "fleet ticket {ticket} issued twice");
+                    ticket_meta.insert(ticket, (tenant, step));
+                }
+            }
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+
+        if op % 8 == 7 {
+            completions.extend(router.run_round());
+        }
+        if op % 250 == 249 {
+            produced += 1;
+            fleet_produce_on_all(&mut feeds, produced);
+            let sync = router.sync_all(&mut feeds);
+            assert!(sync.outcomes.iter().all(|(_, o)| o.is_ok()), "extension sync failed");
+            completions.extend(sync.shed);
+        }
+
+        if op == crash_at {
+            // Both runs plant two gas bombs on the doomed device and
+            // run one round, leaving their pause checkpoints in its
+            // queue — the in-flight work a crash must shed typed.
+            let victims: Vec<usize> = (0..FLEET_TENANTS)
+                .filter(|&i| router.tenant_device(sessions[i]) == Some(CRASH_DEVICE))
+                .take(2)
+                .collect();
+            assert_eq!(victims.len(), 2, "rendezvous left the crash device nearly empty");
+            for &victim in &victims {
+                let ticket =
+                    router.submit(sessions[victim], fleet_bomb(victim)).expect("bomb admitted");
+                assert!(admitted.insert(ticket), "fleet ticket {ticket} issued twice");
+                ticket_meta.insert(ticket, (victim, 9_999));
+                bomb_tickets.insert(ticket);
+            }
+            completions.extend(router.run_round());
+            if crash {
+                migrated = (0..FLEET_TENANTS)
+                    .filter(|&i| router.tenant_device(sessions[i]) == Some(CRASH_DEVICE))
+                    .collect();
+                assert!(!migrated.is_empty(), "the crash device must be hosting tenants");
+                completions.extend(router.fail_device(CRASH_DEVICE));
+            }
+        }
+
+        if op == reorg_at {
+            // Every feed rewrites history with a strictly heavier
+            // branch; every surviving device must roll back and adopt.
+            fleet_reorg_all(&mut feeds, 12, seed);
+            let sync = router.sync_all(&mut feeds);
+            for (device, outcome) in &sync.outcomes {
+                assert!(
+                    matches!(outcome, Ok(hardtape::SyncOutcome::Reorged { .. })),
+                    "device {device} missed the reorg: {outcome:?}"
+                );
+            }
+            completions.extend(sync.shed);
+        }
+    }
+    completions.extend(router.run_until_idle());
+    assert_eq!(router.queued_total(), 0, "drain left fleet work queued");
+
+    // Exactly-once across migration, shedding, hangs, and the reorg:
+    // the completed ticket set IS the admitted ticket set.
+    let completed: BTreeSet<u64> = completions.iter().map(|c| c.ticket).collect();
+    assert_eq!(completed.len(), completions.len(), "a fleet ticket completed twice");
+    assert_eq!(completed, admitted, "admitted and completed fleet tickets diverge");
+    let stats = router.stats();
+    assert_eq!(stats.admitted as usize, admitted.len());
+    assert_eq!(
+        stats.completed_ok + stats.completed_err,
+        stats.admitted,
+        "every admitted fleet bundle must be accounted to exactly one outcome"
+    );
+
+    // All surviving devices converged on the same adopted head.
+    let head = router.converged_head().expect("surviving devices agree on the head");
+
+    // §IV-D auditor green on every surviving device.
+    for device in 0..router.device_count() {
+        if router.health_state(device) == HealthState::Failed {
+            continue;
+        }
+        let telemetry = router.gateway(device).device().telemetry().clone();
+        let report =
+            audit_events(&telemetry.events(), telemetry.dropped(), &AuditConfig::default());
+        assert!(
+            report.passed(),
+            "seed {seed}: device {device} failed the leakage audit: {:?}",
+            report.violations
+        );
+    }
+
+    // Receipts, isolation, and the post-crash comparison set.
+    let mut receipts = BTreeMap::new();
+    let mut post_crash_ok = BTreeSet::new();
+    let mut shed_device_failed = 0usize;
+    for completion in &completions {
+        let tenant = *owner.get(&completion.session).expect("completion for unknown session");
+        let (meta_tenant, step) =
+            *ticket_meta.get(&completion.ticket).expect("completion for unknown ticket");
+        assert_eq!(meta_tenant, tenant, "ticket resolved under the wrong tenant");
+        match &completion.outcome {
+            Ok(report) => {
+                if !bomb_tickets.contains(&completion.ticket) {
+                    let own = [fleet_tenant_addr(tenant), fleet_sink_addr(tenant)];
+                    for (addr, _, _) in &report.changes.balances {
+                        assert!(own.contains(addr), "tenant {tenant} report leaked {addr}");
+                    }
+                }
+                receipts.insert((tenant, step), format!("{:?}", report.results));
+                if migrated.contains(&tenant) && completion.device != CRASH_DEVICE {
+                    post_crash_ok.insert((tenant, step));
+                }
+            }
+            Err(FleetError::DeviceFailed { device }) => {
+                assert_eq!(*device, CRASH_DEVICE, "only the killed device may shed");
+                assert!(crash, "a clean run must not shed DeviceFailed");
+                shed_device_failed += 1;
+            }
+            Err(_) => {}
+        }
+    }
+
+    FleetRunOutcome {
+        digest: router.digest(),
+        head,
+        receipts,
+        migrated,
+        post_crash_ok,
+        stats,
+        health_transitions: router.telemetry().counter(CounterId::FleetHealthTransitions),
+        shed_device_failed,
+    }
+}
+
+#[test]
+fn fleet_chaos_soak_is_deterministic_and_survives_device_loss() {
+    let seed = fleet_seed();
+    let crash_a = fleet_chaos_run(seed, true);
+    let crash_b = fleet_chaos_run(seed, true);
+    assert_eq!(crash_a.digest, crash_b.digest, "seed {seed}: fleet schedules diverged");
+    assert_eq!(crash_a.stats, crash_b.stats, "seed {seed}: fleet stats diverged");
+    assert_eq!(crash_a.head, crash_b.head, "seed {seed}: adopted heads diverged");
+
+    // The crash actually exercised every failover path.
+    assert_eq!(crash_a.stats.device_failures, 1, "exactly 1 of {FLEET_DEVICES} devices died");
+    assert!(!crash_a.migrated.is_empty(), "the dead device hosted no tenants");
+    assert_eq!(
+        crash_a.stats.migrations,
+        crash_a.migrated.len() as u64,
+        "every tenant on the dead device re-attested on a survivor"
+    );
+    assert!(
+        crash_a.stats.shed_on_failure >= 1,
+        "at least one in-flight paused bundle must be shed typed"
+    );
+    assert_eq!(
+        crash_a.stats.shed_on_failure as usize, crash_a.shed_device_failed,
+        "every shed-on-failure surfaced as a DeviceFailed completion"
+    );
+    assert!(crash_a.health_transitions >= 1, "health transitions must be observable");
+
+    // Migrated tenants' post-crash receipts are byte-identical to a
+    // crash-free fleet run: migration moved the session, not the
+    // execution semantics.
+    let clean = fleet_chaos_run(seed, false);
+    assert_eq!(clean.stats.device_failures, 0);
+    assert_eq!(clean.stats.shed_on_failure, 0);
+    assert!(
+        !crash_a.post_crash_ok.is_empty(),
+        "no migrated tenant completed work on a survivor"
+    );
+    for key in &crash_a.post_crash_ok {
+        let migrated_receipt = crash_a.receipts.get(key);
+        let clean_receipt = clean.receipts.get(key);
+        assert!(clean_receipt.is_some(), "clean run never completed {key:?}");
+        assert_eq!(migrated_receipt, clean_receipt, "migrated receipt diverged for {key:?}");
+    }
+
+    // Greppable witnesses for scripts/verify.sh --soak; the per-device
+    // audits are asserted inside `fleet_chaos_run`.
+    println!("FLEET_DIGEST seed={seed} digest={}", crash_a.digest);
+    println!("FLEET_AUDIT seed={seed} passed=1");
+}
+
+#[test]
+fn seeded_device_crash_fails_over_queued_work() {
+    // Seeded DeviceCrash (budget 1, fires on the first armed draw):
+    // device 0 dies on the first round with every queue full of fresh
+    // work — everything is resubmitted on the survivor and completes.
+    let mut router = fleet_router_with(2, 0xFA11, GatewayConfig::default());
+    let plan = FaultPlan::new(0xFA11, router.gateway(0).device().clock());
+    plan.arm(FaultSite::Device, &[FaultKind::DeviceCrash], 1, 1);
+    router.arm_faults(plan);
+
+    let mut sessions = Vec::new();
+    for i in 0..6 {
+        sessions.push(router.connect(format!("crash tenant {i}").as_bytes()).expect("attested"));
+    }
+    let mut admitted = BTreeSet::new();
+    for (i, &session) in sessions.iter().enumerate() {
+        admitted.insert(router.submit(session, fleet_transfer(i, 0)).expect("admitted"));
+    }
+
+    let completions = router.run_until_idle();
+    assert_eq!(router.stats().device_failures, 1, "the armed crash fired");
+    let completed: BTreeSet<u64> = completions.iter().map(|c| c.ticket).collect();
+    assert_eq!(completed, admitted, "failover lost or invented tickets");
+    for completion in &completions {
+        let report = completion.outcome.as_ref().expect("fresh queued work survives a crash");
+        assert!(report.results[0].success);
+    }
+    assert!(router.stats().migrations > 0, "the dead device hosted tenants that migrated");
+    assert_eq!(
+        router.stats().completed_ok + router.stats().completed_err,
+        router.stats().admitted
+    );
+}
+
+#[test]
+fn crash_sheds_in_flight_paused_work_with_typed_completions() {
+    let mut router = fleet_router_with(2, 0x9A5B, GatewayConfig::default());
+    // Find a tenant homed on device 0.
+    let mut victim = None;
+    for i in 0..8 {
+        let session = router.connect(format!("pause tenant {i}").as_bytes()).expect("attested");
+        if router.tenant_device(session) == Some(0) {
+            victim = Some((session, i));
+            break;
+        }
+    }
+    let (victim, index) = victim.expect("8 tenants always land one on device 0");
+
+    let ticket = router.submit(victim, fleet_bomb(index)).expect("bomb admitted");
+    // One round: the bomb burns one 100k slice, pauses, re-queues.
+    assert!(router.run_round().is_empty(), "the bomb must still be in flight");
+
+    // The crash converts the unreplayable pause into one typed shed.
+    let completions = router.fail_device(0);
+    let shed: Vec<_> = completions.iter().filter(|c| c.ticket == ticket).collect();
+    assert_eq!(shed.len(), 1, "the paused bomb completes exactly once");
+    assert!(
+        matches!(shed[0].outcome, Err(FleetError::DeviceFailed { device: 0 })),
+        "expected a typed DeviceFailed shed, got {:?}",
+        shed[0].outcome
+    );
+    assert_eq!(router.stats().shed_on_failure, 1);
+
+    // The migrated tenant keeps working on the survivor.
+    let next =
+        router.submit(victim, fleet_transfer(index, 1)).expect("survivor serves the tenant");
+    let completions = router.run_until_idle();
+    let done = completions.iter().find(|c| c.ticket == next).expect("completes");
+    assert_eq!(done.device, 1, "post-migration work runs on the survivor");
+    assert!(done.outcome.as_ref().expect("succeeds").results[0].success);
+    assert!(router.run_round().is_empty(), "nothing left in flight");
+}
+
+#[test]
+fn hang_faults_walk_quarantine_and_probation_back_to_healthy() {
+    let genesis = fleet_genesis();
+    let gateways = (0..2)
+        .map(|d| {
+            let service = ServiceConfig {
+                oram_height: 10,
+                seed: 0x4A6 + d as u64,
+                ..ServiceConfig::at_level(SecurityConfig::Es)
+            };
+            Gateway::new(
+                HarDTape::new(service, Env::default(), &genesis).expect("device boots"),
+                GatewayConfig::default(),
+            )
+        })
+        .collect();
+    let mut router = FleetRouter::new(
+        gateways,
+        FleetConfig {
+            failure_threshold: 2,
+            cooldown_ns: 1_000_000_000,
+            idle_tick_ns: 600_000_000,
+        },
+    );
+    // every=1, budget=4: rounds 1 and 2 hang both devices — two
+    // consecutive strikes each, tripping the threshold-2 quarantine.
+    let plan = FaultPlan::new(7, router.gateway(0).device().clock());
+    plan.arm(FaultSite::Device, &[FaultKind::DeviceHang], 1, 4);
+    router.arm_faults(plan);
+
+    let session = router.connect(b"hang tenant").expect("attested");
+    let home = router.tenant_device(session).expect("tenant is homed");
+
+    assert!(router.run_round().is_empty());
+    assert_eq!(router.health_state(0), HealthState::Suspect);
+    assert!(router.run_round().is_empty());
+    assert_eq!(router.health_state(0), HealthState::Quarantined);
+    assert_eq!(router.health_state(1), HealthState::Quarantined);
+
+    // A quarantined home refuses new work with a typed, nonzero hint.
+    match router.submit(session, fleet_transfer(0, 0)) {
+        Err(FleetError::Gateway(GatewayError::Overloaded { retry_after })) => {
+            assert!(retry_after > 0, "quarantine must say when to come back");
+        }
+        other => panic!("expected Overloaded from a quarantined home, got {other:?}"),
+    }
+
+    // Skipped rounds burn idle time; after the cooldown the next round
+    // is a probation probe, which passes (the hang budget is spent).
+    assert!(router.run_round().is_empty());
+    assert!(router.run_round().is_empty());
+    assert!(matches!(
+        router.health_state(home),
+        HealthState::Probation | HealthState::Healthy
+    ));
+    let ticket = router.submit(session, fleet_transfer(0, 0)).expect("healed home admits");
+    let completions = router.run_until_idle();
+    assert!(completions.iter().any(|c| c.ticket == ticket && c.outcome.is_ok()));
+    assert_eq!(router.health_state(home), HealthState::Healthy);
+    assert!(
+        router.telemetry().counter(CounterId::FleetHealthTransitions) >= 4,
+        "healthy->suspect->quarantined->probation->healthy must all be observable"
+    );
+}
+
+#[test]
+fn overload_hint_reflects_least_loaded_eligible_device() {
+    // Device 0 is congested (a deep backlog behind a bounded queue),
+    // device 1 is idle: a rejection from a tenant homed on device 0
+    // must carry the fleet's best hint — the idle sibling's one-bundle
+    // floor — not device 0's multi-bundle sequential-drain estimate.
+    let genesis = fleet_genesis();
+    let configs = [
+        GatewayConfig { queue_depth: 6, admission_budget: 6, ..GatewayConfig::default() },
+        GatewayConfig::default(),
+    ];
+    let gateways = configs
+        .iter()
+        .enumerate()
+        .map(|(d, config)| {
+            let service = ServiceConfig {
+                oram_height: 10,
+                seed: 0xB157 + d as u64,
+                ..ServiceConfig::at_level(SecurityConfig::Es)
+            };
+            Gateway::new(
+                HarDTape::new(service, Env::default(), &genesis).expect("device boots"),
+                config.clone(),
+            )
+        })
+        .collect();
+    let mut router = FleetRouter::new(gateways, FleetConfig::default());
+
+    // Find a tenant homed on the tiny device.
+    let mut victim = None;
+    for i in 0..16 {
+        let session = router.connect(format!("hint tenant {i}").as_bytes()).expect("attested");
+        if router.tenant_device(session) == Some(0) {
+            victim = Some(session);
+            break;
+        }
+    }
+    let victim = victim.expect("16 tenants always land one on device 0");
+
+    for step in 0..6 {
+        router.submit(victim, fleet_transfer(0, step)).expect("backlog fits the queue");
+    }
+    let home_hint = router.gateway(0).retry_after_hint();
+    // Six bundles over three cores: strictly above the idle sibling's
+    // one-bundle floor.
+    assert!(home_hint > router.gateway(1).retry_after_hint());
+    match router.submit(victim, fleet_transfer(0, 6)) {
+        Err(FleetError::Gateway(GatewayError::Overloaded { retry_after })) => {
+            assert!(retry_after > 0, "the fleet hint must stay usable");
+            assert!(
+                retry_after < home_hint,
+                "fleet hint {retry_after} must beat the congested home's {home_hint}"
+            );
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+}
+
+#[test]
+fn split_heads_surface_as_typed_divergence() {
+    let mut router = fleet_router_with(2, 0x5EAD, GatewayConfig::default());
+    let mut feeds = fleet_feedset();
+    fleet_produce_on_all(&mut feeds, 0);
+
+    // Sync only device 0 (out-of-band): the fleet now disagrees.
+    router.gateway_mut(0).sync_set(&mut feeds).expect("device 0 syncs");
+    match router.converged_head() {
+        Err(FleetError::SplitHead { heads }) => {
+            assert_eq!(heads.len(), 2);
+            assert!(heads[0].1.is_some() && heads[1].1.is_none());
+        }
+        other => panic!("expected SplitHead, got {other:?}"),
+    }
+
+    // A fleet-wide sync against the same FeedSet restores convergence.
+    let sync = router.sync_all(&mut feeds);
+    assert!(sync.outcomes.iter().all(|(_, o)| o.is_ok()));
+    let head = router.converged_head().expect("fleet re-converged");
+    assert!(head.is_some());
+}
+
+#[test]
+fn lone_device_failure_orphans_tenants_with_typed_errors() {
+    let mut router = fleet_router_with(1, 0x0127, GatewayConfig::default());
+    let session = router.connect(b"orphan tenant").expect("attested");
+    let ticket = router.submit(session, fleet_transfer(0, 0)).expect("admitted");
+
+    // No survivor: queued work completes with a typed error, never
+    // silently — exactly-once holds even when the whole fleet is gone.
+    let completions = router.fail_device(0);
+    assert_eq!(completions.len(), 1);
+    assert_eq!(completions[0].ticket, ticket);
+    assert!(
+        matches!(completions[0].outcome, Err(FleetError::NoEligibleDevice)),
+        "expected NoEligibleDevice, got {:?}",
+        completions[0].outcome
+    );
+
+    assert!(matches!(
+        router.submit(session, fleet_transfer(0, 1)),
+        Err(FleetError::NoEligibleDevice)
+    ));
+    assert!(matches!(router.connect(b"late tenant"), Err(FleetError::NoEligibleDevice)));
+    assert_eq!(router.stats().completed_ok + router.stats().completed_err, 1);
 }
 
 #[test]
